@@ -1,0 +1,22 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench figures experiments clean
+
+install:
+	pip install -e .[dev]
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+figures:
+	python -m repro all-figures --seeds 0
+
+experiments:
+	python scripts/collect_experiments.py
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,105 @@
+"""Raw LP-solver benchmarks: the structured IPM's scaling claim.
+
+The structured solver is what makes the 900-task sweeps feasible; this
+bench pins down its per-solve cost against the generic dense IPM and the
+simplex on the same P2 instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import cluster_costs
+from repro.core.lp_builder import build_p2, build_p2_structured
+from repro.lp.backends import solve
+from repro.lp.structured import solve_structured
+from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+
+def _p2_instance(num_tasks: int):
+    scenario = generate_scenario(
+        PAPER_DEFAULTS.with_updates(
+            num_tasks=num_tasks, num_devices=10, num_stations=1
+        ),
+        seed=0,
+    )
+    costs = cluster_costs(scenario.system, list(scenario.tasks))
+    caps = {d: scenario.system.device(d).max_resource for d in scenario.system.devices}
+    cap = scenario.system.station(0).max_resource
+    return costs, caps, cap
+
+
+@pytest.fixture(scope="module")
+def p2_small():
+    return _p2_instance(60)
+
+
+@pytest.fixture(scope="module")
+def p2_large():
+    return _p2_instance(400)
+
+
+def test_structured_ipm_small(benchmark, p2_small):
+    costs, caps, cap = p2_small
+    build = build_p2_structured(costs, caps, cap)
+    result = benchmark(lambda: solve_structured(build.lp))
+    assert result.status.ok
+
+
+def test_structured_ipm_large(benchmark, p2_large):
+    costs, caps, cap = p2_large
+    build = build_p2_structured(costs, caps, cap)
+    result = benchmark(lambda: solve_structured(build.lp))
+    assert result.status.ok
+
+
+def test_dense_ipm_small(benchmark, p2_small):
+    costs, caps, cap = p2_small
+    build = build_p2(costs, caps, cap)
+    result = benchmark.pedantic(
+        lambda: solve(build.lp, "interior-point"),
+        rounds=3, iterations=1, warmup_rounds=0,
+    )
+    assert result.status.ok
+
+
+def test_simplex_small(benchmark, p2_small):
+    costs, caps, cap = p2_small
+    build = build_p2(costs, caps, cap)
+    result = benchmark.pedantic(
+        lambda: solve(build.lp, "simplex"),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.status.ok
+
+
+def test_backends_same_objective(benchmark, p2_small):
+    """The three P2 paths agree on the optimum (scipy timed as reference)."""
+    costs, caps, cap = p2_small
+    generic = build_p2(costs, caps, cap)
+    structured = build_p2_structured(costs, caps, cap)
+    reference = benchmark.pedantic(
+        lambda: solve(generic.lp, "scipy"),
+        rounds=3, iterations=1, warmup_rounds=0,
+    ).objective
+    assert solve_structured(structured.lp).objective == pytest.approx(
+        reference, rel=1e-6
+    )
+    assert solve(generic.lp, "interior-point").objective == pytest.approx(
+        reference, rel=1e-5
+    )
+
+
+def test_des_kernel_throughput(benchmark):
+    """Substrate perf: the event kernel should push >100k events/second."""
+    from repro.des.kernel import EventSimulator
+
+    def run():
+        sim = EventSimulator()
+        count = 20_000
+        for index in range(count):
+            sim.schedule(float(index % 97) / 10.0, lambda: None)
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(run)
+    assert processed == 20_000

@@ -1,0 +1,125 @@
+"""Beyond the paper: the four extension modules in one tour.
+
+1. **Offloading game** — the decentralized Nash-equilibrium baseline the
+   paper's related work ([8], [9]) contrasts against: how close does
+   uncoordinated best-response get to the LP?
+2. **Partial offloading** — the [25]/[26] relaxation: split each task's
+   bytes across levels; how much does binary assignment leave on the table?
+3. **Online scheduling under mobility** — the quasi-static assumption made
+   measurable: devices move, the planner re-runs per epoch, and the report
+   audits what association drift cost.
+4. **Edge result caching** — the [29] mechanism: Zipf-popular queries hit
+   their base station's cache and skip the whole pipeline.
+5. **Congestion-aware pricing** — the [9] shared-channel model closed into
+   a fixed point: uplink rates depend on how much the assignment offloads.
+
+Run with::
+
+    python examples/extensions_tour.py
+"""
+
+from repro import PAPER_DEFAULTS, generate_scenario, lp_hta
+from repro.caching import LRUCache, QueryCatalog, simulate_with_cache, zipf_query_stream
+from repro.congestion import congestion_aware_assignment
+from repro.core.game import best_response_offloading
+from repro.mobility import RandomWaypointModel, analyse_handovers
+from repro.online import OnlineOptions, PoissonArrivals, simulate_online
+from repro.partial import partial_offloading
+from repro.system.interference import InterferenceChannel
+from repro.units import MB
+from repro.workload import generate_system
+
+
+def game_section(scenario) -> None:
+    print("1. decentralized offloading game vs LP-HTA")
+    lp = lp_hta(scenario.system, list(scenario.tasks))
+    game = best_response_offloading(scenario.system, list(scenario.tasks))
+    lp_energy = lp.assignment.total_energy_j()
+    game_energy = game.assignment.total_energy_j()
+    print(f"   LP-HTA       {lp_energy:8.1f} J (coordinated)")
+    print(
+        f"   Nash equil.  {game_energy:8.1f} J "
+        f"({game.rounds} best-response rounds, converged={game.converged}, "
+        f"price of anarchy ~ {game_energy / lp_energy:.2f})"
+    )
+
+
+def partial_section(scenario) -> None:
+    print("\n2. partial offloading (fractional splits)")
+    lp = lp_hta(scenario.system, list(scenario.tasks))
+    split = partial_offloading(scenario.system, list(scenario.tasks))
+    print(f"   binary LP-HTA {lp.assignment.total_energy_j():8.1f} J")
+    print(
+        f"   fractional    {split.total_energy_j:8.1f} J "
+        f"({split.num_fractional} tasks genuinely split)"
+    )
+
+
+def online_section() -> None:
+    print("\n3. online scheduling under mobility")
+    profile = PAPER_DEFAULTS
+    system = generate_system(profile, seed=0)
+    positions = {d: dev.position for d, dev in system.devices.items()}
+    mobility = RandomWaypointModel(
+        sorted(system.devices), area_side_m=2000.0,
+        speed_range_mps=(2.0, 15.0), seed=1, initial_positions=positions,
+    )
+    stations = {sid: s.position for sid, s in system.stations.items()}
+    for epoch in (30.0, 120.0, 480.0):
+        analysis = analyse_handovers(mobility, stations, 960.0, epoch)
+        print(
+            f"   epoch {epoch:5.0f} s: quasi-static violated for "
+            f"{analysis.violation_rate:5.1%} of device-epochs"
+        )
+    arrivals = PoissonArrivals(system, profile, rate_per_s=0.5, seed=2).generate(600.0)
+    report = simulate_online(
+        system, arrivals, OnlineOptions(epoch_length_s=60.0), mobility=mobility
+    )
+    print(
+        f"   LP-HTA online: {report.total_tasks} tasks in {len(report.epochs)} "
+        f"epochs, planned {report.total_planned_energy_j:.0f} J, drift cost "
+        f"{report.drift_energy_gap_j:+.1f} J, realized miss rate "
+        f"{report.mean_realized_unsatisfied:.1%}"
+    )
+
+
+def caching_section() -> None:
+    print("\n4. edge result caching on a Zipf query stream")
+    system = generate_system(PAPER_DEFAULTS, seed=0)
+    catalog = QueryCatalog.generate(system, PAPER_DEFAULTS, num_queries=80, seed=1)
+    stream = zipf_query_stream(system, catalog, length=600, exponent=1.3, seed=2)
+    report = simulate_with_cache(system, stream, lambda: LRUCache(20 * MB))
+    print(
+        f"   hit rate {report.hit_rate:.0%}: energy "
+        f"{report.uncached_energy_j:.0f} J -> {report.cached_energy_j:.0f} J "
+        f"({report.energy_saving_fraction:.0%} saved), latency "
+        f"{report.uncached_mean_latency_s:.2f} s -> "
+        f"{report.cached_mean_latency_s:.2f} s"
+    )
+
+
+def congestion_section(scenario) -> None:
+    print("\n5. congestion-aware pricing (shared uplink spectrum)")
+    channel = InterferenceChannel(
+        bandwidth_hz=5e6, channel_gain=1e-6, tx_power_w=0.5,
+        noise_power_w=1e-9, orthogonality_loss=0.02,
+    )
+    result = congestion_aware_assignment(
+        scenario.system, list(scenario.tasks), channel
+    )
+    print(
+        f"   fixed point in {result.iterations} rounds "
+        f"(converged={result.converged}); congestion-blind estimate "
+        f"{result.naive_energy_j:.0f} J, self-consistent energy "
+        f"{result.final_energy_j:.0f} J "
+        f"({result.congestion_penalty_j:+.0f} J hidden by blind pricing)"
+    )
+
+
+if __name__ == "__main__":
+    scenario = generate_scenario(PAPER_DEFAULTS.with_updates(num_tasks=150), seed=4)
+    game_section(scenario)
+    partial_section(scenario)
+    online_section()
+    caching_section()
+    congestion_section(scenario)

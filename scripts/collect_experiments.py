@@ -1,0 +1,59 @@
+"""Collect every figure's data (full seeds) into results/figures.json.
+
+Used to populate EXPERIMENTS.md; rerun after any model change::
+
+    python scripts/collect_experiments.py [--seeds 0 1 2]
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.figures import ALL_FIGURES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    parser.add_argument(
+        "--out", type=Path, default=Path(__file__).parent.parent / "results"
+    )
+    args = parser.parse_args()
+    args.out.mkdir(exist_ok=True)
+
+    collected = {}
+    for figure_id, producer in sorted(ALL_FIGURES.items()):
+        start = time.time()
+        data = producer(seeds=tuple(args.seeds))
+        # Per-seed series expose the spread behind the averaged numbers.
+        per_seed = {
+            seed: producer(seeds=(seed,)).series for seed in args.seeds
+        }
+        spread = {
+            name: [
+                max(per_seed[seed][name][idx] for seed in args.seeds)
+                - min(per_seed[seed][name][idx] for seed in args.seeds)
+                for idx in range(len(data.x_values))
+            ]
+            for name in data.series
+        }
+        collected[figure_id] = {
+            "title": data.title,
+            "x_label": data.x_label,
+            "y_label": data.y_label,
+            "x_values": list(data.x_values),
+            "series": {name: list(values) for name, values in data.series.items()},
+            "seed_spread": spread,
+            "seeds": list(args.seeds),
+            "seconds": round(time.time() - start, 2),
+        }
+        print(f"{figure_id}: done in {collected[figure_id]['seconds']}s", flush=True)
+
+    path = args.out / "figures.json"
+    path.write_text(json.dumps(collected, indent=2))
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

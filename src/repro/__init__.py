@@ -1,0 +1,99 @@
+"""Task assignment in Data-Shared Mobile Edge Computing systems.
+
+A faithful reproduction of Cheng, Chen, Li, Gao, *"Task Assignment
+Algorithms in Data Shared Mobile Edge Computing Systems"* (ICDCS 2019):
+
+- the three-level MEC system model (:mod:`repro.system`),
+- the HTA problem and the LP-HTA approximation algorithm
+  (:mod:`repro.core`), backed by from-scratch LP solvers (:mod:`repro.lp`),
+- the divisible-task algorithms DTA-Workload / DTA-Number and the task
+  rearrangement pipeline (:mod:`repro.dta`),
+- workload generation matching Section V-A (:mod:`repro.workload`),
+- a discrete-event validation simulator (:mod:`repro.des`), and
+- reproducers for every figure and table of the evaluation
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import PAPER_DEFAULTS, generate_scenario, lp_hta
+
+    scenario = generate_scenario(PAPER_DEFAULTS, seed=0)
+    report = lp_hta(scenario.system, list(scenario.tasks))
+    print(report.assignment.stats())
+"""
+
+from repro.core import (
+    Assignment,
+    HTAReport,
+    LPHTAOptions,
+    Subsystem,
+    Task,
+    all_offload,
+    all_to_cloud,
+    branch_and_bound_hta,
+    brute_force_hta,
+    cluster_costs,
+    hgos,
+    lp_hta,
+    task_costs,
+)
+from repro.dta import (
+    Coverage,
+    DTAOutcome,
+    dta_number,
+    dta_workload,
+    rearrange_tasks,
+    run_dta,
+)
+from repro.system import (
+    BaseStation,
+    Cloud,
+    FOUR_G,
+    MECSystem,
+    MobileDevice,
+    SystemParameters,
+    WIFI,
+    WirelessProfile,
+)
+from repro.workload import (
+    PAPER_DEFAULTS,
+    Scenario,
+    WorkloadProfile,
+    generate_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assignment",
+    "BaseStation",
+    "Cloud",
+    "Coverage",
+    "DTAOutcome",
+    "FOUR_G",
+    "HTAReport",
+    "LPHTAOptions",
+    "MECSystem",
+    "MobileDevice",
+    "PAPER_DEFAULTS",
+    "Scenario",
+    "Subsystem",
+    "SystemParameters",
+    "Task",
+    "WIFI",
+    "WirelessProfile",
+    "WorkloadProfile",
+    "all_offload",
+    "all_to_cloud",
+    "branch_and_bound_hta",
+    "brute_force_hta",
+    "cluster_costs",
+    "dta_number",
+    "dta_workload",
+    "generate_scenario",
+    "hgos",
+    "lp_hta",
+    "rearrange_tasks",
+    "run_dta",
+    "task_costs",
+]

@@ -1,0 +1,25 @@
+"""Result caching at base stations (the [29] line of related work).
+
+Elbamby et al. [29] cut MEC latency by proactively caching the results of
+popular computation tasks at the edge.  This extension adds that mechanism
+to the data-shared model: repeated queries (a Zipf-popular stream, as in
+content-caching practice) hit their base station's result cache and skip
+computation and data collection entirely — only the result travels the last
+hop.  The evaluator quantifies the energy/latency the cache saves over the
+paper's cache-less pipeline.
+"""
+
+from repro.caching.cache import CacheStats, LFUCache, LRUCache, ResultCache
+from repro.caching.evaluator import CachingReport, simulate_with_cache
+from repro.caching.workload import QueryCatalog, zipf_query_stream
+
+__all__ = [
+    "CacheStats",
+    "CachingReport",
+    "LFUCache",
+    "LRUCache",
+    "QueryCatalog",
+    "ResultCache",
+    "simulate_with_cache",
+    "zipf_query_stream",
+]

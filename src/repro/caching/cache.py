@@ -1,0 +1,111 @@
+"""Byte-budgeted result caches: LRU and LFU eviction."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+__all__ = ["CacheStats", "LFUCache", "LRUCache", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache.
+
+    :param hits: lookups that found the key.
+    :param misses: lookups that did not.
+    :param evictions: entries removed to make room.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Base class: a byte-budgeted key → result-size cache.
+
+    Only result *sizes* are stored — the simulation never materialises
+    payloads.  Subclasses choose the eviction victim.
+
+    :param capacity_bytes: total byte budget.
+    """
+
+    def __init__(self, capacity_bytes: float) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0.0
+        self.stats = CacheStats()
+        self._sizes: "OrderedDict[Hashable, float]" = OrderedDict()
+        self._frequency: Dict[Hashable, int] = {}
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._sizes
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def lookup(self, key: Hashable) -> Optional[float]:
+        """Result size on hit (recording the access), None on miss."""
+        if key in self._sizes:
+            self.stats.hits += 1
+            self._frequency[key] = self._frequency.get(key, 0) + 1
+            self._touch(key)
+            return self._sizes[key]
+        self.stats.misses += 1
+        return None
+
+    def insert(self, key: Hashable, size_bytes: float) -> bool:
+        """Cache a result; evicts until it fits.  Returns False if the
+        entry is larger than the whole cache (never stored)."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        if size_bytes > self.capacity_bytes:
+            return False
+        if key in self._sizes:
+            self.used_bytes -= self._sizes.pop(key)
+        while self.used_bytes + size_bytes > self.capacity_bytes and self._sizes:
+            victim = self._victim()
+            self.used_bytes -= self._sizes.pop(victim)
+            self._frequency.pop(victim, None)
+            self.stats.evictions += 1
+        self._sizes[key] = size_bytes
+        self._frequency.setdefault(key, 1)
+        self.used_bytes += size_bytes
+        return True
+
+    def _touch(self, key: Hashable) -> None:
+        """Recency bookkeeping hook (LRU moves the key to the back)."""
+
+    def _victim(self) -> Hashable:
+        """The key to evict next."""
+        raise NotImplementedError
+
+
+class LRUCache(ResultCache):
+    """Evicts the least recently used entry."""
+
+    def _touch(self, key: Hashable) -> None:
+        self._sizes.move_to_end(key)
+
+    def _victim(self) -> Hashable:
+        return next(iter(self._sizes))
+
+
+class LFUCache(ResultCache):
+    """Evicts the least frequently used entry (ties: oldest)."""
+
+    def _victim(self) -> Hashable:
+        return min(self._sizes, key=lambda key: (self._frequency.get(key, 0),))

@@ -1,0 +1,122 @@
+"""Popular-query workloads: a catalog of distinct queries, Zipf repetition.
+
+Caching only pays when queries repeat; content-delivery practice (and [29])
+models popularity as Zipf.  A :class:`QueryCatalog` holds Q distinct query
+*templates* (tasks without an owner); :func:`zipf_query_stream` draws a
+stream of (query id, owner) pairs and materialises them as tasks raised by
+random devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.task import Task
+from repro.system.topology import MECSystem
+from repro.workload.generator import _holistic_task
+from repro.workload.profiles import WorkloadProfile
+
+__all__ = ["QueryCatalog", "zipf_query_stream"]
+
+
+@dataclass(frozen=True)
+class QueryCatalog:
+    """Q distinct query templates drawn from a workload profile.
+
+    Two tasks instantiated from the same template share sizes, sources and
+    operation — and therefore a cacheable result.
+
+    :param templates: the template tasks (owners are placeholders; the
+        stream re-homes each instance).
+    """
+
+    templates: Tuple[Task, ...]
+
+    def __post_init__(self) -> None:
+        if not self.templates:
+            raise ValueError("catalog needs at least one query template")
+
+    def __len__(self) -> int:
+        return len(self.templates)
+
+    @classmethod
+    def generate(
+        cls,
+        system: MECSystem,
+        profile: WorkloadProfile,
+        num_queries: int,
+        seed: int = 0,
+    ) -> "QueryCatalog":
+        """Draw ``num_queries`` templates from the profile's distributions."""
+        if num_queries <= 0:
+            raise ValueError("num_queries must be positive")
+        rng = np.random.default_rng(seed)
+        device_ids = sorted(system.devices)
+        templates = []
+        for index in range(num_queries):
+            owner = int(rng.choice(device_ids))
+            templates.append(_holistic_task(system, profile, owner, index, rng))
+        return cls(templates=tuple(templates))
+
+    def instantiate(self, query_id: int, owner_device_id: int, index: int) -> Task:
+        """A concrete task: the template's work, raised by ``owner``.
+
+        The external source follows the template (the data lives where it
+        lives); only the requester changes.
+        """
+        template = self.templates[query_id]
+        source = template.external_source
+        beta = template.external_bytes
+        if source == owner_device_id:
+            # The requester happens to hold the "external" data: it is
+            # local for them.
+            return Task(
+                owner_device_id=owner_device_id, index=index,
+                local_bytes=template.local_bytes + beta,
+                external_bytes=0.0, external_source=None,
+                resource_demand=template.resource_demand,
+                deadline_s=template.deadline_s,
+                operation=f"query-{query_id}",
+            )
+        return Task(
+            owner_device_id=owner_device_id, index=index,
+            local_bytes=template.local_bytes,
+            external_bytes=beta, external_source=source,
+            resource_demand=template.resource_demand,
+            deadline_s=template.deadline_s,
+            operation=f"query-{query_id}",
+        )
+
+
+def zipf_query_stream(
+    system: MECSystem,
+    catalog: QueryCatalog,
+    length: int,
+    exponent: float = 1.1,
+    seed: int = 0,
+) -> List[Tuple[int, Task]]:
+    """A stream of (query id, task) pairs with Zipf-popular queries.
+
+    :param system: the MEC system (owners are drawn from its devices).
+    :param catalog: the query catalog.
+    :param length: number of requests.
+    :param exponent: Zipf skew (>1; higher = more repetition).
+    :param seed: RNG seed.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    if exponent <= 1.0:
+        raise ValueError("zipf exponent must exceed 1")
+    rng = np.random.default_rng(seed)
+    device_ids = sorted(system.devices)
+    weights = 1.0 / np.arange(1, len(catalog) + 1) ** exponent
+    weights /= weights.sum()
+    stream: List[Tuple[int, Task]] = []
+    for index in range(length):
+        query_id = int(rng.choice(len(catalog), p=weights))
+        owner = int(rng.choice(device_ids))
+        stream.append((query_id, catalog.instantiate(query_id, owner, index)))
+    return stream

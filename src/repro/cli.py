@@ -1,0 +1,189 @@
+"""Command-line interface: regenerate any figure or table of the paper.
+
+Usage::
+
+    mecrepro table1
+    mecrepro figure fig2a --seeds 0 1 2
+    mecrepro all-figures --seeds 0
+    mecrepro demo --tasks 200 --seed 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.figures import ALL_FIGURES, DEFAULT_SEEDS, run_figure
+from repro.experiments.tables import table1_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mecrepro",
+        description=(
+            "Reproduce 'Task Assignment Algorithms in Data Shared Mobile "
+            "Edge Computing Systems' (ICDCS 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table I (wireless network parameters)")
+
+    figure = sub.add_parser("figure", help="regenerate one figure's data")
+    figure.add_argument("figure_id", choices=sorted(ALL_FIGURES))
+    figure.add_argument(
+        "--seeds", type=int, nargs="+", default=list(DEFAULT_SEEDS),
+        help="scenario seeds to average over",
+    )
+    figure.add_argument(
+        "--chart", action="store_true",
+        help="also render an ASCII chart of the series",
+    )
+
+    all_figures = sub.add_parser("all-figures", help="regenerate every figure")
+    all_figures.add_argument(
+        "--seeds", type=int, nargs="+", default=list(DEFAULT_SEEDS),
+        help="scenario seeds to average over",
+    )
+
+    demo = sub.add_parser("demo", help="run LP-HTA on one scenario and report")
+    demo.add_argument("--tasks", type=int, default=200)
+    demo.add_argument("--seed", type=int, default=0)
+
+    ratio = sub.add_parser(
+        "ratio-study",
+        help="measure LP-HTA's empirical ratio against exact optima",
+    )
+    ratio.add_argument(
+        "--instances", type=int, default=20,
+        help="number of small instances to solve exactly",
+    )
+
+    online = sub.add_parser(
+        "online", help="epoch-scheduled Poisson arrivals, optionally mobile"
+    )
+    online.add_argument(
+        "--policy", choices=("lp-hta", "hgos", "game", "cloud"), default="lp-hta"
+    )
+    online.add_argument("--rate", type=float, default=0.5, help="arrivals/second")
+    online.add_argument("--horizon", type=float, default=600.0, help="seconds")
+    online.add_argument("--epoch", type=float, default=60.0, help="epoch length, s")
+    online.add_argument(
+        "--mobile", action="store_true",
+        help="devices move (random waypoint); audits quasi-static drift",
+    )
+    online.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _demo(tasks: int, seed: int) -> None:
+    from repro.core import LPHTAOptions, lp_hta
+    from repro.core.baselines import all_offload, all_to_cloud, hgos
+    from repro.experiments.breakdown import energy_breakdown
+    from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+    scenario = generate_scenario(PAPER_DEFAULTS.with_updates(num_tasks=tasks), seed)
+    print(f"scenario: {scenario.system}, {len(scenario.tasks)} tasks, seed={seed}")
+    report = lp_hta(scenario.system, list(scenario.tasks), LPHTAOptions())
+    stats = report.assignment.stats()
+    print(
+        f"LP-HTA      energy={stats.total_energy_j:10.1f} J  "
+        f"latency={stats.mean_latency_s:5.2f} s  "
+        f"unsatisfied={stats.unsatisfied_rate:6.3f}  "
+        f"(ratio bound ≤ {report.ratio_bound_theorem2:.2f})"
+    )
+    for name, algorithm in (
+        ("HGOS", hgos),
+        ("AllToC", all_to_cloud),
+        ("AllOffload", all_offload),
+    ):
+        stats = algorithm(scenario.system, list(scenario.tasks)).stats()
+        print(
+            f"{name:11s} energy={stats.total_energy_j:10.1f} J  "
+            f"latency={stats.mean_latency_s:5.2f} s  "
+            f"unsatisfied={stats.unsatisfied_rate:6.3f}"
+        )
+    print("\nLP-HTA energy breakdown:")
+    breakdown = energy_breakdown(
+        scenario.system, list(scenario.tasks), report.assignment
+    )
+    for line in breakdown.format_table().splitlines():
+        print(f"  {line}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point.
+
+    :param argv: arguments (defaults to ``sys.argv[1:]``).
+    :returns: process exit code.
+    """
+    args = _build_parser().parse_args(argv)
+    if args.command == "table1":
+        print(table1_text())
+    elif args.command == "figure":
+        data = run_figure(args.figure_id, seeds=tuple(args.seeds))
+        print(data.format_table())
+        if args.chart:
+            print()
+            print(data.render_ascii())
+    elif args.command == "all-figures":
+        for figure_id in sorted(ALL_FIGURES):
+            print(run_figure(figure_id, seeds=tuple(args.seeds)).format_table())
+            print()
+    elif args.command == "demo":
+        _demo(args.tasks, args.seed)
+    elif args.command == "ratio-study":
+        from repro.experiments.ratio_study import run_ratio_study
+
+        study = run_ratio_study(seeds=tuple(range(args.instances)))
+        print(
+            f"LP-HTA vs exact optimum over {study.summary.n} instances "
+            f"({study.skipped} skipped):"
+        )
+        print(f"  ratio {study.summary.format()}")
+        print(f"  worst observed      {study.summary.maximum:.4f}")
+        print(f"  Theorem 2 violations {study.bound_violations}")
+    elif args.command == "online":
+        _online(args)
+    return 0
+
+
+def _online(args) -> None:
+    from repro.mobility import RandomWaypointModel
+    from repro.online import OnlineOptions, PoissonArrivals, simulate_online
+    from repro.workload import PAPER_DEFAULTS, generate_system
+
+    system = generate_system(PAPER_DEFAULTS, seed=args.seed)
+    arrivals = PoissonArrivals(
+        system, PAPER_DEFAULTS, rate_per_s=args.rate, seed=args.seed + 1
+    ).generate(args.horizon)
+    mobility = None
+    if args.mobile:
+        positions = {d: dev.position for d, dev in system.devices.items()}
+        mobility = RandomWaypointModel(
+            sorted(system.devices), area_side_m=2000.0,
+            speed_range_mps=(2.0, 15.0), seed=args.seed + 2,
+            initial_positions=positions,
+        )
+    report = simulate_online(
+        system, arrivals,
+        OnlineOptions(epoch_length_s=args.epoch, policy=args.policy),
+        mobility=mobility,
+    )
+    print(
+        f"{report.policy}: {report.total_tasks} tasks over "
+        f"{len(report.epochs)} epochs of {args.epoch:.0f} s"
+    )
+    print(f"  planned energy  {report.total_planned_energy_j:10.1f} J")
+    print(f"  realized energy {report.total_realized_energy_j:10.1f} J "
+          f"(drift {report.drift_energy_gap_j:+.1f} J)")
+    print(f"  realized miss rate {report.mean_realized_unsatisfied:.3f}")
+    if mobility is not None:
+        print(f"  handovers {sum(e.handovers for e in report.epochs)}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

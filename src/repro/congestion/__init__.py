@@ -1,0 +1,24 @@
+"""Congestion-aware assignment: pricing under load-dependent uplink rates.
+
+The Section II model prices every uplink at its nominal rate.  With the
+shared-channel model of [9] (:mod:`repro.system.interference`), uplink rates
+*depend on the assignment*: the more tasks a cluster offloads concurrently,
+the slower each upload.  This package closes that loop with a fixed-point
+iteration — price under an assumed concurrency, assign, observe the induced
+concurrency, re-price — the same self-consistency logic the offloading games
+reach by best response.
+"""
+
+from repro.congestion.fixed_point import (
+    CongestionOptions,
+    CongestionResult,
+    congestion_aware_assignment,
+    degraded_system,
+)
+
+__all__ = [
+    "CongestionOptions",
+    "CongestionResult",
+    "congestion_aware_assignment",
+    "degraded_system",
+]

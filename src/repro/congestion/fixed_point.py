@@ -1,0 +1,218 @@
+"""Fixed-point iteration between assignment and uplink congestion.
+
+Concurrency model: every task assigned to the base station or the cloud
+occupies its owner's uplink; within a cluster those uploads share spectrum,
+so with :math:`k_r` offloaded tasks in cluster *r* every uplink there runs
+at the interference channel's *relative* degradation
+:math:`r(k_r)/r(1)` of its nominal Table I rate.  (Using the relative
+factor keeps per-device heterogeneity — a Wi-Fi device stays faster than a
+4G one at every load.)
+
+The iteration: price at last round's concurrency, run the configured
+policy, measure the concurrency the new assignment induces, repeat.  A
+fixed point is an assignment that is optimal *for the rates it itself
+causes*.  Convergence is not guaranteed in general (the mapping can cycle),
+so the loop caps iterations and reports the trajectory; in practice the
+default scenarios settle in a few rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.assignment import Assignment, Subsystem
+from repro.core.hta import LPHTAOptions, lp_hta
+from repro.core.task import Task
+from repro.system.interference import InterferenceChannel
+from repro.system.topology import MECSystem
+
+__all__ = [
+    "CongestionOptions",
+    "CongestionResult",
+    "congestion_aware_assignment",
+    "degraded_system",
+]
+
+
+@dataclass(frozen=True)
+class CongestionOptions:
+    """Tunables of the fixed-point loop.
+
+    :param max_iterations: pricing rounds before giving up.
+    :param hta_options: LP-HTA tunables used each round.
+    :param damping: update the priced concurrency with a running average
+        of the induced ones (step 1/t at round t) instead of jumping.
+        Undamped simultaneous re-pricing oscillates — congested prices
+        empty the uplinks, empty uplinks invite everyone back — while the
+        shrinking steps force the oscillation band to collapse.
+    :param rate_tolerance: relative uplink-rate-factor difference between
+        the priced and the induced concurrency below which the point counts
+        as fixed (comparing *rates*, not raw counts: a swing from 40 to 45
+        uploaders barely moves the rates, and with orthogonal channels any
+        count is a fixed point).
+    """
+
+    max_iterations: int = 20
+    hta_options: LPHTAOptions = LPHTAOptions()
+    damping: bool = True
+    rate_tolerance: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        if self.rate_tolerance < 0:
+            raise ValueError("rate_tolerance must be non-negative")
+
+
+@dataclass(frozen=True)
+class CongestionResult:
+    """Outcome of the congestion-aware assignment.
+
+    :param assignment: the final-round assignment, priced at the final
+        concurrency (costs and decisions are self-consistent when
+        ``converged``).
+    :param converged: whether two consecutive rounds induced the same
+        per-cluster concurrency.
+    :param iterations: pricing rounds executed.
+    :param concurrency_history: per-round cluster → offloaded-task count.
+    :param naive_energy_j: energy the congestion-blind assignment *claims*
+        at nominal rates (round 1's planning view).
+    :param final_energy_j: energy of the final assignment at the rates its
+        own concurrency causes.
+    """
+
+    assignment: Assignment
+    converged: bool
+    iterations: int
+    concurrency_history: Tuple[Dict[int, int], ...]
+    naive_energy_j: float
+    final_energy_j: float
+
+    @property
+    def congestion_penalty_j(self) -> float:
+        """What congestion-blind planning underestimates."""
+        return self.final_energy_j - self.naive_energy_j
+
+
+def _offload_concurrency(
+    system: MECSystem, tasks: Sequence[Task], assignment: Assignment
+) -> Dict[int, int]:
+    """Offloaded-task count per cluster (each occupies an uplink)."""
+    counts = {sid: 0 for sid in system.stations}
+    for row, decision in enumerate(assignment.decisions):
+        if decision in (Subsystem.STATION, Subsystem.CLOUD):
+            counts[system.cluster_of(tasks[row].owner_device_id)] += 1
+    return counts
+
+
+def degraded_system(
+    system: MECSystem,
+    channel: InterferenceChannel,
+    concurrency: Dict[int, int],
+) -> MECSystem:
+    """The same system with uplinks degraded per cluster concurrency.
+
+    :param system: the nominal system.
+    :param channel: the shared-spectrum model supplying r(k)/r(1).
+    :param concurrency: offloaded-task count per cluster (0 and 1 both mean
+        an uncontended uplink).
+    """
+    nominal = channel.uplink_rate_bps(1)
+    factors = {
+        sid: channel.uplink_rate_bps(max(k, 1)) / nominal
+        for sid, k in concurrency.items()
+    }
+    devices = []
+    for device in system.devices.values():
+        factor = factors.get(system.cluster_of(device.device_id), 1.0)
+        profile = replace(
+            device.wireless,
+            name=f"{device.wireless.name}@x{factor:.2f}",
+            upload_rate_bps=device.wireless.upload_rate_bps * factor,
+        )
+        devices.append(replace(device, wireless=profile))
+    return MECSystem(
+        devices=devices,
+        stations=list(system.stations.values()),
+        attachment={d: system.cluster_of(d) for d in system.devices},
+        cloud=system.cloud,
+        bs_bs_link=system.bs_bs_link,
+        bs_cloud_link=system.bs_cloud_link,
+        parameters=system.parameters,
+    )
+
+
+def congestion_aware_assignment(
+    system: MECSystem,
+    tasks: Sequence[Task],
+    channel: InterferenceChannel,
+    options: CongestionOptions = CongestionOptions(),
+) -> CongestionResult:
+    """Iterate pricing and assignment to a congestion fixed point.
+
+    :param system: the nominal MEC system.
+    :param tasks: holistic tasks to assign.
+    :param channel: the shared-spectrum interference model.
+    :param options: loop tunables.
+    """
+    task_list = list(tasks)
+    concurrency: Dict[int, int] = {sid: 0 for sid in system.stations}
+    history: List[Dict[int, int]] = []
+    naive_energy = None
+    assignment = None
+    converged = False
+    iterations = 0
+
+    for iterations in range(1, options.max_iterations + 1):
+        priced = degraded_system(system, channel, concurrency)
+        report = lp_hta(priced, task_list, options.hta_options)
+        assignment = report.assignment
+        if naive_energy is None:
+            naive_energy = assignment.total_energy_j()
+        induced = _offload_concurrency(system, task_list, assignment)
+        history.append(induced)
+        if options.damping:
+            # Running average: step 1/(t+1) toward the induced point, so
+            # even a persistent two-cycle's pricing settles on its mean.
+            step = 1.0 / (iterations + 1)
+            updated = {
+                sid: int(
+                    round(concurrency[sid] + step * (induced[sid] - concurrency[sid]))
+                )
+                for sid in induced
+            }
+        else:
+            updated = induced
+        # Converged when the *pricing* stops moving: the rates implied by
+        # the updated concurrency match the ones the round was priced at.
+        nominal = channel.uplink_rate_bps(1)
+        rate_gap = max(
+            abs(
+                channel.uplink_rate_bps(max(updated[sid], 1))
+                - channel.uplink_rate_bps(max(concurrency[sid], 1))
+            )
+            / nominal
+            for sid in updated
+        )
+        concurrency = updated
+        if rate_gap <= options.rate_tolerance:
+            converged = True
+            break
+
+    # Final self-consistency: re-price the final decisions at the final
+    # concurrency (if the loop converged this is a no-op).
+    from repro.core.costs import cluster_costs
+
+    final_system = degraded_system(system, channel, concurrency)
+    final_assignment = Assignment(
+        cluster_costs(final_system, task_list), assignment.decisions
+    )
+    return CongestionResult(
+        assignment=final_assignment,
+        converged=converged,
+        iterations=iterations,
+        concurrency_history=tuple(history),
+        naive_energy_j=float(naive_energy),
+        final_energy_j=final_assignment.total_energy_j(),
+    )

@@ -1,0 +1,43 @@
+"""Core contribution: the HTA problem, LP-HTA, baselines and exact solvers."""
+
+from repro.core.assignment import Assignment, AssignmentStats, Subsystem
+from repro.core.baselines import (
+    all_offload,
+    all_to_cloud,
+    hgos,
+    local_first,
+    random_assignment,
+)
+from repro.core.costs import ClusterCosts, TaskCosts, cluster_costs, task_costs
+from repro.core.exact import branch_and_bound_hta, brute_force_hta
+from repro.core.game import GameOptions, GameResult, best_response_offloading
+from repro.core.hta import HTAReport, LPHTAOptions, lp_hta
+from repro.core.lagrangian import LagrangianOptions, LagrangianReport, lagrangian_hta
+from repro.core.task import Task
+
+__all__ = [
+    "Assignment",
+    "AssignmentStats",
+    "ClusterCosts",
+    "GameOptions",
+    "GameResult",
+    "HTAReport",
+    "LPHTAOptions",
+    "LagrangianOptions",
+    "LagrangianReport",
+    "Subsystem",
+    "Task",
+    "TaskCosts",
+    "best_response_offloading",
+    "lagrangian_hta",
+    "all_offload",
+    "all_to_cloud",
+    "branch_and_bound_hta",
+    "brute_force_hta",
+    "cluster_costs",
+    "hgos",
+    "local_first",
+    "lp_hta",
+    "random_assignment",
+    "task_costs",
+]

@@ -1,0 +1,203 @@
+"""Baseline and comparison task-assignment algorithms (Section V-B).
+
+- :func:`all_to_cloud` — *AllToC*: every task runs on the remote cloud.
+- :func:`all_offload` — *AllOffload*: every task is offloaded away from its
+  device — to the base station while its resource cap allows, else to the
+  cloud.
+- :func:`hgos` — the Heuristic Greedy Offloading Scheme of [12]
+  (Guo/Liu/Zhang 2018), reconstructed: each task is greedily placed on its
+  cheapest subsystem subject to the resource caps, but the heuristic is
+  blind to the data distribution (it prices tasks as if all input data were
+  local) and to task deadlines — exactly the two blind spots the paper
+  criticises in Section I and exploits in Figs. 2–4.
+- :func:`local_first` and :func:`random_assignment` — extra reference
+  points used by the ablation benches.
+
+All baselines are *charged* with the true Section II costs; only their
+decision rules differ.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.assignment import Assignment, Subsystem
+from repro.core.costs import NUM_SUBSYSTEMS, ClusterCosts, cluster_costs
+from repro.core.task import Task
+from repro.system.topology import MECSystem
+
+__all__ = [
+    "all_offload",
+    "all_to_cloud",
+    "hgos",
+    "local_first",
+    "random_assignment",
+]
+
+_DEVICE, _STATION, _CLOUD = 0, 1, 2
+
+
+def all_to_cloud(system: MECSystem, tasks: Sequence[Task]) -> Assignment:
+    """AllToC: offload every task to the remote cloud.
+
+    :param system: the MEC system.
+    :param tasks: tasks to assign.
+    """
+    costs = cluster_costs(system, tasks)
+    return Assignment.uniform(costs, Subsystem.CLOUD)
+
+
+def all_offload(system: MECSystem, tasks: Sequence[Task]) -> Assignment:
+    """AllOffload: offload everything to the base stations and the cloud.
+
+    Tasks go to their base station while its :math:`max_S` allows (greedily,
+    in task order), the overflow goes to the cloud.  Devices are never used
+    and deadlines are not considered — the classical
+    computation-ability-blind scheme the paper compares against.
+
+    :param system: the MEC system.
+    :param tasks: tasks to assign.
+    """
+    costs = cluster_costs(system, tasks)
+    station_loads = {sid: 0.0 for sid in system.stations}
+    decisions: List[Subsystem] = []
+    for row, task in enumerate(tasks):
+        station_id = system.cluster_of(task.owner_device_id)
+        cap = system.station(station_id).max_resource
+        demand = float(costs.resource[row])
+        if station_loads[station_id] + demand <= cap:
+            station_loads[station_id] += demand
+            decisions.append(Subsystem.STATION)
+        else:
+            decisions.append(Subsystem.CLOUD)
+    return Assignment(costs, decisions)
+
+
+def _data_blind_costs(system: MECSystem, tasks: Sequence[Task]) -> ClusterCosts:
+    """Cost table as a data-distribution-blind scheme perceives it.
+
+    External data is treated as if it were already local (α' = α + β,
+    β' = 0): no retrieval hops, no inter-station transfers.
+    """
+    blind_tasks = [
+        Task(
+            owner_device_id=task.owner_device_id,
+            index=task.index,
+            local_bytes=task.input_bytes,
+            external_bytes=0.0,
+            external_source=None,
+            resource_demand=task.resource_demand,
+            deadline_s=task.deadline_s,
+            divisible=task.divisible,
+            required_items=task.required_items,
+            operation=task.operation,
+        )
+        for task in tasks
+    ]
+    return cluster_costs(system, blind_tasks)
+
+
+def hgos(system: MECSystem, tasks: Sequence[Task]) -> Assignment:
+    """HGOS: reconstructed Heuristic Greedy Offloading Scheme of [12].
+
+    Processes tasks in decreasing order of perceived offloading gain and
+    greedily places each on its *perceived*-cheapest subsystem that still
+    has resources.  Perceived costs ignore the data distribution (external
+    data priced as local); deadlines are ignored entirely.  The returned
+    assignment is charged with the true costs.
+
+    :param system: the MEC system.
+    :param tasks: tasks to assign.
+    """
+    costs = cluster_costs(system, tasks)
+    perceived = _data_blind_costs(system, tasks)
+
+    device_loads = {device_id: 0.0 for device_id in system.devices}
+    station_loads = {sid: 0.0 for sid in system.stations}
+
+    # Largest perceived gain from offloading first — the greedy order of a
+    # gain-driven offloading heuristic.
+    gain = perceived.energy_j[:, _DEVICE] - np.min(
+        perceived.energy_j[:, (_STATION, _CLOUD)], axis=1
+    )
+    order = sorted(range(len(tasks)), key=lambda r: -gain[r])
+
+    decisions: List[Subsystem] = [Subsystem.CANCELLED] * len(tasks)
+    for row in order:
+        task = tasks[row]
+        demand = float(costs.resource[row])
+        station_id = system.cluster_of(task.owner_device_id)
+        device_cap = system.device(task.owner_device_id).max_resource
+        station_cap = system.station(station_id).max_resource
+
+        candidates = []
+        if device_loads[task.owner_device_id] + demand <= device_cap:
+            candidates.append(_DEVICE)
+        if station_loads[station_id] + demand <= station_cap:
+            candidates.append(_STATION)
+        candidates.append(_CLOUD)  # the cloud always has room
+
+        best = min(candidates, key=lambda l: perceived.energy_j[row, l])
+        decisions[row] = Subsystem(best + 1)
+        if best == _DEVICE:
+            device_loads[task.owner_device_id] += demand
+        elif best == _STATION:
+            station_loads[station_id] += demand
+    return Assignment(costs, decisions)
+
+
+def local_first(system: MECSystem, tasks: Sequence[Task]) -> Assignment:
+    """Deadline- and resource-aware greedy: device, else station, else cloud.
+
+    A simple sane heuristic used as an ablation reference: it respects every
+    constraint but never looks at energy.
+
+    :param system: the MEC system.
+    :param tasks: tasks to assign.
+    """
+    costs = cluster_costs(system, tasks)
+    device_loads = {device_id: 0.0 for device_id in system.devices}
+    station_loads = {sid: 0.0 for sid in system.stations}
+    decisions: List[Subsystem] = []
+    for row, task in enumerate(tasks):
+        demand = float(costs.resource[row])
+        station_id = system.cluster_of(task.owner_device_id)
+        deadline = costs.deadline_s[row]
+        decision = Subsystem.CANCELLED
+        if (
+            costs.time_s[row, _DEVICE] <= deadline
+            and device_loads[task.owner_device_id] + demand
+            <= system.device(task.owner_device_id).max_resource
+        ):
+            decision = Subsystem.DEVICE
+            device_loads[task.owner_device_id] += demand
+        elif (
+            costs.time_s[row, _STATION] <= deadline
+            and station_loads[station_id] + demand
+            <= system.station(station_id).max_resource
+        ):
+            decision = Subsystem.STATION
+            station_loads[station_id] += demand
+        elif costs.time_s[row, _CLOUD] <= deadline:
+            decision = Subsystem.CLOUD
+        decisions.append(decision)
+    return Assignment(costs, decisions)
+
+
+def random_assignment(
+    system: MECSystem,
+    tasks: Sequence[Task],
+    seed: Optional[int] = 0,
+) -> Assignment:
+    """Uniformly random subsystem per task (constraint-blind reference).
+
+    :param system: the MEC system.
+    :param tasks: tasks to assign.
+    :param seed: RNG seed for reproducibility.
+    """
+    costs = cluster_costs(system, tasks)
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, NUM_SUBSYSTEMS, size=len(tasks))
+    return Assignment(costs, [Subsystem(int(p) + 1) for p in picks])

@@ -1,0 +1,221 @@
+"""Per-task delay and energy costs :math:`t_{ijl}`, :math:`E_{ijl}`.
+
+This module evaluates, exactly as written in Section II, the six quantities
+attached to each task: transmission time and energy plus computation time
+(and, locally, computation energy) for each of the three candidate
+subsystems *l*:
+
+- l = 1: the owning mobile device,
+- l = 2: the base station the owner is attached to,
+- l = 3: the remote cloud.
+
+The paper's formulas distinguish whether the external-data holder
+:math:`L_{ij}` sits in the owner's cluster (one radio hop) or in another
+cluster (an extra base-station↔base-station backhaul transfer).  For l = 3
+the paper routes both data sources straight up to the cloud through their own
+base stations, so no BS–BS hop appears there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.task import Task
+from repro.system.topology import MECSystem
+
+__all__ = ["ClusterCosts", "TaskCosts", "cluster_costs", "task_costs"]
+
+#: Number of candidate subsystems per task.
+NUM_SUBSYSTEMS = 3
+
+
+@dataclass(frozen=True)
+class TaskCosts:
+    """All Section II cost components for one task.
+
+    Index 0/1/2 of each tuple corresponds to subsystem l = 1/2/3.
+
+    :param transmission_time_s: :math:`t^{(R)}_{ijl}`.
+    :param computation_time_s: :math:`t^{(C)}_{ijl}`.
+    :param transmission_energy_j: :math:`E^{(R)}_{ijl}`.
+    :param computation_energy_j: :math:`E^{(C)}_{ijl}` (zero for l = 2, 3:
+        the paper neglects station/cloud compute energy).
+    """
+
+    transmission_time_s: Tuple[float, float, float]
+    computation_time_s: Tuple[float, float, float]
+    transmission_energy_j: Tuple[float, float, float]
+    computation_energy_j: Tuple[float, float, float]
+
+    @property
+    def total_time_s(self) -> Tuple[float, float, float]:
+        """:math:`t_{ijl} = t^{(C)}_{ijl} + t^{(R)}_{ijl}` (Eq. 5)."""
+        return tuple(
+            c + r for c, r in zip(self.computation_time_s, self.transmission_time_s)
+        )
+
+    @property
+    def total_energy_j(self) -> Tuple[float, float, float]:
+        """:math:`E_{ijl}` (Eq. 5): transmission plus, locally, computation."""
+        return tuple(
+            r + c
+            for r, c in zip(self.transmission_energy_j, self.computation_energy_j)
+        )
+
+
+def task_costs(system: MECSystem, task: Task) -> TaskCosts:
+    """Evaluate every :math:`t_{ijl}` / :math:`E_{ijl}` component for ``task``.
+
+    :param system: the MEC system the task lives in.
+    :param task: the task to price.
+    :returns: the full cost breakdown.
+    :raises KeyError: if the task references devices unknown to the system.
+    """
+    params = system.parameters
+    owner = system.device(task.owner_device_id)
+    station = system.station_of(task.owner_device_id)
+    alpha = task.local_bytes
+    beta = task.external_bytes
+    total_input = alpha + beta
+    result = params.result_size.result_bytes(total_input)
+
+    if task.has_external_data:
+        source = system.device(task.external_source)
+        same_cluster = system.same_cluster(task.owner_device_id, task.external_source)
+        ext_upload_time = source.wireless.upload_time_s(beta)
+        ext_upload_energy = source.wireless.upload_energy_j(beta)
+    else:
+        source = None
+        same_cluster = True
+        ext_upload_time = 0.0
+        ext_upload_energy = 0.0
+
+    bs_bs_time = 0.0 if same_cluster else system.bs_bs_link.transfer_time_s(beta)
+    bs_bs_energy = 0.0 if same_cluster else system.bs_bs_link.transfer_energy_j(beta)
+
+    # --- l = 1: run on the owning device -------------------------------
+    cycles_device = params.cycles.cycles_on_device(total_input)
+    t_c1 = cycles_device / owner.cpu_frequency_hz
+    e_c1 = params.kappa * cycles_device * owner.cpu_frequency_hz**2
+    if task.has_external_data:
+        # Retrieve ED: source uplink, (cross-cluster backhaul,) owner downlink.
+        t_r1 = ext_upload_time + owner.wireless.download_time_s(beta) + bs_bs_time
+        e_r1 = ext_upload_energy + owner.wireless.download_energy_j(beta) + bs_bs_energy
+    else:
+        t_r1 = 0.0
+        e_r1 = 0.0
+
+    # --- l = 2: run on the owner's base station ------------------------
+    cycles_station = params.cycles.cycles_on_station(total_input)
+    t_c2 = cycles_station / station.cpu_frequency_hz
+    # LD and ED travel concurrently (the max in the paper's formula); the
+    # result is pushed back down to the owner afterwards.
+    t_r2 = (
+        max(ext_upload_time + bs_bs_time, owner.wireless.upload_time_s(alpha))
+        + owner.wireless.download_time_s(result)
+    )
+    e_r2 = (
+        ext_upload_energy
+        + owner.wireless.upload_energy_j(alpha)
+        + owner.wireless.download_energy_j(result)
+        + bs_bs_energy
+    )
+
+    # --- l = 3: run on the remote cloud --------------------------------
+    cycles_cloud = params.cycles.cycles_on_cloud(total_input)
+    t_c3 = cycles_cloud / system.cloud.cpu_frequency_hz
+    wan_payload = total_input + result
+    t_r3 = (
+        max(ext_upload_time, owner.wireless.upload_time_s(alpha))
+        + owner.wireless.download_time_s(result)
+        + system.bs_cloud_link.transfer_time_s(wan_payload)
+    )
+    e_r3 = (
+        ext_upload_energy
+        + owner.wireless.upload_energy_j(alpha)
+        + owner.wireless.download_energy_j(result)
+        + system.bs_cloud_link.transfer_energy_j(wan_payload)
+    )
+
+    return TaskCosts(
+        transmission_time_s=(t_r1, t_r2, t_r3),
+        computation_time_s=(t_c1, t_c2, t_c3),
+        transmission_energy_j=(e_r1, e_r2, e_r3),
+        computation_energy_j=(e_c1, 0.0, 0.0),
+    )
+
+
+@dataclass(frozen=True)
+class ClusterCosts:
+    """Vectorised costs for a list of tasks (one cluster, usually).
+
+    :param tasks: the tasks, in the row order of the arrays.
+    :param time_s: array of shape (len(tasks), 3): :math:`t_{ijl}`.
+    :param energy_j: array of shape (len(tasks), 3): :math:`E_{ijl}`.
+    :param resource: array of shape (len(tasks),): :math:`C_{ij}`.
+    :param deadline_s: array of shape (len(tasks),): :math:`T_{ij}`.
+    """
+
+    tasks: Tuple[Task, ...]
+    time_s: np.ndarray
+    energy_j: np.ndarray
+    resource: np.ndarray
+    deadline_s: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.tasks)
+        if self.time_s.shape != (n, NUM_SUBSYSTEMS):
+            raise ValueError(f"time_s must be ({n}, 3), got {self.time_s.shape}")
+        if self.energy_j.shape != (n, NUM_SUBSYSTEMS):
+            raise ValueError(f"energy_j must be ({n}, 3), got {self.energy_j.shape}")
+        if self.resource.shape != (n,):
+            raise ValueError(f"resource must be ({n},), got {self.resource.shape}")
+        if self.deadline_s.shape != (n,):
+            raise ValueError(f"deadline_s must be ({n},), got {self.deadline_s.shape}")
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of tasks priced in this cost table."""
+        return len(self.tasks)
+
+    def feasible_subsystems(self, row: int) -> Tuple[int, ...]:
+        """Subsystem indices (0-based) meeting the deadline for task ``row``."""
+        return tuple(
+            l for l in range(NUM_SUBSYSTEMS) if self.time_s[row, l] <= self.deadline_s[row]
+        )
+
+    def owner_rows(self) -> Dict[int, np.ndarray]:
+        """Row indices grouped by owning device id."""
+        groups: Dict[int, list] = {}
+        for row, task in enumerate(self.tasks):
+            groups.setdefault(task.owner_device_id, []).append(row)
+        return {owner: np.asarray(rows, dtype=int) for owner, rows in groups.items()}
+
+
+def cluster_costs(system: MECSystem, tasks: Sequence[Task]) -> ClusterCosts:
+    """Price every task and pack the results into arrays.
+
+    :param system: the MEC system.
+    :param tasks: tasks to price (typically all tasks of one cluster).
+    """
+    n = len(tasks)
+    time_s = np.zeros((n, NUM_SUBSYSTEMS))
+    energy_j = np.zeros((n, NUM_SUBSYSTEMS))
+    resource = np.zeros(n)
+    deadline = np.zeros(n)
+    for row, task in enumerate(tasks):
+        costs = task_costs(system, task)
+        time_s[row, :] = costs.total_time_s
+        energy_j[row, :] = costs.total_energy_j
+        resource[row] = task.resource_demand
+        deadline[row] = task.deadline_s
+    return ClusterCosts(
+        tasks=tuple(tasks),
+        time_s=time_s,
+        energy_j=energy_j,
+        resource=resource,
+        deadline_s=deadline,
+    )

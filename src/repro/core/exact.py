@@ -1,0 +1,164 @@
+"""Exact HTA solvers for small instances.
+
+The HTA problem is NP-complete (Theorem 1), so these solvers exist to
+*measure* LP-HTA's empirical approximation ratio, not to replace it:
+
+- :func:`brute_force_hta` enumerates all :math:`3^n` assignments — the
+  ground truth for up to a dozen tasks.
+- :func:`branch_and_bound_hta` prunes a depth-first search with an
+  admissible bound (each unfixed task's cheapest deadline-feasible energy),
+  practical up to a few dozen tasks.
+
+Both treat cancellation as forbidden (constraint C4 as an equality): they
+return ``None`` when no feasible full assignment exists, which is also the
+paper's notion of the optimum :math:`x^{OPT}`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.assignment import Assignment, Subsystem
+from repro.core.costs import NUM_SUBSYSTEMS, ClusterCosts
+
+__all__ = ["branch_and_bound_hta", "brute_force_hta"]
+
+_BRUTE_FORCE_LIMIT = 14
+
+
+def _feasible(
+    costs: ClusterCosts,
+    choice: Sequence[int],
+    device_caps: Mapping[int, float],
+    station_cap: float,
+) -> bool:
+    """Check C1–C3 for a complete 0-based subsystem choice vector."""
+    device_loads: dict = {}
+    station_load = 0.0
+    for row, l in enumerate(choice):
+        if costs.time_s[row, l] > costs.deadline_s[row]:
+            return False
+        if l == 0:
+            owner = costs.tasks[row].owner_device_id
+            device_loads[owner] = device_loads.get(owner, 0.0) + costs.resource[row]
+        elif l == 1:
+            station_load += costs.resource[row]
+    for owner, load in device_loads.items():
+        if load > device_caps.get(owner, float("inf")):
+            return False
+    return station_load <= station_cap
+
+
+def brute_force_hta(
+    costs: ClusterCosts,
+    device_caps: Mapping[int, float],
+    station_cap: float,
+) -> Optional[Assignment]:
+    """Optimal assignment by full enumeration (≤ 14 tasks).
+
+    :param costs: the cluster's priced tasks.
+    :param device_caps: :math:`max_i` per device id.
+    :param station_cap: :math:`max_S`.
+    :returns: the minimum-energy feasible assignment, or ``None`` if no
+        full assignment satisfies the constraints.
+    :raises ValueError: if the instance is too large to enumerate.
+    """
+    n = costs.num_tasks
+    if n > _BRUTE_FORCE_LIMIT:
+        raise ValueError(
+            f"{n} tasks is beyond the brute-force limit ({_BRUTE_FORCE_LIMIT}); "
+            "use branch_and_bound_hta"
+        )
+    best_energy = float("inf")
+    best_choice: Optional[Tuple[int, ...]] = None
+    for choice in itertools.product(range(NUM_SUBSYSTEMS), repeat=n):
+        if not _feasible(costs, choice, device_caps, station_cap):
+            continue
+        energy = float(sum(costs.energy_j[row, l] for row, l in enumerate(choice)))
+        if energy < best_energy:
+            best_energy = energy
+            best_choice = choice
+    if best_choice is None:
+        return None
+    return Assignment(costs, [Subsystem(l + 1) for l in best_choice])
+
+
+def branch_and_bound_hta(
+    costs: ClusterCosts,
+    device_caps: Mapping[int, float],
+    station_cap: float,
+) -> Optional[Assignment]:
+    """Optimal assignment by depth-first branch and bound.
+
+    The lower bound for the unfixed suffix is the sum of each task's
+    cheapest deadline-feasible energy (resource constraints relaxed) — an
+    admissible bound, so the search is exact.
+
+    :param costs: the cluster's priced tasks.
+    :param device_caps: :math:`max_i` per device id.
+    :param station_cap: :math:`max_S`.
+    :returns: the minimum-energy feasible assignment, or ``None``.
+    """
+    n = costs.num_tasks
+    deadline_ok = costs.time_s <= costs.deadline_s[:, None]
+
+    # Cheapest deadline-feasible energy per task (inf if none).
+    masked = np.where(deadline_ok, costs.energy_j, np.inf)
+    per_task_min = masked.min(axis=1)
+    if np.any(np.isinf(per_task_min)):
+        return None  # some task cannot meet its deadline anywhere
+    # suffix_bound[k] = lower bound on energy of tasks k..n-1.
+    suffix_bound = np.concatenate([np.cumsum(per_task_min[::-1])[::-1], [0.0]])
+
+    # Fix tasks in decreasing resource-demand order: the tightest packing
+    # decisions happen high in the tree, so infeasible branches die early.
+    order = sorted(range(n), key=lambda r: -costs.resource[r])
+    # Rebuild suffix bounds in search order.
+    ordered_min = per_task_min[order]
+    suffix_bound = np.concatenate([np.cumsum(ordered_min[::-1])[::-1], [0.0]])
+
+    best_energy = float("inf")
+    best_choice: Optional[List[int]] = None
+    choice = [0] * n
+
+    device_loads: dict = {}
+    station_load = 0.0
+
+    def descend(depth: int, energy: float) -> None:
+        nonlocal best_energy, best_choice, station_load
+        if energy + suffix_bound[depth] >= best_energy:
+            return
+        if depth == n:
+            best_energy = energy
+            best_choice = list(choice)
+            return
+        row = order[depth]
+        owner = costs.tasks[row].owner_device_id
+        demand = float(costs.resource[row])
+        # Try subsystems cheapest-first for better early incumbents.
+        for l in sorted(range(NUM_SUBSYSTEMS), key=lambda l: costs.energy_j[row, l]):
+            if not deadline_ok[row, l]:
+                continue
+            if l == 0:
+                cap = device_caps.get(owner, float("inf"))
+                if device_loads.get(owner, 0.0) + demand > cap:
+                    continue
+                device_loads[owner] = device_loads.get(owner, 0.0) + demand
+            elif l == 1:
+                if station_load + demand > station_cap:
+                    continue
+                station_load += demand
+            choice[row] = l
+            descend(depth + 1, energy + float(costs.energy_j[row, l]))
+            if l == 0:
+                device_loads[owner] -= demand
+            elif l == 1:
+                station_load -= demand
+
+    descend(0, 0.0)
+    if best_choice is None:
+        return None
+    return Assignment(costs, [Subsystem(l + 1) for l in best_choice])

@@ -1,0 +1,227 @@
+"""Decentralized computation-offloading game (the [8]/[9] family).
+
+The paper's related work contrasts LP-HTA with game-theoretic schemes in
+which each user picks its own offloading strategy and the system converges
+to a Nash equilibrium (Chen et al., "Decentralized computation offloading
+game for mobile cloud computing"; Chen et al., "Efficient multi-user
+computation offloading for mobile-edge cloud computing").  This module
+implements that family as an additional baseline:
+
+- each *task* is a player whose strategies are the three subsystems
+  (deadline-infeasible strategies are excluded when any feasible one
+  exists);
+- a player's cost is its own Section II energy plus a congestion price for
+  crowding a capped resource (its device's :math:`max_i`, its station's
+  :math:`max_S`) — the decentralised stand-in for constraints C2/C3;
+- players run round-robin best-response dynamics until no player moves
+  (a Nash equilibrium) or a round cap is hit.
+
+Like the algorithms it models, the scheme is greedy and local: it needs no
+global LP, converges quickly in practice, but cannot coordinate the way the
+relaxation can — the ablation bench quantifies the gap to LP-HTA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.assignment import Assignment, Subsystem
+from repro.core.costs import NUM_SUBSYSTEMS, cluster_costs
+from repro.core.task import Task
+from repro.system.topology import MECSystem
+
+__all__ = ["GameOptions", "GameResult", "best_response_offloading"]
+
+_DEVICE, _STATION, _CLOUD = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class GameOptions:
+    """Tunables of the offloading game.
+
+    :param max_rounds: best-response sweeps before giving up on
+        convergence (each sweep visits every player once).
+    :param hard_constraints: exclude strategies whose resource would
+        overflow its cap given everyone else's current choice (the cloud is
+        always allowed, so players are never stuck).  With False, overloads
+        are merely *priced* via ``congestion_weight`` — the softer
+        mechanism of the pricing-based schemes, which can violate C2/C3 at
+        equilibrium.
+    :param congestion_weight: price per joule-equivalent of resource
+        overload (soft mode; also breaks ties in hard mode).
+    :param respect_deadlines: exclude deadline-violating strategies when
+        the player has at least one feasible strategy (set False to model
+        the fully deadline-blind variants of [8]).
+    :param tie_tolerance: a player only moves if it saves more than this
+        fraction of its current cost (prevents dithering on float ties).
+    """
+
+    max_rounds: int = 100
+    hard_constraints: bool = True
+    congestion_weight: float = 10.0
+    respect_deadlines: bool = True
+    tie_tolerance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.max_rounds <= 0:
+            raise ValueError("max_rounds must be positive")
+        if self.congestion_weight < 0:
+            raise ValueError("congestion_weight must be non-negative")
+
+
+@dataclass(frozen=True)
+class GameResult:
+    """Outcome of the best-response dynamics.
+
+    :param assignment: the final strategy profile.
+    :param rounds: best-response sweeps executed.
+    :param converged: whether a full sweep passed with no player moving
+        (i.e. the profile is a Nash equilibrium of the priced game).
+    :param moves: total strategy changes across all sweeps.
+    :param total_cost_history: summed player cost after each sweep — the
+        quantity the dynamics drive downhill.
+    """
+
+    assignment: Assignment
+    rounds: int
+    converged: bool
+    moves: int
+    total_cost_history: Tuple[float, ...]
+
+
+class _GameState:
+    """Mutable loads + strategy vector during the dynamics."""
+
+    def __init__(self, system: MECSystem, tasks: Sequence[Task], costs) -> None:
+        self.system = system
+        self.tasks = tasks
+        self.costs = costs
+        self.strategy = np.full(len(tasks), _CLOUD, dtype=int)  # start offloaded
+        self.device_loads: Dict[int, float] = {d: 0.0 for d in system.devices}
+        self.station_loads: Dict[int, float] = {s: 0.0 for s in system.stations}
+
+    def _resource_of(self, row: int, strategy: int) -> Tuple[Dict[int, float], int, float]:
+        """(load map, key, cap) of the capped resource a strategy uses."""
+        task = self.tasks[row]
+        if strategy == _DEVICE:
+            owner = task.owner_device_id
+            return self.device_loads, owner, self.system.device(owner).max_resource
+        if strategy == _STATION:
+            station = self.system.cluster_of(task.owner_device_id)
+            return self.station_loads, station, self.system.station(station).max_resource
+        return {}, -1, float("inf")
+
+    def apply(self, row: int, strategy: int, sign: float) -> None:
+        """Add (+1) or remove (-1) a task's demand from its resource."""
+        loads, key, _ = self._resource_of(row, strategy)
+        if key >= 0:
+            loads[key] += sign * float(self.costs.resource[row])
+
+    def congestion_price(self, row: int, strategy: int, weight: float) -> float:
+        """Price of the overload this strategy would cause (self included)."""
+        loads, key, cap = self._resource_of(row, strategy)
+        if key < 0 or not np.isfinite(cap):
+            return 0.0
+        demand = float(self.costs.resource[row])
+        overload = max(0.0, loads[key] + demand - cap)
+        if overload <= 0.0:
+            return 0.0
+        # Charge proportionally to the player's share of the overload.
+        return weight * overload * demand / max(cap, 1e-12)
+
+    def player_cost(self, row: int, strategy: int, options: GameOptions) -> float:
+        """Energy plus congestion price of playing ``strategy``."""
+        return float(self.costs.energy_j[row, strategy]) + self.congestion_price(
+            row, strategy, options.congestion_weight
+        )
+
+    def _fits(self, row: int, strategy: int) -> bool:
+        """Whether the strategy's resource has room for this player."""
+        loads, key, cap = self._resource_of(row, strategy)
+        if key < 0:
+            return True
+        return loads[key] + float(self.costs.resource[row]) <= cap + 1e-12
+
+    def allowed_strategies(self, row: int, options: GameOptions) -> Tuple[int, ...]:
+        """Strategies the player may consider (call with own demand removed)."""
+        if options.respect_deadlines:
+            candidates = self.costs.feasible_subsystems(row)
+            if not candidates:
+                candidates = tuple(range(NUM_SUBSYSTEMS))
+        else:
+            candidates = tuple(range(NUM_SUBSYSTEMS))
+        if options.hard_constraints:
+            fitting = tuple(l for l in candidates if self._fits(row, l))
+            # The cloud is uncapped, so the player always has an out.
+            candidates = fitting if fitting else (_CLOUD,)
+        return candidates
+
+    def total_cost(self, options: GameOptions) -> float:
+        """Sum of all players' current costs."""
+        return sum(
+            self.player_cost(row, int(self.strategy[row]), options)
+            for row in range(len(self.tasks))
+        )
+
+
+def best_response_offloading(
+    system: MECSystem,
+    tasks: Sequence[Task],
+    options: GameOptions = GameOptions(),
+) -> GameResult:
+    """Run round-robin best-response dynamics to a Nash equilibrium.
+
+    Players start fully offloaded to the cloud (every strategy profile is
+    valid there: the cloud is uncapped) and take turns switching to their
+    cheapest strategy given everyone else's choice.
+
+    :param system: the MEC system.
+    :param tasks: the tasks (= players).
+    :param options: game tunables.
+    """
+    costs = cluster_costs(system, tasks)
+    state = _GameState(system, tasks, costs)
+    for row in range(len(tasks)):
+        state.apply(row, int(state.strategy[row]), +1.0)
+
+    history: List[float] = []
+    total_moves = 0
+    converged = False
+    rounds = 0
+    for rounds in range(1, options.max_rounds + 1):
+        moves = 0
+        for row in range(len(tasks)):
+            current = int(state.strategy[row])
+            # Evaluate alternatives with this player's demand removed.
+            state.apply(row, current, -1.0)
+            candidates = state.allowed_strategies(row, options)
+            best = min(
+                candidates, key=lambda l: state.player_cost(row, l, options)
+            )
+            current_cost = state.player_cost(row, current, options)
+            best_cost = state.player_cost(row, best, options)
+            if best != current and best_cost < current_cost * (
+                1.0 - options.tie_tolerance
+            ):
+                state.strategy[row] = best
+                moves += 1
+            state.apply(row, int(state.strategy[row]), +1.0)
+        total_moves += moves
+        history.append(state.total_cost(options))
+        if moves == 0:
+            converged = True
+            break
+
+    assignment = Assignment(
+        costs, [Subsystem(int(l) + 1) for l in state.strategy]
+    )
+    return GameResult(
+        assignment=assignment,
+        rounds=rounds,
+        converged=converged,
+        moves=total_moves,
+        total_cost_history=tuple(history),
+    )

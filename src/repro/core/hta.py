@@ -1,0 +1,395 @@
+"""LP-HTA: the paper's approximation algorithm for holistic task assignment.
+
+Section III-A, six steps per cluster:
+
+1. solve the relaxation P2 with an interior-point method,
+2. reshape ξ into the fractional matrix **X**,
+3. round each task to its largest fractional subsystem,
+4. repair deadline violations (move to the best deadline-feasible
+   subsystem by fractional weight, else cancel),
+5. repair per-device resource overflows (move greedily by resource
+   occupation to the base station, else cancel),
+6. repair the station resource overflow (move greedily to the cloud,
+   else cancel).
+
+The returned :class:`HTAReport` carries, per cluster and aggregated, the
+quantities of the paper's analysis: the LP optimum :math:`E^{(OPT)}_{LP}`,
+the rounded energy, the migration growth Δ, and the two ratio bounds
+(Theorem 2 and Corollary 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.assignment import Assignment, Subsystem
+from repro.core.costs import NUM_SUBSYSTEMS, ClusterCosts, cluster_costs
+from repro.core.lp_builder import build_p2, build_p2_structured, reshape_solution
+from repro.lp.structured import solve_structured
+from repro.core.task import Task
+from repro.lp.backends import solve as lp_solve
+from repro.lp.result import LPResult
+from repro.system.topology import MECSystem
+
+__all__ = ["ClusterReport", "HTAReport", "LPHTAOptions", "lp_hta", "lp_hta_cluster"]
+
+#: Column indices into the cost arrays.
+_DEVICE, _STATION, _CLOUD = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class LPHTAOptions:
+    """Tunables of LP-HTA (defaults reproduce the paper's algorithm).
+
+    :param backend: LP backend for Step 1.  ``"structured"`` (default) is
+        our interior-point method specialised to P2's block structure —
+        mathematically the same relaxation the paper solves, effectively
+        linear-time per Newton step; ``"interior-point"`` is the generic
+        dense Mehrotra solver, ``"simplex"`` / ``"scipy"`` are for ablations
+        and cross-checks.
+    :param fallback_backends: tried in order if the primary backend fails
+        numerically.
+    :param rounding: ``"argmax"`` (Step 3 as written) or ``"randomized"``
+        (sample the subsystem from the fractional row — ablation only).
+    :param repair_order: ``"largest-first"`` (greedy by resource occupation,
+        as written) or ``"smallest-first"`` (ablation).
+    :param seed: RNG seed for randomized rounding.
+    """
+
+    backend: str = "structured"
+    fallback_backends: Tuple[str, ...] = ("interior-point", "scipy")
+    rounding: str = "argmax"
+    repair_order: str = "largest-first"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rounding not in ("argmax", "randomized"):
+            raise ValueError(f"unknown rounding rule {self.rounding!r}")
+        if self.repair_order not in ("largest-first", "smallest-first"):
+            raise ValueError(f"unknown repair order {self.repair_order!r}")
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Per-cluster diagnostics of one LP-HTA run.
+
+    :param station_id: the cluster's base station.
+    :param num_tasks: tasks assigned in this cluster.
+    :param lp_objective_j: :math:`E^{(OPT)}_{LP}`, the relaxation optimum.
+    :param rounded_energy_j: :math:`\\sum E_{ijl}\\hat{x}_{ijl}` after Step 3.
+    :param final_energy_j: energy of the repaired assignment.
+    :param delta_j: Δ, the energy growth caused by Steps 4–6 migrations.
+    :param ratio_bound_theorem2: :math:`3 + Δ/E^{(OPT)}_{LP}`.
+    :param ratio_bound_corollary1: the Corollary 1 bound
+        (min of Theorem 2's and max E_ij3 / min E_ij1).
+    :param lp_iterations: Step 1 solver iterations.
+    :param lp_backend: backend that actually solved Step 1.
+    :param cancelled_tasks: (i, j) ids of cancelled tasks.
+    """
+
+    station_id: int
+    num_tasks: int
+    lp_objective_j: float
+    rounded_energy_j: float
+    final_energy_j: float
+    delta_j: float
+    ratio_bound_theorem2: float
+    ratio_bound_corollary1: float
+    lp_iterations: int
+    lp_backend: str
+    cancelled_tasks: Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class HTAReport:
+    """Result of LP-HTA over a whole MEC system.
+
+    :param assignment: the combined assignment over every input task.
+    :param clusters: per-cluster diagnostics.
+    """
+
+    assignment: Assignment
+    clusters: Tuple[ClusterReport, ...] = field(default_factory=tuple)
+
+    @property
+    def lp_objective_j(self) -> float:
+        """System-wide :math:`E^{(OPT)}_{LP}` (sum over clusters)."""
+        return sum(c.lp_objective_j for c in self.clusters)
+
+    @property
+    def delta_j(self) -> float:
+        """System-wide migration growth Δ."""
+        return sum(c.delta_j for c in self.clusters)
+
+    @property
+    def ratio_bound_theorem2(self) -> float:
+        """Theorem 2 bound computed from the aggregated Δ and LP optimum."""
+        lp_opt = self.lp_objective_j
+        if lp_opt <= 0:
+            return float("inf")
+        return 3.0 + max(self.delta_j, 0.0) / lp_opt
+
+    @property
+    def empirical_ratio_upper_bound(self) -> float:
+        """Final energy / LP optimum — an upper bound on the true ratio
+        (the LP optimum lower-bounds the integral optimum)."""
+        lp_opt = self.lp_objective_j
+        if lp_opt <= 0:
+            return float("inf")
+        return self.assignment.total_energy_j() / lp_opt
+
+
+def _solve_p2(
+    costs: ClusterCosts,
+    device_caps: Mapping[int, float],
+    station_cap: float,
+    options: LPHTAOptions,
+) -> LPResult:
+    """Step 1: solve P2 with backend fallback and a relaxation fallback.
+
+    When the resource rows (C2/C3) and the deadline bounds (A1) clash, P2 as
+    written can be infeasible — e.g. a large task whose cloud path misses
+    the deadline and whose device/station have no room.  The paper does not
+    address this case; we retry with the A1 bounds dropped (always feasible:
+    the cloud column is uncapped) and let Step 4 enforce deadlines by
+    migration or cancellation.  The relaxed optimum is a weaker lower bound,
+    so the reported Theorem 2 ratio stays a valid (conservative) bound.
+    """
+    last: Optional[LPResult] = None
+    for relax in (False, True):
+        generic_build = None
+        for backend in (options.backend, *options.fallback_backends):
+            if backend == "structured":
+                result = solve_structured(
+                    build_p2_structured(
+                        costs, device_caps, station_cap,
+                        relax_deadline_bounds=relax,
+                    ).lp
+                )
+            else:
+                if generic_build is None:
+                    generic_build = build_p2(
+                        costs, device_caps, station_cap,
+                        relax_deadline_bounds=relax,
+                    )
+                result = lp_solve(generic_build.lp, backend)
+            if result.status.ok:
+                return result
+            last = result
+    raise RuntimeError(f"all LP backends failed for P2: last result {last}")
+
+
+def _round(
+    x_fractional: np.ndarray, options: LPHTAOptions
+) -> np.ndarray:
+    """Step 3: one subsystem per task from the fractional matrix."""
+    num_tasks = x_fractional.shape[0]
+    choices = np.empty(num_tasks, dtype=int)
+    if options.rounding == "argmax":
+        choices[:] = np.argmax(x_fractional, axis=1)
+    else:
+        rng = np.random.default_rng(options.seed)
+        for row in range(num_tasks):
+            weights = np.clip(x_fractional[row], 0.0, None)
+            total = weights.sum()
+            if total <= 0:
+                choices[row] = int(np.argmax(x_fractional[row]))
+            else:
+                choices[row] = int(rng.choice(NUM_SUBSYSTEMS, p=weights / total))
+    return choices
+
+
+def _greedy_order(rows: Sequence[int], resource: np.ndarray, options: LPHTAOptions) -> List[int]:
+    """Rows sorted by resource occupation per the configured repair order."""
+    reverse = options.repair_order == "largest-first"
+    return sorted(rows, key=lambda r: resource[r], reverse=reverse)
+
+
+def lp_hta_cluster(
+    costs: ClusterCosts,
+    device_caps: Mapping[int, float],
+    station_cap: float,
+    options: LPHTAOptions = LPHTAOptions(),
+    station_id: int = 0,
+) -> Tuple[List[Subsystem], ClusterReport]:
+    """Run the six LP-HTA steps on one cluster's cost table.
+
+    :param costs: priced tasks of the cluster.
+    :param device_caps: :math:`max_i` per device id.
+    :param station_cap: :math:`max_S`.
+    :param options: algorithm tunables.
+    :param station_id: cluster label for the report.
+    :returns: per-row decisions plus the cluster report.
+    """
+    n = costs.num_tasks
+    if n == 0:
+        report = ClusterReport(
+            station_id=station_id, num_tasks=0, lp_objective_j=0.0,
+            rounded_energy_j=0.0, final_energy_j=0.0, delta_j=0.0,
+            ratio_bound_theorem2=3.0, ratio_bound_corollary1=3.0,
+            lp_iterations=0, lp_backend="none", cancelled_tasks=(),
+        )
+        return [], report
+
+    # Steps 1–2: solve P2 and reshape into X.
+    lp_result = _solve_p2(costs, device_caps, station_cap, options)
+    x_fractional = reshape_solution(lp_result.require_ok(), n)
+
+    # Step 3: round.
+    chosen = _round(x_fractional, options)
+    rounded_energy = float(
+        sum(costs.energy_j[row, chosen[row]] for row in range(n))
+    )
+
+    # Step 4: deadline repair.
+    decisions: List[Subsystem] = [Subsystem.CANCELLED] * n
+    for row in range(n):
+        q = int(chosen[row])
+        if costs.time_s[row, q] <= costs.deadline_s[row]:
+            decisions[row] = Subsystem(q + 1)
+            continue
+        feasible = costs.feasible_subsystems(row)
+        if feasible:
+            best = max(feasible, key=lambda l: x_fractional[row, l])
+            decisions[row] = Subsystem(best + 1)
+        # else: stays CANCELLED ("cancel T_ij and inform users").
+
+    deadline_ok = costs.time_s <= costs.deadline_s[:, None]
+
+    # Step 5: per-device resource repair.
+    owner_rows = costs.owner_rows()
+    for device_id, rows in owner_rows.items():
+        cap = device_caps.get(device_id, float("inf"))
+
+        def device_load() -> float:
+            return sum(
+                costs.resource[r] for r in rows if decisions[r] is Subsystem.DEVICE
+            )
+
+        if device_load() <= cap:
+            continue
+        # Move station-feasible tasks to the base station, largest C first.
+        movable = [
+            r for r in rows
+            if decisions[r] is Subsystem.DEVICE and deadline_ok[r, _STATION]
+        ]
+        for r in _greedy_order(movable, costs.resource, options):
+            if device_load() <= cap:
+                break
+            decisions[r] = Subsystem.STATION
+        # Still over: cancel the largest remaining local tasks.
+        if device_load() > cap:
+            local = [r for r in rows if decisions[r] is Subsystem.DEVICE]
+            for r in _greedy_order(local, costs.resource, options):
+                if device_load() <= cap:
+                    break
+                decisions[r] = Subsystem.CANCELLED
+
+    # Step 6: station resource repair.
+    def station_load() -> float:
+        return sum(
+            costs.resource[r] for r in range(n) if decisions[r] is Subsystem.STATION
+        )
+
+    if station_load() > station_cap:
+        movable = [
+            r for r in range(n)
+            if decisions[r] is Subsystem.STATION and deadline_ok[r, _CLOUD]
+        ]
+        for r in _greedy_order(movable, costs.resource, options):
+            if station_load() <= station_cap:
+                break
+            decisions[r] = Subsystem.CLOUD
+        if station_load() > station_cap:
+            remaining = [
+                r for r in range(n) if decisions[r] is Subsystem.STATION
+            ]
+            for r in _greedy_order(remaining, costs.resource, options):
+                if station_load() <= station_cap:
+                    break
+                decisions[r] = Subsystem.CANCELLED
+
+    final_energy = float(
+        sum(
+            costs.energy_j[row, decisions[row].column]
+            for row in range(n)
+            if decisions[row] is not Subsystem.CANCELLED
+        )
+    )
+    delta = final_energy - rounded_energy
+    lp_opt = float(lp_result.objective)
+    theorem2 = 3.0 + max(delta, 0.0) / lp_opt if lp_opt > 0 else float("inf")
+    min_local = float(np.min(costs.energy_j[:, _DEVICE]))
+    max_cloud = float(np.max(costs.energy_j[:, _CLOUD]))
+    corollary1 = min(theorem2, max_cloud / min_local) if min_local > 0 else theorem2
+
+    report = ClusterReport(
+        station_id=station_id,
+        num_tasks=n,
+        lp_objective_j=lp_opt,
+        rounded_energy_j=rounded_energy,
+        final_energy_j=final_energy,
+        delta_j=delta,
+        ratio_bound_theorem2=theorem2,
+        ratio_bound_corollary1=corollary1,
+        lp_iterations=lp_result.iterations,
+        lp_backend=lp_result.backend,
+        cancelled_tasks=tuple(
+            costs.tasks[row].task_id
+            for row in range(n)
+            if decisions[row] is Subsystem.CANCELLED
+        ),
+    )
+    return decisions, report
+
+
+def lp_hta(
+    system: MECSystem,
+    tasks: Sequence[Task],
+    options: LPHTAOptions = LPHTAOptions(),
+) -> HTAReport:
+    """Run LP-HTA over a whole MEC system (each cluster independently).
+
+    Section III-A observes that a task can only run on its own device, its
+    own base station, or the cloud, so clusters decouple and are solved
+    separately; the cloud is shared but unconstrained.
+
+    :param system: the MEC system.
+    :param tasks: the holistic tasks to assign.
+    :param options: algorithm tunables.
+    """
+    costs = cluster_costs(system, tasks)
+    by_cluster: Dict[int, List[int]] = {}
+    for row, task in enumerate(tasks):
+        by_cluster.setdefault(system.cluster_of(task.owner_device_id), []).append(row)
+
+    decisions: List[Subsystem] = [Subsystem.CANCELLED] * len(tasks)
+    reports: List[ClusterReport] = []
+    for station_id in sorted(by_cluster):
+        rows = by_cluster[station_id]
+        sub_costs = ClusterCosts(
+            tasks=tuple(costs.tasks[r] for r in rows),
+            time_s=costs.time_s[rows],
+            energy_j=costs.energy_j[rows],
+            resource=costs.resource[rows],
+            deadline_s=costs.deadline_s[rows],
+        )
+        device_caps = {
+            device_id: system.device(device_id).max_resource
+            for device_id in {t.owner_device_id for t in sub_costs.tasks}
+        }
+        station_cap = system.station(station_id).max_resource
+        sub_decisions, report = lp_hta_cluster(
+            sub_costs, device_caps, station_cap, options, station_id=station_id
+        )
+        for local_row, decision in zip(rows, sub_decisions):
+            decisions[local_row] = decision
+        reports.append(report)
+
+    return HTAReport(
+        assignment=Assignment(costs, decisions),
+        clusters=tuple(reports),
+    )

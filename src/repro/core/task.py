@@ -1,0 +1,99 @@
+"""The computation-task model of Section II.
+
+A task :math:`\\mathcal{T}_{ij} = (op_{ij}, LD_{ij}, ED_{ij}, L_{ij},
+C_{ij}, T_{ij})` is the *j*-th task raised by user :math:`U_i`.  We keep the
+paper's abstraction: the payloads themselves are not materialised, only their
+sizes (α = |LD|, β = |ED|) and the location of the external data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+__all__ = ["Task"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One computation task raised by a user.
+
+    :param owner_device_id: *i*, the device that raised the task (and where
+        the local data lives).
+    :param index: *j*, the task's index within its user's task list.
+    :param local_bytes: :math:`\\alpha_{ij} = |LD_{ij}|`, local input size.
+    :param external_bytes: :math:`\\beta_{ij} = |ED_{ij}|`, external input
+        size; zero means the task is self-contained.
+    :param external_source: :math:`L_{ij}`, device id holding the external
+        data; must be ``None`` iff ``external_bytes`` is zero.
+    :param resource_demand: :math:`C_{ij}`, resource units the task occupies
+        while running on a device or base station.
+    :param deadline_s: :math:`T_{ij}`, the completion deadline (constraint C1).
+    :param divisible: whether the task can be computed distributedly by
+        aggregating partial results (Section IV); holistic tasks are the
+        Section III case.
+    :param required_items: the ids of the data items the task needs
+        (:math:`LD_{ij} \\cup ED_{ij}` as a set of blocks); only used by the
+        divisible-task machinery, may be empty for holistic workloads.
+    :param operation: a label for :math:`op_{ij}` (e.g. ``"sum"``); carried
+        for bookkeeping, never interpreted.
+    """
+
+    owner_device_id: int
+    index: int
+    local_bytes: float
+    external_bytes: float
+    external_source: Optional[int]
+    resource_demand: float
+    deadline_s: float
+    divisible: bool = False
+    required_items: FrozenSet[int] = field(default_factory=frozenset)
+    operation: str = "generic"
+
+    def __post_init__(self) -> None:
+        if self.owner_device_id < 0:
+            raise ValueError("owner_device_id must be non-negative")
+        if self.index < 0:
+            raise ValueError("index must be non-negative")
+        if self.local_bytes < 0 or self.external_bytes < 0:
+            raise ValueError("data sizes must be non-negative")
+        if self.resource_demand < 0:
+            raise ValueError("resource_demand must be non-negative")
+        if self.deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        if self.external_bytes > 0 and self.external_source is None:
+            raise ValueError("external data present but no external_source given")
+        if self.external_bytes == 0 and self.external_source is not None:
+            raise ValueError("external_source given but external_bytes is zero")
+        if self.external_source is not None and self.external_source == self.owner_device_id:
+            raise ValueError("external data cannot come from the owner itself")
+
+    @property
+    def task_id(self) -> tuple:
+        """The (i, j) pair identifying this task."""
+        return (self.owner_device_id, self.index)
+
+    @property
+    def input_bytes(self) -> float:
+        """Total input size :math:`\\alpha_{ij} + \\beta_{ij}`."""
+        return self.local_bytes + self.external_bytes
+
+    @property
+    def has_external_data(self) -> bool:
+        """Whether the task needs data from another device."""
+        return self.external_bytes > 0
+
+    def with_deadline(self, deadline_s: float) -> "Task":
+        """A copy of this task with a different deadline."""
+        return Task(
+            owner_device_id=self.owner_device_id,
+            index=self.index,
+            local_bytes=self.local_bytes,
+            external_bytes=self.external_bytes,
+            external_source=self.external_source,
+            resource_demand=self.resource_demand,
+            deadline_s=deadline_s,
+            divisible=self.divisible,
+            required_items=self.required_items,
+            operation=self.operation,
+        )

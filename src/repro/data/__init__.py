@@ -1,0 +1,13 @@
+"""Shared-data substrate: data items, per-device ownership, universes."""
+
+from repro.data.items import DataCatalog, DataItem
+from repro.data.ownership import OwnershipMap
+from repro.data.universe import random_overlap_universe, spatial_grid_universe
+
+__all__ = [
+    "DataCatalog",
+    "DataItem",
+    "OwnershipMap",
+    "random_overlap_universe",
+    "spatial_grid_universe",
+]

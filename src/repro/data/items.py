@@ -1,0 +1,76 @@
+"""Data items and the catalog of their sizes.
+
+Section IV treats the shared data :math:`D = \\{d_1, ..., d_M\\}` as a set
+of data items (or blocks, determined per [19]).  We model each item as an id
+plus a size; set algebra runs on the ids and sizing questions go through the
+:class:`DataCatalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping
+
+__all__ = ["DataCatalog", "DataItem"]
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """One shared data item (block).
+
+    :param item_id: unique non-negative id.
+    :param size_bytes: the block's size.
+    """
+
+    item_id: int
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.item_id < 0:
+            raise ValueError("item_id must be non-negative")
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+
+
+class DataCatalog:
+    """Immutable id → size lookup for a set of data items.
+
+    :param items: the items of the universe.
+    """
+
+    def __init__(self, items: Iterable[DataItem]) -> None:
+        self._sizes: Dict[int, float] = {}
+        for item in items:
+            if item.item_id in self._sizes:
+                raise ValueError(f"duplicate item id {item.item_id}")
+            self._sizes[item.item_id] = item.size_bytes
+
+    @classmethod
+    def from_sizes(cls, sizes: Mapping[int, float]) -> "DataCatalog":
+        """Build from an id → size mapping."""
+        return cls(DataItem(item_id, size) for item_id, size in sizes.items())
+
+    @property
+    def item_ids(self) -> FrozenSet[int]:
+        """All item ids in the catalog."""
+        return frozenset(self._sizes)
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def __contains__(self, item_id: int) -> bool:
+        return item_id in self._sizes
+
+    def size_of(self, item_id: int) -> float:
+        """Size of one item.
+
+        :raises KeyError: for ids not in the catalog.
+        """
+        return self._sizes[item_id]
+
+    def total_bytes(self, item_ids: Iterable[int]) -> float:
+        """Summed size of a set of items.
+
+        :raises KeyError: if any id is not in the catalog.
+        """
+        return sum(self._sizes[item_id] for item_id in item_ids)

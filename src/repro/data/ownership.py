@@ -1,0 +1,70 @@
+"""Per-device data ownership: the sets :math:`D_i` of Section IV.
+
+Monitoring regions overlap, so two devices may own the same item
+(:math:`D_i \\cap D_j \\ne \\emptyset`); the divisible-task algorithms work
+on the restrictions :math:`UD_i = D \\cap D_i` of ownership to the queried
+universe D.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Set
+
+__all__ = ["OwnershipMap"]
+
+
+class OwnershipMap:
+    """Which device owns which data items.
+
+    :param ownership: mapping ``device_id -> iterable of item ids``.
+    """
+
+    def __init__(self, ownership: Mapping[int, Iterable[int]]) -> None:
+        self._owned: Dict[int, FrozenSet[int]] = {
+            device_id: frozenset(items) for device_id, items in ownership.items()
+        }
+
+    @property
+    def device_ids(self) -> FrozenSet[int]:
+        """Devices known to the map (possibly owning nothing)."""
+        return frozenset(self._owned)
+
+    def items_of(self, device_id: int) -> FrozenSet[int]:
+        """:math:`D_i` — items owned by ``device_id`` (empty if unknown)."""
+        return self._owned.get(device_id, frozenset())
+
+    def restricted(self, device_id: int, universe: FrozenSet[int]) -> FrozenSet[int]:
+        """:math:`UD_i = D \\cap D_i` for a queried universe ``D``."""
+        return self.items_of(device_id) & universe
+
+    def owners_of(self, item_id: int) -> FrozenSet[int]:
+        """All devices owning ``item_id``."""
+        return frozenset(
+            device_id for device_id, items in self._owned.items() if item_id in items
+        )
+
+    def all_items(self) -> FrozenSet[int]:
+        """Union of all devices' holdings."""
+        out: Set[int] = set()
+        for items in self._owned.values():
+            out |= items
+        return frozenset(out)
+
+    def covers(self, universe: FrozenSet[int]) -> bool:
+        """Whether the devices jointly own every item of ``universe``."""
+        return universe <= self.all_items()
+
+    def uncovered(self, universe: FrozenSet[int]) -> FrozenSet[int]:
+        """Items of ``universe`` that no device owns."""
+        return universe - self.all_items()
+
+    def replication_of(self, item_id: int) -> int:
+        """Number of devices owning ``item_id``."""
+        return len(self.owners_of(item_id))
+
+    def __len__(self) -> int:
+        return len(self._owned)
+
+    def __repr__(self) -> str:
+        total = sum(len(items) for items in self._owned.values())
+        return f"OwnershipMap(devices={len(self._owned)}, holdings={total})"

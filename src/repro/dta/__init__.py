@@ -1,0 +1,24 @@
+"""Divisible-task assignment (Section IV): data division and rearrangement."""
+
+from repro.dta.coverage import (
+    Coverage,
+    dta_number,
+    dta_workload,
+    exact_min_max_coverage,
+    exact_min_set_number,
+)
+from repro.dta.rearrange import RearrangedPlan, rearrange_tasks
+from repro.dta.accounting import DTAOutcome, evaluate_plan, run_dta
+
+__all__ = [
+    "Coverage",
+    "DTAOutcome",
+    "RearrangedPlan",
+    "dta_number",
+    "dta_workload",
+    "evaluate_plan",
+    "exact_min_max_coverage",
+    "exact_min_set_number",
+    "rearrange_tasks",
+    "run_dta",
+]

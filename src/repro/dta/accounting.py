@@ -1,0 +1,248 @@
+"""Energy and time accounting for rearranged divisible-task schedules.
+
+Section IV-C states the pay-off qualitatively: "only the task information
+and partial results are required to transmit, much energy will be saved".
+This module makes the accounting concrete (documented here because the paper
+does not spell it out):
+
+- **Sub-task execution** — the sub-tasks are scheduled with LP-HTA and
+  charged its Section II costs (they carry no external data, so this is
+  almost entirely local computation).
+- **Task-information distribution** — for every (parent task, executor)
+  pair, the requester uploads one op description to its base station and the
+  executor downloads it (plus a BS–BS hop when they sit in different
+  clusters).
+- **Partial-result collection** — each sub-task's result, of size
+  η(sub-input), travels from its executor to the *requester's* base station
+  (device uplink, plus a BS–BS hop across clusters; a BS–cloud hop if LP-HTA
+  put the sub-task on the cloud).
+- **Final-result delivery** — the aggregate, of size η(parent input), is
+  downloaded by the requesting device.
+
+Processing time follows the paper's parallel-execution argument for Fig. 6a:
+devices compute concurrently, so the dominant term is the *busiest* device's
+total sub-task latency, plus the (maximal) op-distribution, partial-upload
+and delivery stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Literal, Optional, Sequence, Tuple
+
+from repro.core.assignment import Assignment, Subsystem
+from repro.core.hta import HTAReport, LPHTAOptions, lp_hta
+from repro.core.task import Task
+from repro.data.items import DataCatalog
+from repro.data.ownership import OwnershipMap
+from repro.dta.coverage import Coverage, dta_number, dta_workload
+from repro.dta.rearrange import RearrangedPlan, rearrange_tasks
+from repro.system.topology import MECSystem
+
+__all__ = ["DTAOutcome", "evaluate_plan", "run_dta"]
+
+
+@dataclass(frozen=True)
+class DTAOutcome:
+    """The priced result of a divisible-task rearrangement.
+
+    :param coverage: the data division used.
+    :param plan: the rearranged sub-task plan.
+    :param hta_report: LP-HTA's schedule of the sub-tasks.
+    :param execution_energy_j: Section II energy of the sub-task schedule.
+    :param op_info_energy_j: energy to distribute the task descriptions.
+    :param partial_result_energy_j: energy to collect partial results.
+    :param final_result_energy_j: energy to deliver the aggregates.
+    :param processing_time_s: parallel makespan (see module docstring).
+    """
+
+    coverage: Coverage
+    plan: RearrangedPlan
+    hta_report: HTAReport
+    execution_energy_j: float
+    op_info_energy_j: float
+    partial_result_energy_j: float
+    final_result_energy_j: float
+    processing_time_s: float
+
+    @property
+    def assignment(self) -> Assignment:
+        """The LP-HTA assignment of the sub-tasks."""
+        return self.hta_report.assignment
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total system energy of the divisible-task pipeline."""
+        return (
+            self.execution_energy_j
+            + self.op_info_energy_j
+            + self.partial_result_energy_j
+            + self.final_result_energy_j
+        )
+
+    @property
+    def involved_devices(self) -> int:
+        """Devices participating in the coverage (the Fig. 6b metric)."""
+        return self.coverage.involved_devices
+
+
+def _op_info_costs(
+    system: MECSystem, plan: RearrangedPlan
+) -> Tuple[float, float]:
+    """(energy, max time) of distributing task descriptions."""
+    seen = set()
+    energy = 0.0
+    max_time = 0.0
+    for subtask, parent in zip(plan.subtasks, plan.parents):
+        key = (parent.task_id, subtask.owner_device_id)
+        if key in seen:
+            continue
+        seen.add(key)
+        requester = system.device(parent.owner_device_id)
+        executor = system.device(subtask.owner_device_id)
+        size = plan.op_info_bytes
+        energy_one = requester.wireless.upload_energy_j(size)
+        time_one = requester.wireless.upload_time_s(size)
+        if subtask.owner_device_id != parent.owner_device_id:
+            if not system.same_cluster(
+                parent.owner_device_id, subtask.owner_device_id
+            ):
+                energy_one += system.bs_bs_link.transfer_energy_j(size)
+                time_one += system.bs_bs_link.transfer_time_s(size)
+            energy_one += executor.wireless.download_energy_j(size)
+            time_one += executor.wireless.download_time_s(size)
+        energy += energy_one
+        max_time = max(max_time, time_one)
+    return energy, max_time
+
+
+def _partial_result_costs(
+    system: MECSystem, plan: RearrangedPlan, assignment: Assignment
+) -> Tuple[float, float]:
+    """(energy, max time) of collecting partial results at requesters."""
+    result_model = system.parameters.result_size
+    energy = 0.0
+    max_time = 0.0
+    for row, (subtask, parent) in enumerate(zip(plan.subtasks, plan.parents)):
+        decision = assignment.decisions[row]
+        if decision is Subsystem.CANCELLED:
+            continue
+        partial = result_model.result_bytes(subtask.input_bytes)
+        executor = system.device(subtask.owner_device_id)
+        energy_one = 0.0
+        time_one = 0.0
+        if decision is Subsystem.DEVICE:
+            # Result sits on the executor; push it up to its station.
+            energy_one += executor.wireless.upload_energy_j(partial)
+            time_one += executor.wireless.upload_time_s(partial)
+        elif decision is Subsystem.CLOUD:
+            # Result sits on the cloud; pull it down to the edge.
+            energy_one += system.bs_cloud_link.transfer_energy_j(partial)
+            time_one += system.bs_cloud_link.transfer_time_s(partial)
+        # (STATION: the partial already sits on the executor's station.)
+        if not system.same_cluster(subtask.owner_device_id, parent.owner_device_id):
+            energy_one += system.bs_bs_link.transfer_energy_j(partial)
+            time_one += system.bs_bs_link.transfer_time_s(partial)
+        energy += energy_one
+        max_time = max(max_time, time_one)
+    return energy, max_time
+
+
+def _final_result_costs(
+    system: MECSystem, plan: RearrangedPlan, catalog: DataCatalog
+) -> Tuple[float, float]:
+    """(energy, max time) of delivering aggregates to requesters."""
+    result_model = system.parameters.result_size
+    energy = 0.0
+    max_time = 0.0
+    for parent in {p.task_id: p for p in plan.parents}.values():
+        total_input = catalog.total_bytes(parent.required_items)
+        final = result_model.result_bytes(total_input)
+        requester = system.device(parent.owner_device_id)
+        energy += requester.wireless.download_energy_j(final)
+        max_time = max(max_time, requester.wireless.download_time_s(final))
+    return energy, max_time
+
+
+def _busiest_executor_time(plan: RearrangedPlan, assignment: Assignment) -> float:
+    """Max over devices of their summed sub-task latencies (parallel model)."""
+    busy: Dict[int, float] = {}
+    for row, subtask in enumerate(plan.subtasks):
+        latency = assignment.task_latency_s(row)
+        if latency is None:
+            continue
+        owner = subtask.owner_device_id
+        busy[owner] = busy.get(owner, 0.0) + latency
+    return max(busy.values()) if busy else 0.0
+
+
+def evaluate_plan(
+    system: MECSystem,
+    plan: RearrangedPlan,
+    catalog: DataCatalog,
+    options: LPHTAOptions = LPHTAOptions(),
+) -> DTAOutcome:
+    """Schedule a rearranged plan with LP-HTA and price the whole pipeline.
+
+    :param system: the MEC system.
+    :param plan: the rearranged sub-tasks.
+    :param catalog: item sizes (for final-result sizing).
+    :param options: LP-HTA tunables for the sub-task schedule.
+    """
+    hta_report = lp_hta(system, list(plan.subtasks), options)
+    assignment = hta_report.assignment
+
+    execution_energy = assignment.total_energy_j()
+    op_energy, op_time = _op_info_costs(system, plan)
+    partial_energy, partial_time = _partial_result_costs(system, plan, assignment)
+    final_energy, final_time = _final_result_costs(system, plan, catalog)
+    processing_time = (
+        op_time + _busiest_executor_time(plan, assignment) + partial_time + final_time
+    )
+
+    return DTAOutcome(
+        coverage=plan.coverage,
+        plan=plan,
+        hta_report=hta_report,
+        execution_energy_j=execution_energy,
+        op_info_energy_j=op_energy,
+        partial_result_energy_j=partial_energy,
+        final_result_energy_j=final_energy,
+        processing_time_s=processing_time,
+    )
+
+
+def run_dta(
+    system: MECSystem,
+    tasks: Sequence[Task],
+    ownership: OwnershipMap,
+    catalog: DataCatalog,
+    objective: Literal["workload", "number"] = "workload",
+    options: LPHTAOptions = LPHTAOptions(),
+    universe: Optional[frozenset] = None,
+) -> DTAOutcome:
+    """End-to-end divisible-task assignment: divide, rearrange, schedule, price.
+
+    :param system: the MEC system.
+    :param tasks: the divisible tasks.
+    :param ownership: per-device data holdings.
+    :param catalog: item sizes.
+    :param objective: ``"workload"`` for DTA-Workload (Section IV-A) or
+        ``"number"`` for DTA-Number (Section IV-B).
+    :param options: LP-HTA tunables for the sub-task schedule.
+    :param universe: override for D (defaults to the union of the tasks'
+        required items).
+    """
+    if universe is None:
+        required = set()
+        for task in tasks:
+            required |= task.required_items
+        universe = frozenset(required)
+    if objective == "workload":
+        coverage = dta_workload(universe, ownership)
+    elif objective == "number":
+        coverage = dta_number(universe, ownership)
+    else:
+        raise ValueError(f"unknown DTA objective {objective!r}")
+    plan = rearrange_tasks(tasks, coverage, catalog)
+    return evaluate_plan(system, plan, catalog, options)

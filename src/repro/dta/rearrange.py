@@ -1,0 +1,147 @@
+"""Task rearrangement (Section IV-C).
+
+Given a coverage :math:`\\{C_i\\}`, each original divisible task
+:math:`\\mathcal{T}_{rl}` is split into sub-tasks: device *i* receives the
+task information (:math:`op_{rl}, C_{rl}, T_{rl}`) whenever
+:math:`C_i \\cap (LD_{rl} \\cup ED_{rl}) \\ne \\emptyset`, and processes the
+intersection locally.  Every sub-task therefore has *only local input data*
+(α = |C_i ∩ required|, β = 0): the raw data never moves — only the small
+operation descriptions and partial results do.
+
+The sub-tasks are then scheduled with LP-HTA (Section III) and the partial
+results aggregated, which :mod:`repro.dta.accounting` prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.task import Task
+from repro.data.items import DataCatalog
+from repro.dta.coverage import Coverage
+from repro.units import KB
+
+__all__ = [
+    "DEFAULT_OP_INFO_BYTES",
+    "DEFAULT_SUBTASK_RESOURCE",
+    "RearrangedPlan",
+    "rearrange_tasks",
+]
+
+#: Size of one transmitted task description (op, C, T) — a couple of KB of
+#: serialized operation info, negligible next to the raw data it replaces.
+DEFAULT_OP_INFO_BYTES = 2 * KB
+
+#: Resource demand of one sub-task.  Divisible tasks are streaming
+#: aggregations (the paper's Sum/Count examples) over data *already stored*
+#: on the device, so their working set is the accumulator — a small constant
+#: — rather than the raw input size that drives holistic tasks' C_ij.
+DEFAULT_SUBTASK_RESOURCE = 0.01
+
+
+@dataclass(frozen=True)
+class RearrangedPlan:
+    """The sub-task schedule produced by task rearrangement.
+
+    :param coverage: the data division driving the rearrangement.
+    :param subtasks: the new per-device tasks (β = 0 by construction).
+    :param parents: for each sub-task, the original task it contributes to
+        (parallel to ``subtasks``).
+    :param op_info_bytes: size of one transmitted task description.
+    """
+
+    coverage: Coverage
+    subtasks: Tuple[Task, ...]
+    parents: Tuple[Task, ...]
+    op_info_bytes: float = DEFAULT_OP_INFO_BYTES
+
+    def __post_init__(self) -> None:
+        if len(self.subtasks) != len(self.parents):
+            raise ValueError("subtasks and parents must be parallel")
+        for subtask in self.subtasks:
+            if subtask.external_bytes != 0:
+                raise ValueError(
+                    "rearranged sub-tasks must have no external data "
+                    f"(got {subtask.task_id})"
+                )
+
+    @property
+    def num_subtasks(self) -> int:
+        """Number of generated sub-tasks."""
+        return len(self.subtasks)
+
+    def subtasks_of_parent(self, parent: Task) -> List[int]:
+        """Sub-task rows contributing to ``parent``."""
+        return [
+            row for row, p in enumerate(self.parents) if p.task_id == parent.task_id
+        ]
+
+    def executor_device_ids(self) -> Tuple[int, ...]:
+        """Devices that received at least one sub-task (sorted)."""
+        return tuple(sorted({subtask.owner_device_id for subtask in self.subtasks}))
+
+
+def rearrange_tasks(
+    tasks: Sequence[Task],
+    coverage: Coverage,
+    catalog: DataCatalog,
+    op_info_bytes: float = DEFAULT_OP_INFO_BYTES,
+    subtask_resource_demand: float = DEFAULT_SUBTASK_RESOURCE,
+) -> RearrangedPlan:
+    """Split divisible tasks into per-device local sub-tasks.
+
+    :param tasks: the original divisible tasks (each must declare its
+        ``required_items``).
+    :param coverage: a valid division of the tasks' data universe.
+    :param catalog: item sizes.
+    :param op_info_bytes: size of one transmitted task description.
+    :param subtask_resource_demand: C of each sub-task (see
+        :data:`DEFAULT_SUBTASK_RESOURCE` for why this is a small constant
+        rather than input-proportional).
+    :returns: the rearranged plan.
+    :raises ValueError: if a task is not divisible, or requires items the
+        coverage does not assign.
+    """
+    indices: Dict[int, int] = {}  # next sub-task index per executor device
+    subtasks: List[Task] = []
+    parents: List[Task] = []
+    for task in tasks:
+        if not task.divisible:
+            raise ValueError(f"task {task.task_id} is not divisible")
+        if not task.required_items:
+            continue  # nothing to compute
+        missing = task.required_items - coverage.universe
+        if missing:
+            raise ValueError(
+                f"task {task.task_id} requires items outside the coverage "
+                f"universe: {sorted(missing)[:5]}"
+            )
+        for device_id, owned in sorted(coverage.sets.items()):
+            part = owned & task.required_items
+            if not part:
+                continue
+            part_bytes = catalog.total_bytes(part)
+            index = indices.get(device_id, 0)
+            indices[device_id] = index + 1
+            subtasks.append(
+                Task(
+                    owner_device_id=device_id,
+                    index=index,
+                    local_bytes=part_bytes,
+                    external_bytes=0.0,
+                    external_source=None,
+                    resource_demand=subtask_resource_demand,
+                    deadline_s=task.deadline_s,
+                    divisible=True,
+                    required_items=frozenset(part),
+                    operation=task.operation,
+                )
+            )
+            parents.append(task)
+    return RearrangedPlan(
+        coverage=coverage,
+        subtasks=tuple(subtasks),
+        parents=tuple(parents),
+        op_info_bytes=op_info_bytes,
+    )

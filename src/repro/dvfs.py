@@ -1,0 +1,193 @@
+"""Dynamic voltage/frequency scaling (the [26] line of related work).
+
+Wang et al. [26] jointly optimise offloading and the device's CPU-cycle
+frequency: local energy is :math:`\\kappa\\,\\lambda(y)\\,f^2` while local
+time is :math:`\\lambda(y)/f`, so the energy-optimal policy runs exactly as
+slowly as the deadline allows.  For a locally-executed task with data-fetch
+time :math:`t^{(R)}` and deadline :math:`T`, the optimum is the clipped
+closed form
+
+.. math::
+
+   f^* = \\mathrm{clip}\\Bigl(\\frac{\\lambda(y)}{T - t^{(R)}},\\;
+         f_{min},\\; f_{max}\\Bigr),
+
+undefined (task can't run locally) when :math:`T \\le t^{(R)}` and
+:math:`f^*` would exceed :math:`f_{max}`.
+
+:func:`rescale_assignment` applies this to the device-assigned tasks of any
+existing assignment — offloaded tasks are untouched, because the paper
+ignores station/cloud compute energy — and reports the saving.  Energy can
+only go down: the nominal frequency is always an admissible choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.assignment import Assignment, Subsystem
+from repro.core.task import Task
+from repro.system.topology import MECSystem
+from repro.units import gigahertz
+
+__all__ = ["DVFSResult", "FrequencyChoice", "optimal_frequency", "rescale_assignment"]
+
+#: Default frequency band of the paper's devices (Section V-A).
+DEFAULT_F_MIN_HZ = gigahertz(0.3)
+DEFAULT_F_MAX_HZ = gigahertz(2.0)
+
+
+@dataclass(frozen=True)
+class FrequencyChoice:
+    """The DVFS decision for one locally-executed task.
+
+    :param task: the task.
+    :param nominal_hz: the device's fixed frequency.
+    :param chosen_hz: the energy-optimal clipped frequency.
+    :param nominal_energy_j: task energy at the nominal frequency.
+    :param scaled_energy_j: task energy at the chosen frequency.
+    :param latency_s: task latency at the chosen frequency.
+    """
+
+    task: Task
+    nominal_hz: float
+    chosen_hz: float
+    nominal_energy_j: float
+    scaled_energy_j: float
+    latency_s: float
+
+    @property
+    def saving_j(self) -> float:
+        """Energy saved by scaling (≥ 0)."""
+        return self.nominal_energy_j - self.scaled_energy_j
+
+
+@dataclass(frozen=True)
+class DVFSResult:
+    """Outcome of rescaling an assignment.
+
+    :param choices: one entry per task row (None for tasks not executed on
+        their device).
+    :param nominal_energy_j: original assignment energy.
+    :param scaled_energy_j: energy after frequency scaling.
+    """
+
+    choices: Tuple[Optional[FrequencyChoice], ...]
+    nominal_energy_j: float
+    scaled_energy_j: float
+
+    @property
+    def saving_j(self) -> float:
+        """Total energy saved."""
+        return self.nominal_energy_j - self.scaled_energy_j
+
+    @property
+    def saving_fraction(self) -> float:
+        """Relative saving (0 when there was nothing to scale)."""
+        if self.nominal_energy_j <= 0:
+            return 0.0
+        return self.saving_j / self.nominal_energy_j
+
+
+def optimal_frequency(
+    cycles: float,
+    deadline_budget_s: float,
+    f_min_hz: float = DEFAULT_F_MIN_HZ,
+    f_max_hz: float = DEFAULT_F_MAX_HZ,
+) -> Optional[float]:
+    """The [26] closed form: slowest frequency that still meets the budget.
+
+    :param cycles: CPU cycles the task needs.
+    :param deadline_budget_s: time available for computation (deadline
+        minus any data-retrieval time).
+    :param f_min_hz: the device's lowest operating point.
+    :param f_max_hz: the device's highest operating point.
+    :returns: the clipped optimum, or ``None`` when even ``f_max_hz``
+        cannot meet the budget.
+    :raises ValueError: on non-positive cycle counts or an inverted band.
+    """
+    if cycles < 0:
+        raise ValueError("cycles must be non-negative")
+    if not 0 < f_min_hz <= f_max_hz:
+        raise ValueError("need 0 < f_min_hz <= f_max_hz")
+    if cycles == 0:
+        return f_min_hz
+    if deadline_budget_s <= 0:
+        return None
+    required = cycles / deadline_budget_s
+    if required > f_max_hz:
+        return None
+    return min(max(required, f_min_hz), f_max_hz)
+
+
+def rescale_assignment(
+    system: MECSystem,
+    tasks: Sequence[Task],
+    assignment: Assignment,
+    f_min_hz: float = DEFAULT_F_MIN_HZ,
+    f_max_hz: Optional[float] = None,
+) -> DVFSResult:
+    """Apply per-task DVFS to the device-executed tasks of an assignment.
+
+    Each device's own nominal frequency caps its band (a 1.3 GHz phone
+    cannot clock to 2 GHz), so by construction every choice remains
+    deadline-feasible and energy never increases.
+
+    :param system: the MEC system.
+    :param tasks: tasks in the assignment's row order.
+    :param assignment: the schedule to rescale.
+    :param f_min_hz: lowest operating point of every device.
+    :param f_max_hz: highest operating point; ``None`` uses each device's
+        nominal frequency.
+    """
+    if len(tasks) != assignment.costs.num_tasks:
+        raise ValueError("tasks and assignment rows must correspond")
+    params = system.parameters
+    choices: List[Optional[FrequencyChoice]] = []
+    scaled_total = 0.0
+    for row, task in enumerate(tasks):
+        decision = assignment.decisions[row]
+        if decision is not Subsystem.DEVICE:
+            choices.append(None)
+            if decision is not Subsystem.CANCELLED:
+                scaled_total += float(
+                    assignment.costs.energy_j[row, decision.column]
+                )
+            continue
+        device = system.device(task.owner_device_id)
+        cap = device.cpu_frequency_hz if f_max_hz is None else f_max_hz
+        cycles = params.cycles.cycles_on_device(task.input_bytes)
+        compute_time_nominal = cycles / device.cpu_frequency_hz
+        fetch_time = (
+            float(assignment.costs.time_s[row, Subsystem.DEVICE.column])
+            - compute_time_nominal
+        )
+        budget = task.deadline_s - fetch_time
+        frequency = optimal_frequency(cycles, budget, f_min_hz, cap)
+        if frequency is None:
+            # Shouldn't happen for a feasible assignment; keep nominal.
+            frequency = device.cpu_frequency_hz
+        nominal_energy = float(assignment.costs.energy_j[row, 0])
+        compute_energy_nominal = (
+            params.kappa * cycles * device.cpu_frequency_hz**2
+        )
+        transfer_energy = nominal_energy - compute_energy_nominal
+        scaled_energy = transfer_energy + params.kappa * cycles * frequency**2
+        latency = fetch_time + cycles / frequency
+        choices.append(
+            FrequencyChoice(
+                task=task,
+                nominal_hz=device.cpu_frequency_hz,
+                chosen_hz=frequency,
+                nominal_energy_j=nominal_energy,
+                scaled_energy_j=scaled_energy,
+                latency_s=latency,
+            )
+        )
+        scaled_total += scaled_energy
+    return DVFSResult(
+        choices=tuple(choices),
+        nominal_energy_j=assignment.total_energy_j(),
+        scaled_energy_j=scaled_total,
+    )

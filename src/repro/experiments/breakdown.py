@@ -1,0 +1,94 @@
+"""Energy breakdowns: where an assignment's joules actually go.
+
+The figures plot totals; this module splits an assignment's energy along
+the two axes that explain *why* one scheme beats another: by component
+(computation vs the transmission legs) and by subsystem.  Used by the CLI
+demo and the analysis examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.core.assignment import Assignment, Subsystem
+from repro.core.costs import task_costs
+from repro.core.task import Task
+from repro.system.topology import MECSystem
+
+__all__ = ["EnergyBreakdown", "energy_breakdown"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """An assignment's energy, decomposed.
+
+    :param computation_j: device CPU energy (stations/cloud compute is free
+        in the paper's model).
+    :param transmission_j: all radio/backhaul/WAN energy.
+    :param by_subsystem_j: energy grouped by executing subsystem.
+    :param total_j: the assignment total (= computation + transmission).
+    """
+
+    computation_j: float
+    transmission_j: float
+    by_subsystem_j: Dict[Subsystem, float]
+    total_j: float
+
+    @property
+    def transmission_share(self) -> float:
+        """Fraction of energy spent moving bytes (0 when total is 0)."""
+        if self.total_j <= 0:
+            return 0.0
+        return self.transmission_j / self.total_j
+
+    def format_table(self) -> str:
+        """A small printable report."""
+        lines = [
+            f"total energy          {self.total_j:12.2f} J",
+            f"  computation         {self.computation_j:12.2f} J",
+            f"  transmission        {self.transmission_j:12.2f} J"
+            f"  ({self.transmission_share:.0%})",
+        ]
+        for subsystem in (Subsystem.DEVICE, Subsystem.STATION, Subsystem.CLOUD):
+            lines.append(
+                f"  on {subsystem.name.lower():14s} "
+                f"{self.by_subsystem_j.get(subsystem, 0.0):12.2f} J"
+            )
+        return "\n".join(lines)
+
+
+def energy_breakdown(
+    system: MECSystem, tasks: Sequence[Task], assignment: Assignment
+) -> EnergyBreakdown:
+    """Decompose an assignment's energy by component and subsystem.
+
+    :param system: the MEC system that priced the assignment.
+    :param tasks: tasks in the assignment's row order.
+    :param assignment: the schedule to decompose.
+    :raises ValueError: on a row-count mismatch.
+    """
+    if len(tasks) != assignment.costs.num_tasks:
+        raise ValueError("tasks and assignment rows must correspond")
+    computation = 0.0
+    transmission = 0.0
+    by_subsystem: Dict[Subsystem, float] = {
+        Subsystem.DEVICE: 0.0, Subsystem.STATION: 0.0, Subsystem.CLOUD: 0.0,
+    }
+    for row, task in enumerate(tasks):
+        decision = assignment.decisions[row]
+        if decision is Subsystem.CANCELLED:
+            continue
+        costs = task_costs(system, task)
+        column = decision.column
+        computation += costs.computation_energy_j[column]
+        transmission += costs.transmission_energy_j[column]
+        by_subsystem[decision] += (
+            costs.computation_energy_j[column] + costs.transmission_energy_j[column]
+        )
+    return EnergyBreakdown(
+        computation_j=computation,
+        transmission_j=transmission,
+        by_subsystem_j=by_subsystem,
+        total_j=computation + transmission,
+    )

@@ -1,0 +1,121 @@
+"""Scenario evaluation: run each algorithm and collect the paper's metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping
+
+from repro.core.baselines import all_offload, all_to_cloud, hgos
+from repro.core.hta import LPHTAOptions, lp_hta
+from repro.dta.accounting import run_dta
+from repro.workload.generator import Scenario
+
+__all__ = [
+    "AlgorithmResult",
+    "HOLISTIC_ALGORITHMS",
+    "evaluate_dta",
+    "evaluate_holistic",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmResult:
+    """The metrics Section V plots, for one algorithm on one scenario.
+
+    :param name: algorithm name as used in the figures.
+    :param total_energy_j: total system energy (Figs 2, 5).
+    :param mean_latency_s: average task latency (Fig 4).
+    :param unsatisfied_rate: deadline-miss/cancel fraction (Fig 3).
+    :param processing_time_s: parallel makespan (Fig 6a; holistic
+        algorithms report their max task latency).
+    :param involved_devices: devices executing tasks (Fig 6b).
+    """
+
+    name: str
+    total_energy_j: float
+    mean_latency_s: float
+    unsatisfied_rate: float
+    processing_time_s: float
+    involved_devices: int
+
+
+def _from_assignment(name: str, assignment) -> AlgorithmResult:
+    stats = assignment.stats()
+    return AlgorithmResult(
+        name=name,
+        total_energy_j=stats.total_energy_j,
+        mean_latency_s=stats.mean_latency_s,
+        unsatisfied_rate=stats.unsatisfied_rate,
+        processing_time_s=stats.max_latency_s,
+        involved_devices=assignment.involved_devices(),
+    )
+
+
+def _run_lp_hta(scenario: Scenario) -> AlgorithmResult:
+    report = lp_hta(scenario.system, list(scenario.tasks), LPHTAOptions())
+    return _from_assignment("LP-HTA", report.assignment)
+
+
+def _run_hgos(scenario: Scenario) -> AlgorithmResult:
+    return _from_assignment("HGOS", hgos(scenario.system, list(scenario.tasks)))
+
+
+def _run_all_to_cloud(scenario: Scenario) -> AlgorithmResult:
+    return _from_assignment("AllToC", all_to_cloud(scenario.system, list(scenario.tasks)))
+
+
+def _run_all_offload(scenario: Scenario) -> AlgorithmResult:
+    return _from_assignment(
+        "AllOffload", all_offload(scenario.system, list(scenario.tasks))
+    )
+
+
+#: The Section V-B competitors, keyed by their figure-legend names.
+HOLISTIC_ALGORITHMS: Mapping[str, Callable[[Scenario], AlgorithmResult]] = {
+    "LP-HTA": _run_lp_hta,
+    "HGOS": _run_hgos,
+    "AllToC": _run_all_to_cloud,
+    "AllOffload": _run_all_offload,
+}
+
+
+def evaluate_holistic(scenario: Scenario, algorithm: str) -> AlgorithmResult:
+    """Run one holistic algorithm by its figure-legend name.
+
+    :param scenario: the generated scenario.
+    :param algorithm: a key of :data:`HOLISTIC_ALGORITHMS`.
+    """
+    try:
+        runner = HOLISTIC_ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(HOLISTIC_ALGORITHMS)}"
+        ) from None
+    return runner(scenario)
+
+
+def evaluate_dta(scenario: Scenario, objective: str) -> AlgorithmResult:
+    """Run DTA-Workload or DTA-Number on a divisible scenario.
+
+    :param scenario: a scenario generated with ``divisible=True``.
+    :param objective: ``"workload"`` or ``"number"``.
+    """
+    if scenario.catalog is None or scenario.ownership is None:
+        raise ValueError("DTA needs a divisible scenario (catalog + ownership)")
+    outcome = run_dta(
+        scenario.system,
+        list(scenario.tasks),
+        scenario.ownership,
+        scenario.catalog,
+        objective=objective,  # type: ignore[arg-type]
+    )
+    stats = outcome.assignment.stats()
+    name = "DTA-Workload" if objective == "workload" else "DTA-Number"
+    return AlgorithmResult(
+        name=name,
+        total_energy_j=outcome.total_energy_j,
+        mean_latency_s=stats.mean_latency_s,
+        unsatisfied_rate=stats.unsatisfied_rate,
+        processing_time_s=outcome.processing_time_s,
+        involved_devices=outcome.involved_devices,
+    )

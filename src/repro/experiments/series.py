@@ -1,0 +1,114 @@
+"""Figure data containers: the series the paper plots, as printable tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Tuple, Union
+
+__all__ = ["SeriesData"]
+
+XValue = Union[int, float, str]
+
+
+@dataclass(frozen=True)
+class SeriesData:
+    """The data behind one paper figure: y-series over a shared x-axis.
+
+    :param figure_id: e.g. ``"fig2a"``.
+    :param title: what the figure shows.
+    :param x_label: x-axis meaning (e.g. "number of tasks").
+    :param y_label: y-axis meaning (e.g. "total energy (J)").
+    :param x_values: the sweep points.
+    :param series: method name → y value per sweep point.
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    x_values: Tuple[XValue, ...]
+    series: Mapping[str, Tuple[float, ...]]
+
+    def __post_init__(self) -> None:
+        for name, values in self.series.items():
+            if len(values) != len(self.x_values):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} points for "
+                    f"{len(self.x_values)} x-values"
+                )
+
+    def values_of(self, name: str) -> Tuple[float, ...]:
+        """One named series."""
+        return tuple(self.series[name])
+
+    def format_table(self) -> str:
+        """A plain-text table (what the CLI and benches print)."""
+        names = list(self.series)
+        width = max(12, *(len(n) + 2 for n in names))
+        header = f"{self.figure_id}: {self.title}\n"
+        header += f"  y = {self.y_label}\n"
+        lines = [header.rstrip()]
+        cells = [f"{self.x_label:>20}"] + [f"{n:>{width}}" for n in names]
+        lines.append(" ".join(cells))
+        for idx, x in enumerate(self.x_values):
+            row = [f"{str(x):>20}"]
+            for name in names:
+                row.append(f"{self.series[name][idx]:>{width}.4g}")
+            lines.append(" ".join(row))
+        return "\n".join(lines)
+
+    def winner_per_x(self) -> Tuple[str, ...]:
+        """Lowest-valued series name at each sweep point."""
+        out = []
+        for idx in range(len(self.x_values)):
+            out.append(min(self.series, key=lambda n: self.series[n][idx]))
+        return tuple(out)
+
+    def render_ascii(self, width: int = 64, height: int = 16) -> str:
+        """A terminal scatter chart of all series (one marker per series).
+
+        :param width: plot-area columns (x positions are spread evenly).
+        :param height: plot-area rows.
+        """
+        if width < 8 or height < 4:
+            raise ValueError("chart needs at least 8x4 cells")
+        markers = "ox+*#@%&"
+        names = list(self.series)
+        values = [v for series in self.series.values() for v in series]
+        lo, hi = min(values), max(values)
+        if hi == lo:
+            hi = lo + 1.0
+
+        grid = [[" "] * width for _ in range(height)]
+        num_x = len(self.x_values)
+        for series_index, name in enumerate(names):
+            marker = markers[series_index % len(markers)]
+            for idx, value in enumerate(self.series[name]):
+                col = (
+                    int(round(idx * (width - 1) / (num_x - 1))) if num_x > 1 else 0
+                )
+                row = int(round((value - lo) / (hi - lo) * (height - 1)))
+                grid[height - 1 - row][col] = marker
+
+        label_width = max(len(f"{hi:.3g}"), len(f"{lo:.3g}"))
+        lines = [f"{self.figure_id}: {self.title}  [{self.y_label}]"]
+        for row_index, row in enumerate(grid):
+            if row_index == 0:
+                label = f"{hi:.3g}".rjust(label_width)
+            elif row_index == height - 1:
+                label = f"{lo:.3g}".rjust(label_width)
+            else:
+                label = " " * label_width
+            lines.append(f"{label} |{''.join(row)}")
+        axis = " " * label_width + " +" + "-" * width
+        lines.append(axis)
+        x_left, x_right = str(self.x_values[0]), str(self.x_values[-1])
+        gap = max(width - len(x_left) - len(x_right), 1)
+        lines.append(
+            " " * (label_width + 2) + x_left + " " * gap + x_right
+        )
+        legend = "   ".join(
+            f"{markers[i % len(markers)]}={name}" for i, name in enumerate(names)
+        )
+        lines.append(f"{' ' * (label_width + 2)}{self.x_label}   |   {legend}")
+        return "\n".join(lines)

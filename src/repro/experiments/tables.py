@@ -1,0 +1,38 @@
+"""Table I of the paper: parameters of the simulated wireless networks."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.system.radio import TABLE_I_PROFILES
+from repro.units import MBPS
+
+__all__ = ["table1_rows", "table1_text"]
+
+
+def table1_rows() -> List[Tuple[str, float, float, float, float]]:
+    """Rows of Table I: (network, download Mbps, upload Mbps, P^T W, P^R W)."""
+    return [
+        (
+            profile.name,
+            profile.download_rate_bps / MBPS,
+            profile.upload_rate_bps / MBPS,
+            profile.tx_power_w,
+            profile.rx_power_w,
+        )
+        for profile in TABLE_I_PROFILES
+    ]
+
+
+def table1_text() -> str:
+    """Table I rendered as plain text (what the paper prints)."""
+    lines = [
+        "TABLE I: parameters of wireless networks",
+        f"{'NetWork':>8} {'Download speed':>16} {'Upload speed':>14} "
+        f"{'P^T':>8} {'P^R':>7}",
+    ]
+    for name, down, up, tx, rx in table1_rows():
+        lines.append(
+            f"{name:>8} {down:>11.2f} Mbps {up:>9.2f} Mbps {tx:>6.2f} W {rx:>5.2f} W"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,321 @@
+"""JSON serialization: scenarios, assignments and figure series.
+
+Reproducibility plumbing: a scenario saved with :func:`save_scenario` and
+reloaded with :func:`load_scenario` prices every task to the same joule —
+the round-trip is exact (tests enforce it), so results can be archived,
+diffed and shared without carrying the generator along.
+
+Wireless profiles are serialized by value (not by name), so custom and
+Shannon-derived profiles survive the trip.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.assignment import Assignment, Subsystem
+from repro.core.costs import cluster_costs
+from repro.core.task import Task
+from repro.data.items import DataCatalog
+from repro.data.ownership import OwnershipMap
+from repro.experiments.series import SeriesData
+from repro.system.computation import CyclesModel, ResultSizeModel
+from repro.system.devices import BaseStation, Cloud, MobileDevice
+from repro.system.links import BackhaulLink
+from repro.system.radio import WirelessProfile
+from repro.system.topology import MECSystem, SystemParameters
+from repro.workload.generator import Scenario
+from repro.workload.profiles import WorkloadProfile
+
+__all__ = [
+    "assignment_from_dict",
+    "assignment_to_dict",
+    "load_scenario",
+    "save_scenario",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "series_from_dict",
+    "series_to_dict",
+    "system_from_dict",
+    "system_to_dict",
+    "task_from_dict",
+    "task_to_dict",
+]
+
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Leaf converters
+# ----------------------------------------------------------------------
+
+def _profile_to_dict(profile: WirelessProfile) -> Dict[str, Any]:
+    return {
+        "name": profile.name,
+        "download_rate_bps": profile.download_rate_bps,
+        "upload_rate_bps": profile.upload_rate_bps,
+        "tx_power_w": profile.tx_power_w,
+        "rx_power_w": profile.rx_power_w,
+    }
+
+
+def _profile_from_dict(data: Dict[str, Any]) -> WirelessProfile:
+    return WirelessProfile(**data)
+
+
+def _link_to_dict(link: BackhaulLink) -> Dict[str, Any]:
+    return {
+        "latency_s": link.latency_s,
+        "bandwidth_bps": link.bandwidth_bps,
+        "energy_per_byte_j": link.energy_per_byte_j,
+    }
+
+
+def _link_from_dict(data: Dict[str, Any]) -> BackhaulLink:
+    return BackhaulLink(**data)
+
+
+def task_to_dict(task: Task) -> Dict[str, Any]:
+    """One task as plain JSON-serializable data."""
+    return {
+        "owner_device_id": task.owner_device_id,
+        "index": task.index,
+        "local_bytes": task.local_bytes,
+        "external_bytes": task.external_bytes,
+        "external_source": task.external_source,
+        "resource_demand": task.resource_demand,
+        "deadline_s": task.deadline_s,
+        "divisible": task.divisible,
+        "required_items": sorted(task.required_items),
+        "operation": task.operation,
+    }
+
+
+def task_from_dict(data: Dict[str, Any]) -> Task:
+    """Inverse of :func:`task_to_dict`."""
+    payload = dict(data)
+    payload["required_items"] = frozenset(payload.get("required_items", ()))
+    return Task(**payload)
+
+
+# ----------------------------------------------------------------------
+# System
+# ----------------------------------------------------------------------
+
+def system_to_dict(system: MECSystem) -> Dict[str, Any]:
+    """A whole MEC system as plain data."""
+    params = system.parameters
+    return {
+        "devices": [
+            {
+                "device_id": device.device_id,
+                "cpu_frequency_hz": device.cpu_frequency_hz,
+                "wireless": _profile_to_dict(device.wireless),
+                "max_resource": device.max_resource,
+                "data_items": sorted(device.data_items),
+                "position": list(device.position) if device.position else None,
+            }
+            for device in system.devices.values()
+        ],
+        "stations": [
+            {
+                "station_id": station.station_id,
+                "cpu_frequency_hz": station.cpu_frequency_hz,
+                "max_resource": station.max_resource,
+                "position": list(station.position) if station.position else None,
+            }
+            for station in system.stations.values()
+        ],
+        "attachment": {
+            str(device_id): system.cluster_of(device_id)
+            for device_id in system.devices
+        },
+        "cloud": {"cpu_frequency_hz": system.cloud.cpu_frequency_hz},
+        "bs_bs_link": _link_to_dict(system.bs_bs_link),
+        "bs_cloud_link": _link_to_dict(system.bs_cloud_link),
+        "parameters": {
+            "kappa": params.kappa,
+            "cycles": {
+                "cycles_per_byte": params.cycles.cycles_per_byte,
+                "device_multiplier": params.cycles.device_multiplier,
+                "station_multiplier": params.cycles.station_multiplier,
+                "cloud_multiplier": params.cycles.cloud_multiplier,
+            },
+            "result_size": {
+                "ratio": params.result_size.ratio,
+                "constant_bytes": params.result_size.constant_bytes,
+            },
+        },
+    }
+
+
+def system_from_dict(data: Dict[str, Any]) -> MECSystem:
+    """Inverse of :func:`system_to_dict`."""
+    devices = [
+        MobileDevice(
+            device_id=entry["device_id"],
+            cpu_frequency_hz=entry["cpu_frequency_hz"],
+            wireless=_profile_from_dict(entry["wireless"]),
+            max_resource=entry["max_resource"],
+            data_items=frozenset(entry.get("data_items", ())),
+            position=tuple(entry["position"]) if entry.get("position") else None,
+        )
+        for entry in data["devices"]
+    ]
+    stations = [
+        BaseStation(
+            station_id=entry["station_id"],
+            cpu_frequency_hz=entry["cpu_frequency_hz"],
+            max_resource=entry["max_resource"],
+            position=tuple(entry["position"]) if entry.get("position") else None,
+        )
+        for entry in data["stations"]
+    ]
+    params = data["parameters"]
+    return MECSystem(
+        devices=devices,
+        stations=stations,
+        attachment={int(k): v for k, v in data["attachment"].items()},
+        cloud=Cloud(cpu_frequency_hz=data["cloud"]["cpu_frequency_hz"]),
+        bs_bs_link=_link_from_dict(data["bs_bs_link"]),
+        bs_cloud_link=_link_from_dict(data["bs_cloud_link"]),
+        parameters=SystemParameters(
+            kappa=params["kappa"],
+            cycles=CyclesModel(**params["cycles"]),
+            result_size=ResultSizeModel(**params["result_size"]),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario
+# ----------------------------------------------------------------------
+
+def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
+    """A full scenario (system, tasks, data universe) as plain data."""
+    out: Dict[str, Any] = {
+        "format_version": _FORMAT_VERSION,
+        "seed": scenario.seed,
+        "profile": {
+            field: getattr(scenario.profile, field)
+            for field in WorkloadProfile.__dataclass_fields__
+        },
+        "system": system_to_dict(scenario.system),
+        "tasks": [task_to_dict(task) for task in scenario.tasks],
+        "catalog": None,
+        "ownership": None,
+    }
+    # Tuples → lists for JSON friendliness.
+    for key, value in out["profile"].items():
+        if isinstance(value, tuple):
+            out["profile"][key] = list(value)
+    if scenario.catalog is not None:
+        out["catalog"] = {
+            str(item_id): scenario.catalog.size_of(item_id)
+            for item_id in sorted(scenario.catalog.item_ids)
+        }
+    if scenario.ownership is not None:
+        out["ownership"] = {
+            str(device_id): sorted(scenario.ownership.items_of(device_id))
+            for device_id in sorted(scenario.ownership.device_ids)
+        }
+    return out
+
+
+def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
+    """Inverse of :func:`scenario_to_dict`.
+
+    :raises ValueError: on unknown format versions.
+    """
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported scenario format version {version!r}")
+    profile_data = dict(data["profile"])
+    for key, value in profile_data.items():
+        if isinstance(value, list):
+            profile_data[key] = tuple(value)
+    catalog = None
+    if data.get("catalog") is not None:
+        catalog = DataCatalog.from_sizes(
+            {int(k): v for k, v in data["catalog"].items()}
+        )
+    ownership = None
+    if data.get("ownership") is not None:
+        ownership = OwnershipMap(
+            {int(k): set(v) for k, v in data["ownership"].items()}
+        )
+    return Scenario(
+        profile=WorkloadProfile(**profile_data),
+        seed=data["seed"],
+        system=system_from_dict(data["system"]),
+        tasks=tuple(task_from_dict(entry) for entry in data["tasks"]),
+        catalog=catalog,
+        ownership=ownership,
+    )
+
+
+def save_scenario(scenario: Scenario, path: Union[str, Path]) -> None:
+    """Write a scenario to a JSON file."""
+    Path(path).write_text(json.dumps(scenario_to_dict(scenario)))
+
+
+def load_scenario(path: Union[str, Path]) -> Scenario:
+    """Read a scenario from a JSON file."""
+    return scenario_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Assignments and series
+# ----------------------------------------------------------------------
+
+def assignment_to_dict(assignment: Assignment) -> Dict[str, Any]:
+    """Decisions keyed by task id (costs are re-derived on load)."""
+    return {
+        "decisions": [
+            {"task_id": list(task.task_id), "subsystem": decision.name}
+            for task, decision in zip(assignment.costs.tasks, assignment.decisions)
+        ],
+    }
+
+
+def assignment_from_dict(
+    data: Dict[str, Any], system: MECSystem, tasks: List[Task]
+) -> Assignment:
+    """Rebuild an assignment against a (re-loaded) system and task list.
+
+    :raises ValueError: if the stored decisions do not match the tasks.
+    """
+    by_id = {tuple(entry["task_id"]): entry["subsystem"] for entry in data["decisions"]}
+    decisions = []
+    for task in tasks:
+        try:
+            decisions.append(Subsystem[by_id[task.task_id]])
+        except KeyError:
+            raise ValueError(f"no stored decision for task {task.task_id}") from None
+    return Assignment(cluster_costs(system, tasks), decisions)
+
+
+def series_to_dict(series: SeriesData) -> Dict[str, Any]:
+    """A figure's series as plain data (the results/figures.json shape)."""
+    return {
+        "figure_id": series.figure_id,
+        "title": series.title,
+        "x_label": series.x_label,
+        "y_label": series.y_label,
+        "x_values": list(series.x_values),
+        "series": {name: list(values) for name, values in series.series.items()},
+    }
+
+
+def series_from_dict(data: Dict[str, Any]) -> SeriesData:
+    """Inverse of :func:`series_to_dict`."""
+    return SeriesData(
+        figure_id=data["figure_id"],
+        title=data["title"],
+        x_label=data["x_label"],
+        y_label=data["y_label"],
+        x_values=tuple(data["x_values"]),
+        series={name: tuple(values) for name, values in data["series"].items()},
+    )

@@ -1,0 +1,78 @@
+"""LP backend dispatcher.
+
+``"interior-point"`` (the default, mirroring the paper's Step 1) and
+``"simplex"`` are our from-scratch solvers; ``"scipy"`` wraps
+``scipy.optimize.linprog`` and exists so the test suite can cross-validate
+the from-scratch implementations against an independent solver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.lp.interior_point import IPMOptions, solve_interior_point
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.simplex import SimplexOptions, solve_simplex
+
+__all__ = ["available_backends", "solve"]
+
+
+def _solve_scipy(problem: LinearProgram) -> LPResult:
+    """Cross-check backend built on scipy's HiGHS interface."""
+    from scipy.optimize import linprog
+
+    bounds = [(0.0, ub if ub != float("inf") else None) for ub in problem.upper_bounds]
+    result = linprog(
+        c=problem.c,
+        A_ub=problem.a_ub,
+        b_ub=problem.b_ub,
+        A_eq=problem.a_eq,
+        b_eq=problem.b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    status_map = {
+        0: LPStatus.OPTIMAL,
+        1: LPStatus.ITERATION_LIMIT,
+        2: LPStatus.INFEASIBLE,
+        3: LPStatus.UNBOUNDED,
+        4: LPStatus.NUMERICAL_ERROR,
+    }
+    status = status_map.get(result.status, LPStatus.NUMERICAL_ERROR)
+    return LPResult(
+        status=status,
+        x=result.x if status.ok else None,
+        objective=float(result.fun) if status.ok else float("nan"),
+        iterations=int(getattr(result, "nit", 0) or 0),
+        backend="scipy",
+        message=str(result.message),
+    )
+
+
+_BACKENDS: Dict[str, Callable[[LinearProgram], LPResult]] = {
+    "interior-point": lambda p: solve_interior_point(p, IPMOptions()),
+    "simplex": lambda p: solve_simplex(p, SimplexOptions()),
+    "scipy": _solve_scipy,
+}
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names accepted by :func:`solve`."""
+    return tuple(_BACKENDS)
+
+
+def solve(problem: LinearProgram, method: str = "interior-point") -> LPResult:
+    """Solve ``problem`` with the named backend.
+
+    :param problem: the LP to solve.
+    :param method: one of :func:`available_backends`.
+    :raises ValueError: on an unknown backend name.
+    """
+    try:
+        backend = _BACKENDS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown LP backend {method!r}; choose from {available_backends()}"
+        ) from None
+    return backend(problem)

@@ -1,0 +1,197 @@
+"""LP presolve: cheap reductions applied before a solver sees the problem.
+
+Production LP stacks shave work off the solver with presolve passes; the
+ones that matter for this library's LPs are:
+
+- **fixed variables** — bounds pinned to zero (e.g. the partial-offloading
+  model pins deadline-infeasible branches) are substituted out,
+- **singleton equality rows** — ``a·x_j = b`` fixes ``x_j = b/a``,
+- **empty rows** — all-zero rows are dropped (or prove infeasibility).
+
+Passes iterate to a fixpoint.  :func:`restore` maps a reduced solution back
+to the original variable space, so ``solve(presolve(lp))`` is a drop-in for
+``solve(lp)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.lp.problem import LinearProgram
+
+__all__ = ["PresolveResult", "presolve", "restore"]
+
+_TOL = 1e-10
+
+
+@dataclass(frozen=True)
+class PresolveResult:
+    """Outcome of the presolve passes.
+
+    :param lp: the reduced problem (None when presolve proved
+        infeasibility, or solved the problem outright).
+    :param kept: original indices of the surviving variables.
+    :param fixed: original index → value for eliminated variables.
+    :param infeasible: presolve proved the problem infeasible.
+    :param message: diagnostic detail.
+    """
+
+    lp: Optional[LinearProgram]
+    kept: np.ndarray
+    fixed: Dict[int, float]
+    infeasible: bool = False
+    message: str = ""
+
+    @property
+    def num_eliminated(self) -> int:
+        """Variables removed by presolve."""
+        return len(self.fixed)
+
+    @property
+    def fully_solved(self) -> bool:
+        """Whether presolve fixed every variable."""
+        return not self.infeasible and self.kept.size == 0
+
+
+def _within_bounds(value: float, ub: float) -> bool:
+    return -_TOL <= value <= ub + _TOL
+
+
+def presolve(lp: LinearProgram) -> PresolveResult:
+    """Run the reduction passes on a bounded-variable LP.
+
+    :param lp: the problem to reduce.
+    """
+    n = lp.num_vars
+    fixed: Dict[int, float] = {}
+    kept = list(range(n))
+
+    c = lp.c.copy()
+    a_ub = None if lp.a_ub is None else lp.a_ub.copy()
+    b_ub = None if lp.b_ub is None else lp.b_ub.copy()
+    a_eq = None if lp.a_eq is None else lp.a_eq.copy()
+    b_eq = None if lp.b_eq is None else lp.b_eq.copy()
+    upper = lp.upper_bounds.copy()
+
+    def fix_variable(local_idx: int, value: float) -> bool:
+        """Substitute a variable; returns False on bound violation."""
+        nonlocal c, a_ub, b_ub, a_eq, b_eq, upper
+        if not _within_bounds(value, upper[local_idx]):
+            return False
+        original = kept.pop(local_idx)
+        fixed[original] = max(value, 0.0)
+        if a_ub is not None:
+            b_ub -= a_ub[:, local_idx] * value
+            a_ub = np.delete(a_ub, local_idx, axis=1)
+        if a_eq is not None:
+            b_eq -= a_eq[:, local_idx] * value
+            a_eq = np.delete(a_eq, local_idx, axis=1)
+        c = np.delete(c, local_idx)
+        upper = np.delete(upper, local_idx)
+        return True
+
+    changed = True
+    while changed:
+        changed = False
+
+        # Pass 1: variables pinned by their bounds.
+        idx = 0
+        while idx < len(kept):
+            if upper[idx] <= _TOL:
+                if not fix_variable(idx, 0.0):
+                    return PresolveResult(
+                        lp=None, kept=np.asarray(kept), fixed=fixed,
+                        infeasible=True, message="bound-pinned variable infeasible",
+                    )
+                changed = True
+            else:
+                idx += 1
+
+        # Pass 2: empty and singleton equality rows.
+        if a_eq is not None:
+            row = 0
+            while row < a_eq.shape[0]:
+                nonzero = np.flatnonzero(np.abs(a_eq[row]) > _TOL)
+                if nonzero.size == 0:
+                    if abs(b_eq[row]) > 1e-7:
+                        return PresolveResult(
+                            lp=None, kept=np.asarray(kept), fixed=fixed,
+                            infeasible=True,
+                            message=f"empty equality row with rhs {b_eq[row]:g}",
+                        )
+                    a_eq = np.delete(a_eq, row, axis=0)
+                    b_eq = np.delete(b_eq, row)
+                    changed = True
+                elif nonzero.size == 1:
+                    var = int(nonzero[0])
+                    value = float(b_eq[row] / a_eq[row, var])
+                    a_eq = np.delete(a_eq, row, axis=0)
+                    b_eq = np.delete(b_eq, row)
+                    if not fix_variable(var, value):
+                        return PresolveResult(
+                            lp=None, kept=np.asarray(kept), fixed=fixed,
+                            infeasible=True,
+                            message="singleton equality violates bounds",
+                        )
+                    changed = True
+                else:
+                    row += 1
+
+        # Pass 3: empty inequality rows.
+        if a_ub is not None:
+            keep_rows = []
+            for row in range(a_ub.shape[0]):
+                if np.any(np.abs(a_ub[row]) > _TOL):
+                    keep_rows.append(row)
+                elif b_ub[row] < -1e-7:
+                    return PresolveResult(
+                        lp=None, kept=np.asarray(kept), fixed=fixed,
+                        infeasible=True,
+                        message=f"empty inequality row with rhs {b_ub[row]:g}",
+                    )
+                else:
+                    changed = True
+            if len(keep_rows) < a_ub.shape[0]:
+                a_ub = a_ub[keep_rows]
+                b_ub = b_ub[keep_rows]
+
+    if a_ub is not None and a_ub.shape[0] == 0:
+        a_ub, b_ub = None, None
+    if a_eq is not None and a_eq.shape[0] == 0:
+        a_eq, b_eq = None, None
+
+    if not kept:
+        return PresolveResult(
+            lp=None, kept=np.zeros(0, dtype=int), fixed=fixed,
+            message="presolve fixed every variable",
+        )
+    reduced = LinearProgram(
+        c=c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq, upper_bounds=upper
+    )
+    return PresolveResult(lp=reduced, kept=np.asarray(kept), fixed=fixed)
+
+
+def restore(result: PresolveResult, x_reduced: Optional[np.ndarray]) -> np.ndarray:
+    """Map a reduced-space solution back to the original variables.
+
+    :param result: the presolve bookkeeping.
+    :param x_reduced: solution of ``result.lp`` (may be None/empty when
+        presolve fully solved the problem).
+    :raises ValueError: on infeasible presolves or size mismatches.
+    """
+    if result.infeasible:
+        raise ValueError("cannot restore an infeasible presolve")
+    total = result.kept.size + len(result.fixed)
+    x = np.zeros(total)
+    for index, value in result.fixed.items():
+        x[index] = value
+    if result.kept.size:
+        if x_reduced is None or len(x_reduced) != result.kept.size:
+            raise ValueError(
+                f"reduced solution must have length {result.kept.size}"
+            )
+        x[result.kept] = x_reduced
+    return x

@@ -1,0 +1,368 @@
+"""Structured interior-point solver for P2-shaped linear programs.
+
+The relaxation P2 (Section III-A) has a very particular shape:
+
+.. math::
+
+   \\min c^T x \\quad \\text{s.t.} \\quad
+   \\sum_{i \\in g} x_i = b_g \\; \\forall g, \\quad
+   R x \\le r, \\quad 0 \\le x \\le u,
+
+where the groups *g* partition the variables (one group per task: C4) and
+the coupling block *R* has only a few rows (one per device plus one for the
+base station: C2/C3).  A generic dense solver pays O((nm)³) per iteration;
+here the normal-equations matrix :math:`A \\Theta A^T` is block
+``[[diagonal, U], [Uᵀ, small]]``, so each Newton step costs
+O(n·K + K³) with K = #coupling rows — effectively linear in the number of
+tasks.  This is what lets the figure benches sweep to 900 tasks.
+
+The algorithm is the same Mehrotra predictor–corrector as
+:mod:`repro.lp.interior_point`, extended with native variable upper bounds
+(no slack blow-up) following the standard bounded-variable derivation
+(Wright, *Primal-Dual Interior-Point Methods*, ch. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.lp.result import LPResult, LPStatus
+
+__all__ = ["GroupedBoundedLP", "StructuredIPMOptions", "solve_structured"]
+
+_BACKEND_NAME = "structured-ipm"
+
+
+@dataclass(frozen=True)
+class StructuredIPMOptions:
+    """Tunables for the structured solver.
+
+    :param tolerance: relative residual / complementarity target.  The
+        default stops at 1e-8: the scaling-matrix clipping puts the
+        achievable floor near 1e-9, where the last digits cost dozens of
+        stalled iterations for nothing the rounding step could ever see.
+    :param max_iterations: iteration cap.
+    :param step_fraction: damping of the step to the boundary.
+    """
+
+    tolerance: float = 1e-8
+    max_iterations: int = 200
+    step_fraction: float = 0.9995
+
+
+class GroupedBoundedLP:
+    """A P2-shaped LP: partitioned equality groups + few coupling rows.
+
+    :param c: objective, length n.
+    :param group_index: for each variable, the index of its equality group
+        (every variable belongs to exactly one group).
+    :param group_rhs: right-hand side :math:`b_g` per group.
+    :param coupling_a: coupling inequality matrix, shape (K, n); may be
+        empty (K = 0).
+    :param coupling_b: coupling right-hand sides, length K.
+    :param upper: per-variable upper bounds (np.inf allowed).
+    """
+
+    def __init__(
+        self,
+        c: np.ndarray,
+        group_index: np.ndarray,
+        group_rhs: np.ndarray,
+        coupling_a: Optional[np.ndarray] = None,
+        coupling_b: Optional[np.ndarray] = None,
+        upper: Optional[np.ndarray] = None,
+    ) -> None:
+        self.c = np.asarray(c, dtype=float)
+        n = self.c.shape[0]
+        self.group_index = np.asarray(group_index, dtype=int)
+        if self.group_index.shape != (n,):
+            raise ValueError("group_index must map every variable")
+        self.group_rhs = np.asarray(group_rhs, dtype=float)
+        num_groups = self.group_rhs.shape[0]
+        if num_groups == 0:
+            raise ValueError("need at least one equality group")
+        if self.group_index.min(initial=0) < 0 or (
+            n > 0 and self.group_index.max() >= num_groups
+        ):
+            raise ValueError("group_index out of range")
+
+        if coupling_a is None:
+            coupling_a = np.zeros((0, n))
+            coupling_b = np.zeros(0)
+        self.coupling_a = np.asarray(coupling_a, dtype=float)
+        self.coupling_b = np.asarray(coupling_b, dtype=float)
+        if self.coupling_a.shape[1] != n:
+            raise ValueError(f"coupling_a must have {n} columns")
+        if self.coupling_b.shape != (self.coupling_a.shape[0],):
+            raise ValueError("coupling_b length must match coupling_a rows")
+
+        self.upper = (
+            np.full(n, np.inf) if upper is None else np.asarray(upper, dtype=float)
+        )
+        if self.upper.shape != (n,):
+            raise ValueError(f"upper must have length {n}")
+        if np.any(self.upper <= 0):
+            raise ValueError("upper bounds must be positive (use np.inf for none)")
+
+    @property
+    def num_vars(self) -> int:
+        """n, the number of decision variables."""
+        return self.c.shape[0]
+
+    @property
+    def num_groups(self) -> int:
+        """Number of equality groups."""
+        return self.group_rhs.shape[0]
+
+    @property
+    def num_coupling(self) -> int:
+        """K, the number of coupling inequality rows."""
+        return self.coupling_a.shape[0]
+
+    def group_sums(self, values: np.ndarray) -> np.ndarray:
+        """Per-group sums of a per-variable vector (G·values)."""
+        return np.bincount(self.group_index, weights=values, minlength=self.num_groups)
+
+    def objective(self, x: np.ndarray) -> float:
+        """Evaluate :math:`c^T x`."""
+        return float(self.c @ x)
+
+    def residuals(self, x: np.ndarray) -> dict:
+        """Max violation per constraint family for a candidate ``x``."""
+        out = {
+            "lower": float(np.max(np.maximum(-x, 0.0), initial=0.0)),
+            "upper": float(np.max(np.maximum(x - self.upper, 0.0), initial=0.0)),
+            "groups": float(
+                np.max(np.abs(self.group_sums(x) - self.group_rhs), initial=0.0)
+            ),
+        }
+        if self.num_coupling:
+            out["coupling"] = float(
+                np.max(
+                    np.maximum(self.coupling_a @ x - self.coupling_b, 0.0), initial=0.0
+                )
+            )
+        return out
+
+    def is_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+        """Whether ``x`` satisfies every constraint within ``tol``."""
+        return all(v <= tol for v in self.residuals(x).values())
+
+
+def solve_structured(
+    lp: GroupedBoundedLP, options: StructuredIPMOptions = StructuredIPMOptions()
+) -> LPResult:
+    """Solve a :class:`GroupedBoundedLP` with the structured Mehrotra IPM.
+
+    The combined variable vector is (x, s) with s the coupling slacks; the
+    equality system is ``[[G, 0], [R, I]] (x, s) = (b_g, r)``.  The normal
+    equations are solved by eliminating the diagonal group block (Schur
+    complement on the K×K coupling block).
+
+    :param lp: the structured LP.
+    :param options: solver tunables.
+    """
+    n = lp.num_vars
+    k = lp.num_coupling
+    m_g = lp.num_groups
+    c = lp.c
+    r_mat = lp.coupling_a
+    bounded = np.isfinite(lp.upper)
+    u = lp.upper
+
+    # ---- starting point -------------------------------------------------
+    x = np.where(bounded, np.minimum(u * 0.5, 1.0), 1.0)
+    x = np.maximum(x, 1e-3)
+    s = np.ones(k)
+    w = np.where(bounded, u - x, 1.0)  # only meaningful where bounded
+    w = np.maximum(w, 1e-3)
+    y_g = np.zeros(m_g)
+    y_r = np.zeros(k)
+    z = np.ones(n)          # dual of x >= 0
+    z_s = np.ones(k)        # dual of s >= 0
+    v = np.where(bounded, 1.0, 0.0)  # dual of x <= u
+
+    norm_b = 1.0 + float(np.linalg.norm(lp.group_rhs)) + float(np.linalg.norm(lp.coupling_b))
+    norm_c = 1.0 + float(np.linalg.norm(c))
+    num_comp = n + k + int(bounded.sum())
+
+    def complementarity() -> float:
+        return (
+            float(x @ z) + float(s @ z_s) + float(w[bounded] @ v[bounded])
+        ) / num_comp
+
+    for iteration in range(1, options.max_iterations + 1):
+        # Residuals.
+        r_groups = lp.group_sums(x) - lp.group_rhs
+        r_coupling = (r_mat @ x + s - lp.coupling_b) if k else np.zeros(0)
+        r_upper = np.where(bounded, x + w - u, 0.0)
+        r_dual_x = (
+            (r_mat.T @ y_r if k else 0.0) + y_g[lp.group_index] + z - v - c
+        )
+        r_dual_s = y_r + z_s if k else np.zeros(0)
+
+        mu = complementarity()
+        primal_err = (
+            float(np.linalg.norm(r_groups))
+            + float(np.linalg.norm(r_coupling))
+            + float(np.linalg.norm(r_upper))
+        ) / norm_b
+        dual_err = (
+            float(np.linalg.norm(r_dual_x)) + float(np.linalg.norm(r_dual_s))
+        ) / norm_c
+        if max(primal_err, dual_err, mu) < options.tolerance:
+            return LPResult(
+                status=LPStatus.OPTIMAL,
+                x=x.copy(),
+                objective=lp.objective(x),
+                iterations=iteration - 1,
+                backend=_BACKEND_NAME,
+            )
+
+        # Scaling diagonals (clip to keep the Schur system finite).
+        with np.errstate(over="ignore", divide="ignore"):
+            d_x = z / np.maximum(x, 1e-300) + np.where(
+                bounded, v / np.maximum(w, 1e-300), 0.0
+            )
+            d_s = z_s / np.maximum(s, 1e-300) if k else np.zeros(0)
+        theta_x = 1.0 / np.clip(d_x, 1e-12, 1e12)
+        theta_s = 1.0 / np.clip(d_s, 1e-12, 1e12) if k else np.zeros(0)
+
+        # Normal-equation blocks.
+        diag_g = np.maximum(lp.group_sums(theta_x), 1e-300)
+        if k:
+            rt = r_mat * theta_x  # (K, n) scaled rows
+            u_block = np.empty((m_g, k))
+            for col in range(k):
+                u_block[:, col] = lp.group_sums(rt[col])
+            s_block = rt @ r_mat.T + np.diag(theta_s)
+        else:
+            u_block = np.zeros((m_g, 0))
+            s_block = np.zeros((0, 0))
+
+        def solve_normal(rhs_g: np.ndarray, rhs_r: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+            """Solve [[D_g, U], [Uᵀ, S]] (dy_g, dy_r) = (rhs_g, rhs_r)."""
+            if k == 0:
+                return rhs_g / diag_g, np.zeros(0)
+            dg_inv_rhs = rhs_g / diag_g
+            schur = s_block - u_block.T @ (u_block / diag_g[:, None])
+            schur[np.diag_indices_from(schur)] += 1e-12 * (1.0 + np.trace(schur) / max(k, 1))
+            dy_r = np.linalg.solve(schur, rhs_r - u_block.T @ dg_inv_rhs)
+            dy_g = (rhs_g - u_block @ dy_r) / diag_g
+            return dy_g, dy_r
+
+        def newton(rxz: np.ndarray, rwv: np.ndarray, rsz: np.ndarray):
+            """One KKT solve for given complementarity residuals."""
+            # Collapse to the normal equations in (dy_g, dy_r).
+            g_x = r_dual_x - rxz / np.maximum(x, 1e-300)
+            if np.any(bounded):
+                g_x = g_x + np.where(
+                    bounded,
+                    rwv / np.maximum(w, 1e-300)
+                    - (v / np.maximum(w, 1e-300)) * r_upper,
+                    0.0,
+                )
+            # dx = theta_x (A'dy + g_x) form:
+            rhs_g = -r_groups - lp.group_sums(theta_x * g_x)
+            if k:
+                g_s = r_dual_s - rsz / np.maximum(s, 1e-300)
+                rhs_r = -r_coupling - rt @ g_x - theta_s * g_s
+            else:
+                rhs_r = np.zeros(0)
+            dy_g, dy_r = solve_normal(rhs_g, rhs_r)
+            at_dy = dy_g[lp.group_index] + (r_mat.T @ dy_r if k else 0.0)
+            dx = theta_x * (at_dy + g_x)
+            dz = -(rxz + z * dx) / np.maximum(x, 1e-300)
+            dw = np.where(bounded, -r_upper - dx, 0.0)
+            dv = np.where(
+                bounded, -(rwv + v * dw) / np.maximum(w, 1e-300), 0.0
+            )
+            if k:
+                ds = theta_s * (dy_r + g_s)
+                dz_s = -(rsz + z_s * ds) / np.maximum(s, 1e-300)
+            else:
+                ds = np.zeros(0)
+                dz_s = np.zeros(0)
+            return dx, ds, dw, dy_g, dy_r, dz, dz_s, dv
+
+        def max_step(values: np.ndarray, deltas: np.ndarray, mask=None) -> float:
+            if mask is not None:
+                values = values[mask]
+                deltas = deltas[mask]
+            negative = deltas < 0
+            if not np.any(negative):
+                return 1.0
+            return float(min(1.0, np.min(-values[negative] / deltas[negative])))
+
+        # Predictor.
+        rxz_aff = x * z
+        rwv_aff = np.where(bounded, w * v, 0.0)
+        rsz_aff = s * z_s if k else np.zeros(0)
+        aff = newton(rxz_aff, rwv_aff, rsz_aff)
+        dx_a, ds_a, dw_a, _, _, dz_a, dzs_a, dv_a = aff
+        alpha_p = min(
+            max_step(x, dx_a),
+            max_step(s, ds_a) if k else 1.0,
+            max_step(w, dw_a, bounded),
+        )
+        alpha_d = min(
+            max_step(z, dz_a),
+            max_step(z_s, dzs_a) if k else 1.0,
+            max_step(v, dv_a, bounded),
+        )
+        mu_aff = (
+            float((x + alpha_p * dx_a) @ (z + alpha_d * dz_a))
+            + (float((s + alpha_p * ds_a) @ (z_s + alpha_d * dzs_a)) if k else 0.0)
+            + float(
+                (w[bounded] + alpha_p * dw_a[bounded])
+                @ (v[bounded] + alpha_d * dv_a[bounded])
+            )
+        ) / num_comp
+        sigma = (mu_aff / mu) ** 3 if mu > 0 else 0.0
+
+        # Corrector.
+        rxz = x * z + dx_a * dz_a - sigma * mu
+        rwv = np.where(bounded, w * v + dw_a * dv_a - sigma * mu, 0.0)
+        rsz = (s * z_s + ds_a * dzs_a - sigma * mu) if k else np.zeros(0)
+        dx, ds, dw, dy_g, dy_r, dz, dz_s, dv = newton(rxz, rwv, rsz)
+
+        alpha_p = options.step_fraction * min(
+            max_step(x, dx),
+            max_step(s, ds) if k else 1.0,
+            max_step(w, dw, bounded),
+        )
+        alpha_d = options.step_fraction * min(
+            max_step(z, dz),
+            max_step(z_s, dz_s) if k else 1.0,
+            max_step(v, dv, bounded),
+        )
+        x = x + alpha_p * dx
+        s = s + alpha_p * ds
+        w = np.where(bounded, w + alpha_p * dw, w)
+        y_g = y_g + alpha_d * dy_g
+        y_r = y_r + alpha_d * dy_r
+        z = z + alpha_d * dz
+        z_s = z_s + alpha_d * dz_s
+        v = np.where(bounded, v + alpha_d * dv, v)
+
+        if np.any(x <= 0) or np.any(z <= 0) or (k and (np.any(s <= 0) or np.any(z_s <= 0))):
+            return LPResult(
+                status=LPStatus.NUMERICAL_ERROR,
+                x=None,
+                objective=float("nan"),
+                iterations=iteration,
+                backend=_BACKEND_NAME,
+                message="iterate left the positive orthant",
+            )
+
+    return LPResult(
+        status=LPStatus.ITERATION_LIMIT,
+        x=None,
+        objective=float("nan"),
+        iterations=options.max_iterations,
+        backend=_BACKEND_NAME,
+        message="no convergence within the iteration cap",
+    )

@@ -1,0 +1,23 @@
+"""Mobility substrate: waypoint motion, handover, quasi-static analysis.
+
+Section II assumes a *quasi-static* scenario — every device keeps its base
+station for the whole planning period.  This package makes that assumption
+testable: devices move (random waypoint), attachment follows the nearest
+station, and the online scheduler (:mod:`repro.online`) re-plans per epoch
+while measuring how often the assumption is violated mid-epoch and what the
+violations cost.
+"""
+
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.mobility.handover import (
+    HandoverAnalysis,
+    attachment_at,
+    analyse_handovers,
+)
+
+__all__ = [
+    "HandoverAnalysis",
+    "RandomWaypointModel",
+    "analyse_handovers",
+    "attachment_at",
+]

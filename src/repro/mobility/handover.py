@@ -1,0 +1,111 @@
+"""Handover analysis: nearest-station attachment and quasi-static checks.
+
+Attachment follows the strongest (here: nearest) base station.  The
+quasi-static assumption of Section II holds for an epoch when no device
+changes station inside it; :func:`analyse_handovers` measures how often that
+is true for a given epoch length, which the online scheduler uses to pick a
+planning cadence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.mobility.waypoint import RandomWaypointModel
+
+__all__ = ["HandoverAnalysis", "analyse_handovers", "attachment_at"]
+
+
+def attachment_at(
+    model: RandomWaypointModel,
+    station_positions: Mapping[int, Tuple[float, float]],
+    time: float,
+) -> Dict[int, int]:
+    """Nearest-station attachment for every device at a time.
+
+    :param model: the mobility model.
+    :param station_positions: station id → (x, y).
+    :param time: absolute time.
+    """
+    if not station_positions:
+        raise ValueError("need at least one base station")
+    out: Dict[int, int] = {}
+    for device_id, (x, y) in model.positions_at(time).items():
+        out[device_id] = min(
+            station_positions,
+            key=lambda sid: math.hypot(
+                x - station_positions[sid][0], y - station_positions[sid][1]
+            ),
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class HandoverAnalysis:
+    """Quasi-static quality of an epoch length.
+
+    :param epoch_length_s: the analysed epoch length.
+    :param num_epochs: epochs analysed.
+    :param handovers_per_epoch: mean station changes per epoch (all devices).
+    :param violation_rate: fraction of (device, epoch) pairs where the
+        device changed station *inside* the epoch — exactly the events the
+        quasi-static assumption rules out.
+    """
+
+    epoch_length_s: float
+    num_epochs: int
+    handovers_per_epoch: float
+    violation_rate: float
+
+
+def analyse_handovers(
+    model: RandomWaypointModel,
+    station_positions: Mapping[int, Tuple[float, float]],
+    horizon_s: float,
+    epoch_length_s: float,
+    samples_per_epoch: int = 10,
+) -> HandoverAnalysis:
+    """Measure quasi-static violations over a horizon.
+
+    :param model: the mobility model.
+    :param station_positions: station id → (x, y).
+    :param horizon_s: total simulated time.
+    :param epoch_length_s: planning-epoch length to analyse.
+    :param samples_per_epoch: attachment checks inside each epoch.
+    """
+    if horizon_s <= 0 or epoch_length_s <= 0:
+        raise ValueError("horizon and epoch length must be positive")
+    if epoch_length_s > horizon_s:
+        raise ValueError("epoch length cannot exceed the horizon")
+    if samples_per_epoch < 2:
+        raise ValueError("need at least two samples per epoch")
+
+    num_epochs = int(horizon_s // epoch_length_s)
+    total_handovers = 0
+    violations = 0
+    checks = 0
+    for epoch in range(num_epochs):
+        start = epoch * epoch_length_s
+        times = np.linspace(start, start + epoch_length_s, samples_per_epoch)
+        previous = attachment_at(model, station_positions, float(times[0]))
+        changed = {device_id: False for device_id in previous}
+        for t in times[1:]:
+            current = attachment_at(model, station_positions, float(t))
+            for device_id, station in current.items():
+                if station != previous[device_id]:
+                    total_handovers += 1
+                    changed[device_id] = True
+            previous = current
+        violations += sum(changed.values())
+        checks += len(changed)
+
+    return HandoverAnalysis(
+        epoch_length_s=epoch_length_s,
+        num_epochs=num_epochs,
+        handovers_per_epoch=total_handovers / max(num_epochs, 1),
+        violation_rate=violations / max(checks, 1),
+    )

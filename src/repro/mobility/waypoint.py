@@ -1,0 +1,158 @@
+"""Random-waypoint mobility model.
+
+Each device repeatedly picks a uniform destination in the area and walks to
+it in a straight line at a uniformly drawn speed, with an optional pause on
+arrival — the standard random-waypoint model of the MANET literature.
+Trajectories are generated lazily per device and are fully deterministic
+given the seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["RandomWaypointModel"]
+
+
+@dataclass(frozen=True)
+class _Leg:
+    """One straight-line segment of a trajectory (including pause time)."""
+
+    start_time: float
+    start: Tuple[float, float]
+    end: Tuple[float, float]
+    speed: float
+    pause: float
+
+    @property
+    def travel_time(self) -> float:
+        distance = math.hypot(self.end[0] - self.start[0], self.end[1] - self.start[1])
+        return distance / self.speed if self.speed > 0 else 0.0
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.travel_time + self.pause
+
+    def position_at(self, time: float) -> Tuple[float, float]:
+        elapsed = min(max(time - self.start_time, 0.0), self.travel_time)
+        if self.travel_time == 0:
+            return self.end
+        fraction = elapsed / self.travel_time
+        return (
+            self.start[0] + fraction * (self.end[0] - self.start[0]),
+            self.start[1] + fraction * (self.end[1] - self.start[1]),
+        )
+
+
+class RandomWaypointModel:
+    """Deterministic random-waypoint trajectories for a set of devices.
+
+    :param device_ids: devices to move.
+    :param area_side_m: side of the square area.
+    :param speed_range_mps: (min, max) walking speed, metres/second.
+    :param pause_range_s: (min, max) pause at each waypoint.
+    :param seed: RNG seed; trajectories are reproducible.
+    :param initial_positions: optional starting point per device (defaults
+        to uniform in the area).
+    """
+
+    def __init__(
+        self,
+        device_ids: Sequence[int],
+        area_side_m: float,
+        speed_range_mps: Tuple[float, float] = (0.5, 3.0),
+        pause_range_s: Tuple[float, float] = (0.0, 30.0),
+        seed: int = 0,
+        initial_positions: Dict[int, Tuple[float, float]] = None,
+    ) -> None:
+        if area_side_m <= 0:
+            raise ValueError("area_side_m must be positive")
+        lo, hi = speed_range_mps
+        if not 0 < lo <= hi:
+            raise ValueError("speed_range_mps must be positive and ordered")
+        lo, hi = pause_range_s
+        if not 0 <= lo <= hi:
+            raise ValueError("pause_range_s must be non-negative and ordered")
+        if not device_ids:
+            raise ValueError("need at least one device")
+
+        self.area_side_m = area_side_m
+        self.speed_range_mps = speed_range_mps
+        self.pause_range_s = pause_range_s
+        self._legs: Dict[int, List[_Leg]] = {}
+        self._rngs: Dict[int, np.random.Generator] = {}
+        for device_id in device_ids:
+            rng = np.random.default_rng((seed, device_id))
+            self._rngs[device_id] = rng
+            if initial_positions and device_id in initial_positions:
+                start = initial_positions[device_id]
+            else:
+                start = (
+                    float(rng.uniform(0, area_side_m)),
+                    float(rng.uniform(0, area_side_m)),
+                )
+            self._legs[device_id] = [self._new_leg(device_id, 0.0, start)]
+
+    @property
+    def device_ids(self) -> Tuple[int, ...]:
+        """Devices with trajectories (sorted)."""
+        return tuple(sorted(self._legs))
+
+    def _new_leg(self, device_id: int, start_time: float, start) -> _Leg:
+        rng = self._rngs[device_id]
+        end = (
+            float(rng.uniform(0, self.area_side_m)),
+            float(rng.uniform(0, self.area_side_m)),
+        )
+        speed = float(rng.uniform(*self.speed_range_mps))
+        pause = float(rng.uniform(*self.pause_range_s))
+        return _Leg(start_time=start_time, start=start, end=end, speed=speed, pause=pause)
+
+    def _extend_until(self, device_id: int, time: float) -> None:
+        legs = self._legs[device_id]
+        while legs[-1].end_time < time:
+            last = legs[-1]
+            legs.append(self._new_leg(device_id, last.end_time, last.end))
+
+    def position_at(self, device_id: int, time: float) -> Tuple[float, float]:
+        """Device position at an absolute time ≥ 0.
+
+        :raises KeyError: for unknown devices.
+        :raises ValueError: for negative times.
+        """
+        if time < 0:
+            raise ValueError("time must be non-negative")
+        self._extend_until(device_id, time)
+        for leg in reversed(self._legs[device_id]):
+            if leg.start_time <= time:
+                return leg.position_at(time)
+        return self._legs[device_id][0].position_at(time)  # pragma: no cover
+
+    def positions_at(self, time: float) -> Dict[int, Tuple[float, float]]:
+        """All devices' positions at a time."""
+        return {d: self.position_at(d, time) for d in self.device_ids}
+
+    def trace(
+        self, device_id: int, start: float, stop: float, step: float
+    ) -> List[Tuple[float, Tuple[float, float]]]:
+        """Sampled (time, position) points of one device's trajectory."""
+        if step <= 0:
+            raise ValueError("step must be positive")
+        times = np.arange(start, stop + step / 2, step)
+        return [(float(t), self.position_at(device_id, float(t))) for t in times]
+
+    def max_displacement(
+        self, start: float, stop: float, step: float = 1.0
+    ) -> float:
+        """Largest distance any device moves within [start, stop]."""
+        worst = 0.0
+        for device_id in self.device_ids:
+            points = [p for _, p in self.trace(device_id, start, stop, step)]
+            for a in points:
+                for b in points:
+                    worst = max(worst, math.hypot(a[0] - b[0], a[1] - b[1]))
+        return worst

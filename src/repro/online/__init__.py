@@ -1,0 +1,28 @@
+"""Online extension: task arrivals over time, epoch-based re-planning.
+
+The paper plans one static batch under a quasi-static association.  This
+package extends the system the way a deployment would run it: tasks arrive
+as a Poisson process, devices move (:mod:`repro.mobility`), and the planner
+re-runs LP-HTA (or a baseline) at the start of every epoch on the tasks
+that arrived since the last one, using the association observed at the
+epoch boundary.  The report measures both plan-time metrics and what the
+quasi-static assumption cost: tasks priced under the epoch-start
+association but *realized* under the association at their completion.
+"""
+
+from repro.online.arrivals import PoissonArrivals, TimedTask
+from repro.online.scheduler import (
+    EpochRecord,
+    OnlineOptions,
+    OnlineReport,
+    simulate_online,
+)
+
+__all__ = [
+    "EpochRecord",
+    "OnlineOptions",
+    "OnlineReport",
+    "PoissonArrivals",
+    "TimedTask",
+    "simulate_online",
+]

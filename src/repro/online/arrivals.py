@@ -1,0 +1,79 @@
+"""Task arrival processes for the online extension."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.task import Task
+from repro.system.topology import MECSystem
+from repro.workload.generator import _holistic_task
+from repro.workload.profiles import WorkloadProfile
+
+__all__ = ["PoissonArrivals", "TimedTask"]
+
+
+@dataclass(frozen=True)
+class TimedTask:
+    """A task plus the wall-clock time it entered the system.
+
+    :param arrival_s: arrival time, seconds from the simulation start.
+    :param task: the task itself.
+    """
+
+    arrival_s: float
+    task: Task
+
+
+class PoissonArrivals:
+    """Homogeneous Poisson task arrivals with profile-distributed tasks.
+
+    Each arrival picks a uniformly random owning device and draws the task's
+    sizes/deadline/resources from the workload profile's distributions — the
+    same distributions the static experiments use, so online and batch
+    results are comparable.
+
+    :param system: the MEC system tasks arrive into.
+    :param profile: distribution parameters for the generated tasks.
+    :param rate_per_s: expected arrivals per second.
+    :param seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        system: MECSystem,
+        profile: WorkloadProfile,
+        rate_per_s: float,
+        seed: int = 0,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        self.system = system
+        self.profile = profile
+        self.rate_per_s = rate_per_s
+        self._rng = np.random.default_rng(seed)
+        self._next_index = 0
+
+    def generate(self, horizon_s: float) -> List[TimedTask]:
+        """All arrivals in [0, horizon_s), in time order.
+
+        :param horizon_s: length of the generation window.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        arrivals: List[TimedTask] = []
+        time = 0.0
+        device_ids = sorted(self.system.devices)
+        while True:
+            time += float(self._rng.exponential(1.0 / self.rate_per_s))
+            if time >= horizon_s:
+                break
+            owner = int(self._rng.choice(device_ids))
+            task = _holistic_task(
+                self.system, self.profile, owner, self._next_index, self._rng
+            )
+            self._next_index += 1
+            arrivals.append(TimedTask(arrival_s=time, task=task))
+        return arrivals

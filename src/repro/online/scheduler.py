@@ -1,0 +1,235 @@
+"""Epoch-based online scheduling over a mobile MEC system.
+
+Every ``epoch_length_s`` the scheduler: observes the current device→station
+association (from the mobility model, or the static one), re-prices the
+tasks that arrived during the previous epoch under that association, and
+runs the configured policy on the batch.  The quasi-static assumption is
+then *audited*: the same decisions are re-priced under the association at
+the end of the epoch, and the report records the realized energy and the
+extra deadline misses the drift caused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.assignment import Assignment, Subsystem
+from repro.core.baselines import all_to_cloud, hgos
+from repro.core.costs import cluster_costs
+from repro.core.game import best_response_offloading
+from repro.core.hta import LPHTAOptions, lp_hta
+from repro.core.task import Task
+from repro.mobility.handover import attachment_at
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.online.arrivals import TimedTask
+from repro.system.topology import MECSystem
+
+__all__ = ["EpochRecord", "OnlineOptions", "OnlineReport", "simulate_online"]
+
+_POLICIES = ("lp-hta", "hgos", "game", "cloud")
+
+
+@dataclass(frozen=True)
+class OnlineOptions:
+    """Online-scheduler tunables.
+
+    :param epoch_length_s: planning cadence.
+    :param policy: ``"lp-hta"`` (default), ``"hgos"``, ``"game"`` or
+        ``"cloud"``.
+    :param audit_drift: re-price each epoch's decisions under the
+        end-of-epoch association to measure what mobility cost.
+    """
+
+    epoch_length_s: float = 60.0
+    policy: str = "lp-hta"
+    audit_drift: bool = True
+
+    def __post_init__(self) -> None:
+        if self.epoch_length_s <= 0:
+            raise ValueError("epoch_length_s must be positive")
+        if self.policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}")
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Metrics of one planning epoch.
+
+    :param epoch: epoch index.
+    :param start_s: epoch start time.
+    :param num_tasks: tasks planned in this epoch.
+    :param planned_energy_j: energy under the epoch-start association.
+    :param realized_energy_j: energy of the same decisions under the
+        end-of-epoch association (equals planned when nothing moved).
+    :param planned_unsatisfied: deadline miss/cancel rate at plan time.
+    :param realized_unsatisfied: miss/cancel rate after drift.
+    :param handovers: devices whose station changed within the epoch.
+    """
+
+    epoch: int
+    start_s: float
+    num_tasks: int
+    planned_energy_j: float
+    realized_energy_j: float
+    planned_unsatisfied: float
+    realized_unsatisfied: float
+    handovers: int
+
+
+@dataclass(frozen=True)
+class OnlineReport:
+    """Whole-run summary of an online simulation.
+
+    :param epochs: per-epoch records.
+    :param policy: the policy that produced them.
+    """
+
+    epochs: Tuple[EpochRecord, ...]
+    policy: str
+
+    @property
+    def total_tasks(self) -> int:
+        """Tasks planned across the run."""
+        return sum(e.num_tasks for e in self.epochs)
+
+    @property
+    def total_planned_energy_j(self) -> float:
+        """Energy the planner believed it was spending."""
+        return sum(e.planned_energy_j for e in self.epochs)
+
+    @property
+    def total_realized_energy_j(self) -> float:
+        """Energy after auditing association drift."""
+        return sum(e.realized_energy_j for e in self.epochs)
+
+    @property
+    def drift_energy_gap_j(self) -> float:
+        """Extra energy attributable to quasi-static violations."""
+        return self.total_realized_energy_j - self.total_planned_energy_j
+
+    @property
+    def mean_realized_unsatisfied(self) -> float:
+        """Task-weighted realized miss rate."""
+        total = self.total_tasks
+        if total == 0:
+            return 0.0
+        return (
+            sum(e.realized_unsatisfied * e.num_tasks for e in self.epochs) / total
+        )
+
+
+def _rebuild(system: MECSystem, attachment: Dict[int, int]) -> MECSystem:
+    """The same system under a different device→station association."""
+    return MECSystem(
+        devices=list(system.devices.values()),
+        stations=list(system.stations.values()),
+        attachment=attachment,
+        cloud=system.cloud,
+        bs_bs_link=system.bs_bs_link,
+        bs_cloud_link=system.bs_cloud_link,
+        parameters=system.parameters,
+    )
+
+
+def _run_policy(policy: str, system: MECSystem, tasks: Sequence[Task]) -> Assignment:
+    if policy == "lp-hta":
+        return lp_hta(system, list(tasks), LPHTAOptions()).assignment
+    if policy == "hgos":
+        return hgos(system, list(tasks))
+    if policy == "game":
+        return best_response_offloading(system, list(tasks)).assignment
+    return all_to_cloud(system, list(tasks))
+
+
+def _reprice(
+    system: MECSystem, tasks: Sequence[Task], decisions: Sequence[Subsystem]
+) -> Assignment:
+    """The same decisions under a re-priced cost table."""
+    return Assignment(cluster_costs(system, list(tasks)), decisions)
+
+
+def simulate_online(
+    system: MECSystem,
+    arrivals: Sequence[TimedTask],
+    options: OnlineOptions = OnlineOptions(),
+    mobility: Optional[RandomWaypointModel] = None,
+) -> OnlineReport:
+    """Run the epoch scheduler over a stream of arrivals.
+
+    :param system: the MEC system (its attachment is used when no mobility
+        model is given; its station positions anchor handover when one is).
+    :param arrivals: timed tasks, in any order.
+    :param options: scheduler tunables.
+    :param mobility: optional mobility model driving the association.
+    :returns: per-epoch and aggregate metrics.
+    """
+    if mobility is not None:
+        station_positions = {
+            sid: station.position
+            for sid, station in system.stations.items()
+        }
+        if any(p is None for p in station_positions.values()):
+            raise ValueError("mobility requires positioned base stations")
+
+    ordered = sorted(arrivals, key=lambda timed: timed.arrival_s)
+    if not ordered:
+        return OnlineReport(epochs=(), policy=options.policy)
+    horizon = ordered[-1].arrival_s
+    num_epochs = int(horizon // options.epoch_length_s) + 1
+
+    records: List[EpochRecord] = []
+    cursor = 0
+    for epoch in range(num_epochs):
+        start = epoch * options.epoch_length_s
+        end = start + options.epoch_length_s
+        batch: List[Task] = []
+        while cursor < len(ordered) and ordered[cursor].arrival_s < end:
+            batch.append(ordered[cursor].task)
+            cursor += 1
+        if not batch:
+            continue
+
+        if mobility is None:
+            plan_system = system
+            drift_system = system
+            handovers = 0
+        else:
+            plan_attachment = attachment_at(mobility, station_positions, end)
+            drift_attachment = attachment_at(
+                mobility, station_positions, end + options.epoch_length_s
+            )
+            plan_system = _rebuild(system, plan_attachment)
+            drift_system = _rebuild(system, drift_attachment)
+            handovers = sum(
+                1
+                for device_id in plan_attachment
+                if plan_attachment[device_id] != drift_attachment[device_id]
+            )
+
+        assignment = _run_policy(options.policy, plan_system, batch)
+        planned_energy = assignment.total_energy_j()
+        planned_unsat = assignment.unsatisfied_rate()
+
+        if options.audit_drift and mobility is not None:
+            realized = _reprice(drift_system, batch, assignment.decisions)
+            realized_energy = realized.total_energy_j()
+            realized_unsat = realized.unsatisfied_rate()
+        else:
+            realized_energy = planned_energy
+            realized_unsat = planned_unsat
+
+        records.append(
+            EpochRecord(
+                epoch=epoch,
+                start_s=start,
+                num_tasks=len(batch),
+                planned_energy_j=planned_energy,
+                realized_energy_j=realized_energy,
+                planned_unsatisfied=planned_unsat,
+                realized_unsatisfied=realized_unsat,
+                handovers=handovers,
+            )
+        )
+
+    return OnlineReport(epochs=tuple(records), policy=options.policy)

@@ -1,0 +1,26 @@
+"""Partial offloading extension (the [25]/[26] line of related work).
+
+The paper assigns each holistic task to exactly one subsystem.  Its related
+work discusses *partial* offloading — splitting a task's computation across
+levels — as the natural relaxation.  This package implements that extension
+for the data-shared setting: each task's local and external input bytes are
+split across device/station/cloud by one linear program per cluster, with
+the same energy and (conservatively linearised) deadline model as
+Section II.  Because the split is fractional, its optimum lower-bounds any
+binary assignment of the same instance — the ablation bench measures how
+much binary LP-HTA leaves on the table.
+"""
+
+from repro.partial.model import (
+    PartialAssignment,
+    PartialOptions,
+    TaskSplit,
+    partial_offloading,
+)
+
+__all__ = [
+    "PartialAssignment",
+    "PartialOptions",
+    "TaskSplit",
+    "partial_offloading",
+]

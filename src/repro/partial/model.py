@@ -1,0 +1,376 @@
+"""The partial-offloading linear program.
+
+Variables, per task: the bytes of local data (α) and of external data (β)
+processed at each level —
+
+====  ==========================  =============================
+var   meaning                     data path priced
+====  ==========================  =============================
+d_l   local bytes on the device   compute only
+d_e   external bytes on device    source uplink (+BS–BS) + owner
+                                  downlink + compute
+s_l   local bytes on the station  owner uplink + result downlink
+s_e   external bytes on station   source uplink (+BS–BS) + result downlink
+c_l   local bytes on the cloud    owner uplink + WAN + result downlink
+c_e   external bytes on cloud     source uplink + WAN + result downlink
+u_l   unserved local bytes        penalty only (no feasible capacity)
+u_e   unserved external bytes     penalty only (no feasible capacity)
+====  ==========================  =============================
+
+Constraints: the served variables plus the unserved slacks partition (α, β)
+(two equality rows per task); per-device and per-station resource caps
+scale with the byte share a
+level processes (C2/C3); per-task-per-level deadline rows bound each
+branch's *serialised* time — a conservative linearisation of Section II's
+parallel max (a feasible split here is always feasible in the true model).
+Fixed link latencies (BS–BS 15 ms, BS–cloud 250 ms) cannot be expressed per
+byte, so a branch whose fixed latency alone exceeds the deadline has its
+variables pinned to zero.
+
+Energy is linear per byte throughout, so the whole model is one LP per
+cluster, solved with the library's own solvers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.task import Task
+from repro.lp.backends import solve as lp_solve
+from repro.lp.problem import LinearProgram
+from repro.system.topology import MECSystem
+
+__all__ = ["PartialAssignment", "PartialOptions", "TaskSplit", "partial_offloading"]
+
+_VARS_PER_TASK = 8
+_D_L, _D_E, _S_L, _S_E, _C_L, _C_E, _U_L, _U_E = range(_VARS_PER_TASK)
+
+#: LP variables are expressed in MB, not bytes: per-byte energies are ~1e-6
+#: while payloads are ~1e6, and that 1e12 spread stalls the interior-point
+#: solvers.  In MB both coefficients and right-hand sides are O(1)–O(10).
+_BYTES_PER_UNIT = 1e6
+
+#: Penalty (J per unserved MB) on the slack variables U_L/U_E.  Far above
+#: any real per-MB cost (~20 J/MB worst case), so bytes go unserved only
+#: when no deadline-feasible capacity exists anywhere — the fractional
+#: analogue of LP-HTA's task cancellation.
+_UNSERVED_PENALTY = 1e4
+
+
+@dataclass(frozen=True)
+class PartialOptions:
+    """Tunables of the partial-offloading solver.
+
+    :param backend: LP backend (``"interior-point"``, ``"simplex"`` or
+        ``"scipy"``).
+    :param fallback_backends: tried in order when the primary fails.
+    """
+
+    backend: str = "interior-point"
+    fallback_backends: Tuple[str, ...] = ("scipy",)
+
+
+@dataclass(frozen=True)
+class TaskSplit:
+    """How one task's bytes were divided.
+
+    :param task: the task.
+    :param device_bytes: bytes processed on the owning device.
+    :param station_bytes: bytes processed on the base station.
+    :param cloud_bytes: bytes processed on the cloud.
+    :param unserved_bytes: bytes no deadline-feasible capacity could take
+        (the fractional analogue of a cancelled task).
+    :param energy_j: energy attributed to this task's split (unserved
+        bytes carry no energy).
+    """
+
+    task: Task
+    device_bytes: float
+    station_bytes: float
+    cloud_bytes: float
+    unserved_bytes: float
+    energy_j: float
+
+    @property
+    def fractions(self) -> Tuple[float, float, float]:
+        """(device, station, cloud) shares of the task's input."""
+        total = self.task.input_bytes
+        if total == 0:
+            return (0.0, 0.0, 0.0)
+        return (
+            self.device_bytes / total,
+            self.station_bytes / total,
+            self.cloud_bytes / total,
+        )
+
+    @property
+    def served_fraction(self) -> float:
+        """Share of the task's bytes actually processed."""
+        total = self.task.input_bytes
+        if total == 0:
+            return 1.0
+        return 1.0 - self.unserved_bytes / total
+
+    @property
+    def is_binary(self) -> bool:
+        """Whether the split degenerates to a single level."""
+        return sum(1 for f in self.fractions if f > 1e-9) <= 1
+
+
+@dataclass(frozen=True)
+class PartialAssignment:
+    """Result of partial offloading over a set of tasks.
+
+    :param splits: per-task splits (one per input task).
+    :param total_energy_j: summed energy of the splits.
+    :param lp_iterations: solver iterations over all clusters.
+    """
+
+    splits: Tuple[TaskSplit, ...]
+    total_energy_j: float
+    lp_iterations: int
+
+    @property
+    def num_fractional(self) -> int:
+        """Tasks genuinely split across more than one level."""
+        return sum(1 for split in self.splits if not split.is_binary)
+
+    @property
+    def num_dropped(self) -> int:
+        """Tasks with most of their bytes unserved (no feasible capacity)."""
+        return sum(1 for split in self.splits if split.served_fraction < 0.5)
+
+    @property
+    def total_unserved_bytes(self) -> float:
+        """Bytes no deadline-feasible capacity could take."""
+        return sum(split.unserved_bytes for split in self.splits)
+
+
+class _TaskCoefficients:
+    """Per-byte energy/time coefficients of one task's variables."""
+
+    def __init__(self, system: MECSystem, task: Task) -> None:
+        owner = system.device(task.owner_device_id)
+        station = system.station_of(task.owner_device_id)
+        params = system.parameters
+        eta = params.result_size.ratio if not params.result_size.is_constant else 0.0
+
+        if task.has_external_data:
+            source = system.device(task.external_source)
+            cross = not system.same_cluster(
+                task.owner_device_id, task.external_source
+            )
+            src_up_e = source.wireless.upload_energy_j(1.0)
+            src_up_t = source.wireless.upload_time_s(1.0)
+        else:
+            source, cross = None, False
+            src_up_e = src_up_t = 0.0
+
+        bb_e = system.bs_bs_link.energy_per_byte_j if cross else 0.0
+        bb_t = 1.0 / system.bs_bs_link.bandwidth_bps * 8.0 if cross else 0.0
+        wan_e = system.bs_cloud_link.energy_per_byte_j
+        wan_t = 8.0 / system.bs_cloud_link.bandwidth_bps
+
+        own_up_e = owner.wireless.upload_energy_j(1.0)
+        own_up_t = owner.wireless.upload_time_s(1.0)
+        own_down_e = owner.wireless.download_energy_j(1.0)
+        own_down_t = owner.wireless.download_time_s(1.0)
+
+        comp_dev_t = params.cycles.cycles_on_device(1.0) / owner.cpu_frequency_hz
+        comp_dev_e = (
+            params.kappa
+            * params.cycles.cycles_on_device(1.0)
+            * owner.cpu_frequency_hz**2
+        )
+        comp_st_t = params.cycles.cycles_on_station(1.0) / station.cpu_frequency_hz
+        comp_cl_t = params.cycles.cycles_on_cloud(1.0) / system.cloud.cpu_frequency_hz
+
+        # Energy per byte, by variable.  The unserved slacks carry the
+        # penalty (converted back to per-byte here; the builder rescales).
+        self.energy = np.zeros(_VARS_PER_TASK)
+        self.energy[_D_L] = comp_dev_e
+        self.energy[_D_E] = comp_dev_e + src_up_e + bb_e + own_down_e
+        self.energy[_S_L] = own_up_e + eta * own_down_e
+        self.energy[_S_E] = src_up_e + bb_e + eta * own_down_e
+        self.energy[_C_L] = own_up_e + (1 + eta) * wan_e + eta * own_down_e
+        self.energy[_C_E] = src_up_e + (1 + eta) * wan_e + eta * own_down_e
+        self.energy[_U_L] = _UNSERVED_PENALTY / _BYTES_PER_UNIT
+        self.energy[_U_E] = _UNSERVED_PENALTY / _BYTES_PER_UNIT
+
+        # Serialised branch time per byte, by variable (conservative).
+        self.time = np.zeros(_VARS_PER_TASK)
+        self.time[_D_L] = comp_dev_t
+        self.time[_D_E] = comp_dev_t + src_up_t + bb_t + own_down_t
+        self.time[_S_L] = comp_st_t + own_up_t + eta * own_down_t
+        self.time[_S_E] = comp_st_t + src_up_t + bb_t + eta * own_down_t
+        self.time[_C_L] = comp_cl_t + own_up_t + (1 + eta) * wan_t + eta * own_down_t
+        self.time[_C_E] = comp_cl_t + src_up_t + (1 + eta) * wan_t + eta * own_down_t
+
+        # Fixed latency floors per branch (device, station, cloud).
+        self.fixed_latency = (
+            system.bs_bs_link.latency_s if (cross and task.has_external_data) else 0.0,
+            system.bs_bs_link.latency_s if (cross and task.has_external_data) else 0.0,
+            system.bs_cloud_link.latency_s,
+        )
+
+
+def _cluster_lp(
+    system: MECSystem,
+    tasks: Sequence[Task],
+    coefficients: Sequence[_TaskCoefficients],
+) -> LinearProgram:
+    """Build the partial-offloading LP for one cluster's tasks."""
+    n = len(tasks)
+    num_vars = _VARS_PER_TASK * n
+
+    c = np.zeros(num_vars)
+    upper = np.full(num_vars, np.inf)
+    a_eq = np.zeros((2 * n, num_vars))
+    b_eq = np.zeros(2 * n)
+    deadline_rows: List[np.ndarray] = []
+    deadline_rhs: List[float] = []
+
+    for row, task in enumerate(tasks):
+        base = _VARS_PER_TASK * row
+        coeff = coefficients[row]
+        c[base : base + _VARS_PER_TASK] = coeff.energy * _BYTES_PER_UNIT
+
+        # Partition rows: locals sum to alpha, externals to beta.  The
+        # unserved slacks make the partition always satisfiable.
+        a_eq[2 * row, [base + _D_L, base + _S_L, base + _C_L, base + _U_L]] = 1.0
+        b_eq[2 * row] = task.local_bytes / _BYTES_PER_UNIT
+        a_eq[2 * row + 1, [base + _D_E, base + _S_E, base + _C_E, base + _U_E]] = 1.0
+        b_eq[2 * row + 1] = task.external_bytes / _BYTES_PER_UNIT
+
+        # Per-branch deadline rows; branches whose latency floor already
+        # breaks the deadline are pinned to zero.
+        branches = (
+            (coeff.fixed_latency[0], (base + _D_L, base + _D_E)),
+            (coeff.fixed_latency[1], (base + _S_L, base + _S_E)),
+            (coeff.fixed_latency[2], (base + _C_L, base + _C_E)),
+        )
+        for floor, var_ids in branches:
+            budget = task.deadline_s - floor
+            if budget <= 0:
+                for var in var_ids:
+                    upper[var] = 0.0
+                continue
+            lhs = np.zeros(num_vars)
+            for var in var_ids:
+                lhs[var] = coeff.time[var - base] * _BYTES_PER_UNIT
+            deadline_rows.append(lhs)
+            deadline_rhs.append(budget)
+
+    # Resource rows: device caps on the device share, station cap on the
+    # station share, both proportional to processed bytes.
+    resource_rows: List[np.ndarray] = []
+    resource_rhs: List[float] = []
+    by_owner: Dict[int, List[int]] = {}
+    for row, task in enumerate(tasks):
+        by_owner.setdefault(task.owner_device_id, []).append(row)
+    for owner_id, rows in sorted(by_owner.items()):
+        cap = system.device(owner_id).max_resource
+        if not np.isfinite(cap):
+            continue
+        lhs = np.zeros(num_vars)
+        for row in rows:
+            task = tasks[row]
+            if task.input_bytes == 0:
+                continue
+            density = task.resource_demand / task.input_bytes * _BYTES_PER_UNIT
+            base = _VARS_PER_TASK * row
+            lhs[base + _D_L] = density
+            lhs[base + _D_E] = density
+        resource_rows.append(lhs)
+        resource_rhs.append(cap)
+    station = system.station_of(tasks[0].owner_device_id)
+    if np.isfinite(station.max_resource):
+        lhs = np.zeros(num_vars)
+        for row, task in enumerate(tasks):
+            if task.input_bytes == 0:
+                continue
+            density = task.resource_demand / task.input_bytes * _BYTES_PER_UNIT
+            base = _VARS_PER_TASK * row
+            lhs[base + _S_L] = density
+            lhs[base + _S_E] = density
+        resource_rows.append(lhs)
+        resource_rhs.append(station.max_resource)
+
+    all_rows = deadline_rows + resource_rows
+    all_rhs = deadline_rhs + resource_rhs
+    lp = LinearProgram(
+        c=c,
+        a_ub=np.vstack(all_rows) if all_rows else None,
+        b_ub=np.asarray(all_rhs) if all_rhs else None,
+        a_eq=a_eq,
+        b_eq=b_eq,
+        upper_bounds=upper,
+    )
+    return lp
+
+
+def partial_offloading(
+    system: MECSystem,
+    tasks: Sequence[Task],
+    options: PartialOptions = PartialOptions(),
+) -> PartialAssignment:
+    """Optimally split every task's bytes across the three levels.
+
+    :param system: the MEC system.
+    :param tasks: holistic tasks to split (clusters are solved separately,
+        as in LP-HTA).
+    :param options: solver tunables.
+    :returns: the fractional assignment; its energy lower-bounds any binary
+        assignment of the same instance under the serialised-time model.
+    """
+    splits: List[Optional[TaskSplit]] = [None] * len(tasks)
+    total_energy = 0.0
+    iterations = 0
+
+    by_cluster: Dict[int, List[int]] = {}
+    for row, task in enumerate(tasks):
+        by_cluster.setdefault(system.cluster_of(task.owner_device_id), []).append(row)
+
+    for station_id in sorted(by_cluster):
+        rows = by_cluster[station_id]
+        cluster_tasks = [tasks[r] for r in rows]
+        coefficients = [_TaskCoefficients(system, t) for t in cluster_tasks]
+        lp = _cluster_lp(system, cluster_tasks, coefficients)
+
+        result = None
+        for backend in (options.backend, *options.fallback_backends):
+            result = lp_solve(lp, backend)
+            if result.status.ok:
+                break
+        if result is None or not result.status.ok:
+            raise RuntimeError(
+                f"partial-offloading LP failed for cluster {station_id}: {result}"
+            )
+        iterations += result.iterations
+        x = result.require_ok()
+
+        for local_row, task in enumerate(cluster_tasks):
+            global_row = rows[local_row]
+            base = _VARS_PER_TASK * local_row
+            values = x[base : base + _VARS_PER_TASK] * _BYTES_PER_UNIT
+            served = values.copy()
+            served[_U_L] = served[_U_E] = 0.0
+            energy = float(coefficients[local_row].energy @ served)
+            splits[global_row] = TaskSplit(
+                task=task,
+                device_bytes=float(values[_D_L] + values[_D_E]),
+                station_bytes=float(values[_S_L] + values[_S_E]),
+                cloud_bytes=float(values[_C_L] + values[_C_E]),
+                unserved_bytes=float(values[_U_L] + values[_U_E]),
+                energy_j=energy,
+            )
+            total_energy += energy
+
+    return PartialAssignment(
+        splits=tuple(splits),
+        total_energy_j=total_energy,
+        lp_iterations=iterations,
+    )

@@ -1,0 +1,149 @@
+"""Computation model (Section II-A of the paper).
+
+The paper, following [22], assumes the CPU-cycle demand, energy cost and
+result size of a task are all linear in the input size:
+
+- cycles: :math:`\\lambda_{ijl}(y) = \\lambda y` with λ = 330 cycles/byte,
+- local compute energy: :math:`E^{(C)}_{ij1} = \\kappa \\lambda(y) f_i^2`
+  with κ = 10⁻²⁷ (the effective switched-capacitance constant of [6], [14]),
+- result size: :math:`\\eta(y) = \\eta y` with η = 0.2 (or a constant size).
+
+Base-station and cloud compute *energy* is ignored (Section II-A: it is
+negligible next to transmission energy), but their compute *time* is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Union
+
+__all__ = [
+    "DEFAULT_CYCLES_PER_BYTE",
+    "DEFAULT_KAPPA",
+    "DEFAULT_RESULT_RATIO",
+    "CyclesModel",
+    "ResultSizeModel",
+    "compute_energy_j",
+    "compute_time_s",
+]
+
+#: λ = 330 cycles per input byte, from [22] via Section V-A.
+DEFAULT_CYCLES_PER_BYTE = 330.0
+
+#: κ = 10⁻²⁷, the hardware-architecture constant of Eq. (2), from [6], [14].
+DEFAULT_KAPPA = 1e-27
+
+#: η = 0.2, the default result-size/input-size ratio of Section V-A.
+DEFAULT_RESULT_RATIO = 0.2
+
+
+def compute_time_s(cycles: float, frequency_hz: float) -> float:
+    """Time to execute ``cycles`` on a CPU running at ``frequency_hz``.
+
+    Implements :math:`t^{(C)} = \\lambda(y) / f` from Eqs. (2)–(3).
+    """
+    if cycles < 0:
+        raise ValueError(f"negative cycle count: {cycles}")
+    if frequency_hz <= 0:
+        raise ValueError(f"non-positive CPU frequency: {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def compute_energy_j(cycles: float, frequency_hz: float, kappa: float = DEFAULT_KAPPA) -> float:
+    """Local-execution energy :math:`E^{(C)} = \\kappa \\lambda(y) f^2` (Eq. 2)."""
+    if cycles < 0:
+        raise ValueError(f"negative cycle count: {cycles}")
+    if frequency_hz <= 0:
+        raise ValueError(f"non-positive CPU frequency: {frequency_hz}")
+    if kappa < 0:
+        raise ValueError(f"negative kappa: {kappa}")
+    return kappa * cycles * frequency_hz * frequency_hz
+
+
+@dataclass(frozen=True)
+class CyclesModel:
+    """CPU-cycle demand :math:`\\lambda_{ijl}(y)` as a function of input size.
+
+    The paper's experiments use the linear model of [22]; per-subsystem
+    multipliers allow modelling software stacks whose cycle counts differ by
+    platform (λ_{ij1} vs λ_{ij2} vs λ_{ij3} in Eqs. 2–3).  The default is the
+    same λ on every subsystem, matching Section V-A.
+
+    :param cycles_per_byte: λ, cycles per input byte.
+    :param device_multiplier: factor applied when run on a mobile device.
+    :param station_multiplier: factor applied when run on a base station.
+    :param cloud_multiplier: factor applied when run on the cloud.
+    """
+
+    cycles_per_byte: float = DEFAULT_CYCLES_PER_BYTE
+    device_multiplier: float = 1.0
+    station_multiplier: float = 1.0
+    cloud_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_byte < 0:
+            raise ValueError("cycles_per_byte must be non-negative")
+        for field in ("device_multiplier", "station_multiplier", "cloud_multiplier"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+
+    def cycles_on_device(self, input_bytes: float) -> float:
+        """λ_{ij1}(y): cycles to process ``input_bytes`` on a mobile device."""
+        return self.cycles_per_byte * self.device_multiplier * input_bytes
+
+    def cycles_on_station(self, input_bytes: float) -> float:
+        """λ_{ij2}(y): cycles to process ``input_bytes`` on a base station."""
+        return self.cycles_per_byte * self.station_multiplier * input_bytes
+
+    def cycles_on_cloud(self, input_bytes: float) -> float:
+        """λ_{ij3}(y): cycles to process ``input_bytes`` on the cloud."""
+        return self.cycles_per_byte * self.cloud_multiplier * input_bytes
+
+
+ResultSizeFn = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class ResultSizeModel:
+    """Result size :math:`\\eta(y)` as a function of input size.
+
+    Two shapes appear in the paper's experiments (Fig. 5b): proportional
+    results (``ratio * y``) and constant-size results (``constant_bytes``
+    regardless of input).  Exactly one of the two must describe the model:
+    set ``constant_bytes`` to a value >= 0 to select the constant shape.
+
+    :param ratio: η, output bytes per input byte (used when not constant).
+    :param constant_bytes: fixed output size; ``None`` selects the ratio form.
+    """
+
+    ratio: float = DEFAULT_RESULT_RATIO
+    constant_bytes: Union[float, None] = None
+
+    def __post_init__(self) -> None:
+        if self.constant_bytes is None and self.ratio < 0:
+            raise ValueError("ratio must be non-negative")
+        if self.constant_bytes is not None and self.constant_bytes < 0:
+            raise ValueError("constant_bytes must be non-negative")
+
+    @property
+    def is_constant(self) -> bool:
+        """Whether the result size ignores the input size."""
+        return self.constant_bytes is not None
+
+    def result_bytes(self, input_bytes: float) -> float:
+        """η(y): size of the computation result for ``input_bytes`` of input."""
+        if input_bytes < 0:
+            raise ValueError(f"negative input size: {input_bytes}")
+        if self.constant_bytes is not None:
+            return self.constant_bytes
+        return self.ratio * input_bytes
+
+    @classmethod
+    def proportional(cls, ratio: float) -> "ResultSizeModel":
+        """A model where results are ``ratio`` × input size."""
+        return cls(ratio=ratio)
+
+    @classmethod
+    def constant(cls, size_bytes: float) -> "ResultSizeModel":
+        """A model where every result has the same fixed size."""
+        return cls(ratio=0.0, constant_bytes=size_bytes)

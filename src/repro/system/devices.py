@@ -1,0 +1,104 @@
+"""The three subsystem levels: mobile devices, base stations, the cloud.
+
+Defaults follow Section V-A of the paper: device CPU frequencies in
+[1 GHz, 2 GHz], base stations at 4 GHz, and the cloud modelled on an Amazon
+T2.nano at 2.4 GHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.system.radio import WirelessProfile
+from repro.units import gigahertz
+
+__all__ = [
+    "BaseStation",
+    "Cloud",
+    "DEFAULT_CLOUD_FREQUENCY_HZ",
+    "DEFAULT_STATION_FREQUENCY_HZ",
+    "MobileDevice",
+]
+
+#: Base-station CPU frequency (Section V-A): 4 GHz.
+DEFAULT_STATION_FREQUENCY_HZ = gigahertz(4.0)
+
+#: Cloud CPU frequency (Section V-A, Amazon T2.nano): 2.4 GHz.
+DEFAULT_CLOUD_FREQUENCY_HZ = gigahertz(2.4)
+
+
+@dataclass(frozen=True)
+class MobileDevice:
+    """A first-level subsystem: one user's mobile device.
+
+    :param device_id: unique non-negative integer id (the paper's index *i*).
+    :param cpu_frequency_hz: :math:`f_i`, in [1 GHz, 2 GHz] by default.
+    :param wireless: the device's radio access profile (4G or Wi-Fi).
+    :param max_resource: :math:`max_i`, the computation-resource cap of
+        constraint C2 (abstract units, e.g. MB of memory).
+    :param data_items: ids of data items the device owns (:math:`D_i`);
+        used by the divisible-task algorithms of Section IV.
+    :param position: optional (x, y) coordinates, metres; used by the
+        spatial workload generators and examples, not by the algorithms.
+    """
+
+    device_id: int
+    cpu_frequency_hz: float
+    wireless: WirelessProfile
+    max_resource: float
+    data_items: FrozenSet[int] = field(default_factory=frozenset)
+    position: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.device_id < 0:
+            raise ValueError("device_id must be non-negative")
+        if self.cpu_frequency_hz <= 0:
+            raise ValueError("cpu_frequency_hz must be positive")
+        if self.max_resource < 0:
+            raise ValueError("max_resource must be non-negative")
+
+    def owns(self, item_id: int) -> bool:
+        """Whether this device holds data item ``item_id`` locally."""
+        return item_id in self.data_items
+
+
+@dataclass(frozen=True)
+class BaseStation:
+    """A second-level subsystem: a base station hosting a small-scale cloud.
+
+    :param station_id: unique non-negative integer id (the paper's B_r).
+    :param cpu_frequency_hz: :math:`f_s` (4 GHz by default).
+    :param max_resource: :math:`max_S`, the resource cap of constraint C3.
+    :param position: optional (x, y) coordinates for spatial scenarios.
+    """
+
+    station_id: int
+    cpu_frequency_hz: float = DEFAULT_STATION_FREQUENCY_HZ
+    max_resource: float = float("inf")
+    position: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.station_id < 0:
+            raise ValueError("station_id must be non-negative")
+        if self.cpu_frequency_hz <= 0:
+            raise ValueError("cpu_frequency_hz must be positive")
+        if self.max_resource < 0:
+            raise ValueError("max_resource must be non-negative")
+
+
+@dataclass(frozen=True)
+class Cloud:
+    """The third-level subsystem: the remote cloud.
+
+    The cloud is assumed resource-unconstrained (the paper places no C-style
+    cap on it); only its CPU frequency matters for task latency.
+
+    :param cpu_frequency_hz: :math:`f_c` (2.4 GHz by default).
+    """
+
+    cpu_frequency_hz: float = DEFAULT_CLOUD_FREQUENCY_HZ
+
+    def __post_init__(self) -> None:
+        if self.cpu_frequency_hz <= 0:
+            raise ValueError("cpu_frequency_hz must be positive")

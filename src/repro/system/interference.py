@@ -1,0 +1,113 @@
+"""Multi-user uplink interference (the [9] channel model).
+
+Chen et al. [9] study offloading over *shared* wireless channels: every
+concurrent uploader in a cell raises the interference floor the others see,
+so per-user Shannon rates fall as more users offload simultaneously — the
+congestion externality their offloading game prices.
+
+This module provides that rate model as an alternative to the fixed Table I
+profiles: an :class:`InterferenceChannel` yields the per-user rate as a
+function of the number of concurrent uploaders, and
+:func:`congestion_profiles` materialises the k-user operating points as
+ordinary :class:`~repro.system.radio.WirelessProfile` objects so the rest of
+the library can price tasks under any assumed concurrency level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.system.radio import WirelessProfile, shannon_rate_bps
+
+__all__ = ["InterferenceChannel", "congestion_profiles"]
+
+
+@dataclass(frozen=True)
+class InterferenceChannel:
+    """A shared uplink cell: concurrent transmitters interfere.
+
+    The rate of each of *k* simultaneous uploaders is
+
+    .. math::
+
+       r(k) = W \\log_2\\Bigl(1 +
+           \\frac{g P}{\\varpi_0 + (k-1)\\,\\phi\\, g P}\\Bigr),
+
+    where φ ∈ [0, 1] is the orthogonality loss (0 = perfectly orthogonal
+    channels, no interference; 1 = fully shared spectrum).
+
+    :param bandwidth_hz: channel bandwidth W.
+    :param channel_gain: uplink gain g (identical users, as in [9]).
+    :param tx_power_w: per-device transmit power P.
+    :param noise_power_w: background noise :math:`\\varpi_0`.
+    :param orthogonality_loss: φ, the fraction of a peer's received power
+        that lands in-band.
+    :param downlink_rate_bps: downlink rate (the base station schedules the
+        downlink, so it is not interference-limited here).
+    :param rx_power_w: device receive power (for profile materialisation).
+    """
+
+    bandwidth_hz: float
+    channel_gain: float
+    tx_power_w: float
+    noise_power_w: float
+    orthogonality_loss: float = 1.0
+    downlink_rate_bps: float = 13.76e6
+    rx_power_w: float = 1.6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.orthogonality_loss <= 1.0:
+            raise ValueError("orthogonality_loss must be in [0, 1]")
+        if self.downlink_rate_bps <= 0:
+            raise ValueError("downlink_rate_bps must be positive")
+        if self.rx_power_w <= 0:
+            raise ValueError("rx_power_w must be positive")
+        # The remaining parameters are validated by shannon_rate_bps on use.
+
+    def uplink_rate_bps(self, concurrent_users: int) -> float:
+        """Per-user uplink rate with ``concurrent_users`` transmitting.
+
+        :param concurrent_users: k ≥ 1.
+        """
+        if concurrent_users < 1:
+            raise ValueError("concurrent_users must be at least 1")
+        interference = (
+            (concurrent_users - 1)
+            * self.orthogonality_loss
+            * self.channel_gain
+            * self.tx_power_w
+        )
+        return shannon_rate_bps(
+            self.bandwidth_hz,
+            self.channel_gain,
+            self.tx_power_w,
+            self.noise_power_w + interference,
+        )
+
+    def cell_throughput_bps(self, concurrent_users: int) -> float:
+        """Aggregate uplink throughput with k users (k · r(k))."""
+        return concurrent_users * self.uplink_rate_bps(concurrent_users)
+
+    def to_profile(self, concurrent_users: int, name: str = "") -> WirelessProfile:
+        """The k-user operating point as a :class:`WirelessProfile`."""
+        return WirelessProfile(
+            name=name or f"interference-k{concurrent_users}",
+            download_rate_bps=self.downlink_rate_bps,
+            upload_rate_bps=self.uplink_rate_bps(concurrent_users),
+            tx_power_w=self.tx_power_w,
+            rx_power_w=self.rx_power_w,
+        )
+
+
+def congestion_profiles(
+    channel: InterferenceChannel, max_users: int
+) -> List[WirelessProfile]:
+    """The operating points for 1..max_users concurrent uploaders.
+
+    :param channel: the shared cell.
+    :param max_users: largest concurrency to materialise.
+    """
+    if max_users < 1:
+        raise ValueError("max_users must be at least 1")
+    return [channel.to_profile(k) for k in range(1, max_users + 1)]

@@ -1,0 +1,84 @@
+"""Backhaul links: base-station↔base-station and base-station↔cloud.
+
+The paper fixes the two latencies (15 ms between base stations, after [15];
+250 ms from a base station to the Amazon cloud, after [16]) and asserts that
+transmitting via the cloud is strictly more expensive than via a neighbouring
+base station (:math:`E^{(R)}_{ij3} > E^{(R)}_{ij2}`).  It does not publish
+backhaul bandwidths or per-byte energies, so we pick documented defaults that
+preserve that ordering:
+
+- the BS–BS link is a metro fibre: 1 Gbps, 0.1 µJ/byte;
+- the BS–cloud link is a WAN path: 300 Mbps, 0.6 µJ/byte.
+
+Since the cloud path carries *more* bytes (α+β+η(α+β) versus β) at a strictly
+higher per-byte energy, ``E_ij3 > E_ij2`` holds for every task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import milliseconds, transmission_time_s
+
+__all__ = [
+    "BackhaulLink",
+    "CloudLink",
+    "DEFAULT_BS_BS_LINK",
+    "DEFAULT_BS_CLOUD_LINK",
+]
+
+
+@dataclass(frozen=True)
+class BackhaulLink:
+    """A wired link with fixed latency, finite bandwidth and per-byte energy.
+
+    :param latency_s: one-way propagation/forwarding latency, seconds.
+    :param bandwidth_bps: link bandwidth, bits/s.
+    :param energy_per_byte_j: infrastructure energy to move one byte, joules.
+    """
+
+    latency_s: float
+    bandwidth_bps: float
+    energy_per_byte_j: float
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.energy_per_byte_j < 0:
+            raise ValueError("per-byte energy must be non-negative")
+
+    def transfer_time_s(self, size_bytes: float) -> float:
+        """Latency plus serialisation time for ``size_bytes``.
+
+        A zero-byte transfer costs nothing: no message, no latency.
+        """
+        if size_bytes == 0:
+            return 0.0
+        return self.latency_s + transmission_time_s(size_bytes, self.bandwidth_bps)
+
+    def transfer_energy_j(self, size_bytes: float) -> float:
+        """Energy to move ``size_bytes`` across the link."""
+        if size_bytes < 0:
+            raise ValueError(f"negative transfer size: {size_bytes}")
+        return self.energy_per_byte_j * size_bytes
+
+
+class CloudLink(BackhaulLink):
+    """Marker subclass for base-station↔cloud links (same behaviour)."""
+
+
+#: t_{B,B}: 15 ms latency per [15], metro-fibre bandwidth and energy.
+DEFAULT_BS_BS_LINK = BackhaulLink(
+    latency_s=milliseconds(15.0),
+    bandwidth_bps=1e9,
+    energy_per_byte_j=1e-7,
+)
+
+#: t_{B,C}: 250 ms latency per [16] (Amazon T2.nano ping), WAN path.
+DEFAULT_BS_CLOUD_LINK = CloudLink(
+    latency_s=milliseconds(250.0),
+    bandwidth_bps=3e8,
+    energy_per_byte_j=6e-7,
+)

@@ -1,0 +1,178 @@
+"""Radio access network models (Section II-B and Table I of the paper).
+
+Two complementary models are provided:
+
+- :class:`WirelessProfile` — the fixed-rate profiles of Table I (4G and
+  Wi-Fi), which the paper's experiments draw from at random per device.
+- :func:`shannon_rate_bps` / :class:`ShannonChannel` — the Shannon-capacity
+  formulation the paper cites from [9], [10]:
+
+  .. math::
+
+     r^{(U)}_i = W^{(U)}_i \\log_2\\Bigl(1 + \\frac{g^{(U)}_i P^{(T)}_i}{\\varpi_0}\\Bigr),
+     \\qquad
+     r^{(D)}_i = W^{(D)}_i \\log_2\\Bigl(1 + \\frac{g^{(D)}_i P^{(S)}}{\\varpi_0}\\Bigr).
+
+The experiments in Section V use the Table I rates directly; the Shannon
+model is available for users who want to derive rates from channel state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.units import megabits_per_second, transmission_time_s
+
+__all__ = [
+    "FOUR_G",
+    "WIFI",
+    "TABLE_I_PROFILES",
+    "ShannonChannel",
+    "WirelessProfile",
+    "shannon_rate_bps",
+]
+
+
+@dataclass(frozen=True)
+class WirelessProfile:
+    """A radio access profile: rates and radio powers for one network type.
+
+    Attributes mirror one row of Table I.
+
+    :param name: human-readable network name (``"4G"`` / ``"Wi-Fi"``).
+    :param download_rate_bps: downlink rate seen by the device, bits/s.
+    :param upload_rate_bps: uplink rate seen by the device, bits/s.
+    :param tx_power_w: device transmission power :math:`P^{(T)}`, watts.
+    :param rx_power_w: device receive power :math:`P^{(R)}`, watts.
+    """
+
+    name: str
+    download_rate_bps: float
+    upload_rate_bps: float
+    tx_power_w: float
+    rx_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.download_rate_bps <= 0 or self.upload_rate_bps <= 0:
+            raise ValueError(f"{self.name}: rates must be positive")
+        if self.tx_power_w <= 0 or self.rx_power_w <= 0:
+            raise ValueError(f"{self.name}: powers must be positive")
+
+    def upload_time_s(self, size_bytes: float) -> float:
+        """Time to upload ``size_bytes`` from the device to its base station."""
+        return transmission_time_s(size_bytes, self.upload_rate_bps)
+
+    def download_time_s(self, size_bytes: float) -> float:
+        """Time to download ``size_bytes`` from the base station to the device."""
+        return transmission_time_s(size_bytes, self.download_rate_bps)
+
+    def upload_energy_j(self, size_bytes: float) -> float:
+        """Device-side energy :math:`e^{(T)}_i(X)` to transmit ``size_bytes``.
+
+        Energy = transmission power × time on air, per [9].
+        """
+        return self.tx_power_w * self.upload_time_s(size_bytes)
+
+    def download_energy_j(self, size_bytes: float) -> float:
+        """Device-side energy :math:`e^{(R)}_i(X)` to receive ``size_bytes``."""
+        return self.rx_power_w * self.download_time_s(size_bytes)
+
+
+#: 4G row of Table I: 13.76 Mbps down, 5.85 Mbps up, 7.32 W tx, 1.6 W rx.
+FOUR_G = WirelessProfile(
+    name="4G",
+    download_rate_bps=megabits_per_second(13.76),
+    upload_rate_bps=megabits_per_second(5.85),
+    tx_power_w=7.32,
+    rx_power_w=1.6,
+)
+
+#: Wi-Fi row of Table I: 54.97 Mbps down, 12.88 Mbps up, 15.7 W tx, 2.7 W rx.
+WIFI = WirelessProfile(
+    name="Wi-Fi",
+    download_rate_bps=megabits_per_second(54.97),
+    upload_rate_bps=megabits_per_second(12.88),
+    tx_power_w=15.7,
+    rx_power_w=2.7,
+)
+
+#: The two profiles of Table I; devices pick one at random in the experiments.
+TABLE_I_PROFILES = (FOUR_G, WIFI)
+
+
+def shannon_rate_bps(
+    bandwidth_hz: float,
+    channel_gain: float,
+    power_w: float,
+    noise_power_w: float,
+) -> float:
+    """Shannon capacity :math:`W \\log_2(1 + gP/\\varpi_0)` in bits/s.
+
+    :param bandwidth_hz: allocated channel bandwidth :math:`W`.
+    :param channel_gain: dimensionless channel gain :math:`g`.
+    :param power_w: transmit power :math:`P`.
+    :param noise_power_w: white-noise power :math:`\\varpi_0`.
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    if noise_power_w <= 0:
+        raise ValueError("noise power must be positive")
+    if channel_gain < 0 or power_w < 0:
+        raise ValueError("gain and power must be non-negative")
+    return bandwidth_hz * math.log2(1.0 + channel_gain * power_w / noise_power_w)
+
+
+@dataclass(frozen=True)
+class ShannonChannel:
+    """A device↔station channel described by physical-layer parameters.
+
+    Produces a :class:`WirelessProfile` via :meth:`to_profile`, so Shannon
+    derived rates can be dropped anywhere a Table I profile is accepted.
+
+    :param uplink_bandwidth_hz: :math:`W^{(U)}_i`.
+    :param downlink_bandwidth_hz: :math:`W^{(D)}_i`.
+    :param uplink_gain: :math:`g^{(U)}_i`.
+    :param downlink_gain: :math:`g^{(D)}_i`.
+    :param device_tx_power_w: :math:`P^{(T)}_i`.
+    :param station_tx_power_w: :math:`P^{(S)}`.
+    :param device_rx_power_w: device receive power (radio listening cost).
+    :param noise_power_w: :math:`\\varpi_0`.
+    """
+
+    uplink_bandwidth_hz: float
+    downlink_bandwidth_hz: float
+    uplink_gain: float
+    downlink_gain: float
+    device_tx_power_w: float
+    station_tx_power_w: float
+    device_rx_power_w: float
+    noise_power_w: float
+
+    def uplink_rate_bps(self) -> float:
+        """Uplink Shannon rate :math:`r^{(U)}_i`."""
+        return shannon_rate_bps(
+            self.uplink_bandwidth_hz,
+            self.uplink_gain,
+            self.device_tx_power_w,
+            self.noise_power_w,
+        )
+
+    def downlink_rate_bps(self) -> float:
+        """Downlink Shannon rate :math:`r^{(D)}_i`."""
+        return shannon_rate_bps(
+            self.downlink_bandwidth_hz,
+            self.downlink_gain,
+            self.station_tx_power_w,
+            self.noise_power_w,
+        )
+
+    def to_profile(self, name: str = "shannon") -> WirelessProfile:
+        """Materialise the channel as a fixed-rate :class:`WirelessProfile`."""
+        return WirelessProfile(
+            name=name,
+            download_rate_bps=self.downlink_rate_bps(),
+            upload_rate_bps=self.uplink_rate_bps(),
+            tx_power_w=self.device_tx_power_w,
+            rx_power_w=self.device_rx_power_w,
+        )

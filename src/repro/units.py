@@ -1,0 +1,69 @@
+"""Unit conventions and conversion helpers used across the library.
+
+Conventions (kept uniform everywhere):
+
+- data sizes are in **bytes** (floats are allowed: sizes are modelled
+  quantities, not buffer lengths),
+- link rates are in **bits per second**,
+- powers are in **watts**, energies in **joules**,
+- times in **seconds**, CPU frequencies in **hertz** (cycles per second).
+
+The paper quotes data sizes in "kb" (e.g. a maximum input size of 3000 kb)
+and link speeds in Mbps.  We read the former as kilobytes (consistent with
+λ = 330 cycles/**byte** from [22]) and the latter as megabits per second
+(the usual meaning for link speeds).
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8.0
+
+KB = 1000.0
+"""Bytes per kilobyte (decimal, as used by the paper's workload sizes)."""
+
+MB = 1000.0 * KB
+"""Bytes per megabyte."""
+
+MBPS = 1e6
+"""Bits/second per megabit/second."""
+
+GHZ = 1e9
+"""Hertz per gigahertz."""
+
+MS = 1e-3
+"""Seconds per millisecond."""
+
+
+def kilobytes(value: float) -> float:
+    """Convert kilobytes to bytes."""
+    return value * KB
+
+
+def megabits_per_second(value: float) -> float:
+    """Convert Mbps to bits per second."""
+    return value * MBPS
+
+
+def gigahertz(value: float) -> float:
+    """Convert GHz to Hz."""
+    return value * GHZ
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MS
+
+
+def transmission_time_s(size_bytes: float, rate_bps: float) -> float:
+    """Time to push ``size_bytes`` through a link of ``rate_bps``.
+
+    A zero-size transfer takes zero time regardless of rate; a zero-rate link
+    with a non-zero payload is a configuration error.
+    """
+    if size_bytes < 0:
+        raise ValueError(f"negative transfer size: {size_bytes}")
+    if size_bytes == 0:
+        return 0.0
+    if rate_bps <= 0:
+        raise ValueError(f"non-positive link rate: {rate_bps}")
+    return size_bytes * BITS_PER_BYTE / rate_bps

@@ -1,0 +1,18 @@
+"""Workload and scenario generation for the paper's experiments."""
+
+from repro.workload.profiles import PAPER_DEFAULTS, WorkloadProfile
+from repro.workload.generator import (
+    Scenario,
+    generate_scenario,
+    generate_system,
+    generate_tasks,
+)
+
+__all__ = [
+    "PAPER_DEFAULTS",
+    "Scenario",
+    "WorkloadProfile",
+    "generate_scenario",
+    "generate_system",
+    "generate_tasks",
+]

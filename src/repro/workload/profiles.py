@@ -1,0 +1,112 @@
+"""Workload profiles: every knob of the simulated experiments in one place.
+
+Values the paper pins down (Section V-A) are defaulted to the paper's
+numbers; values the paper leaves open (deadlines, resource demands, caps,
+cluster count) are documented here and swept by the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.units import KB, MB, gigahertz
+
+__all__ = ["PAPER_DEFAULTS", "WorkloadProfile"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Parameters of one simulated MEC scenario.
+
+    :param num_stations: k, the number of base stations.
+    :param num_devices: n, the number of mobile devices (= users).
+    :param num_tasks: total tasks in the system (spread evenly over users,
+        as the paper assumes).
+    :param max_input_bytes: maximum input data size per task (the paper's
+        x-axis "maximum size of input data"); actual sizes are uniform in
+        [``min_input_fraction``·max, max].
+    :param min_input_fraction: lower edge of the input-size distribution,
+        as a fraction of the maximum.
+    :param external_ratio_range: β/α is uniform in this range — the paper
+        sets "0 to 0.5 times the local data".
+    :param external_cross_cluster_prob: probability that the external-data
+        holder lives in a different cluster than the task owner.
+    :param deadline_range_s: task deadlines :math:`T_{ij}` are uniform in
+        this range (not specified by the paper; calibrated so that C1 binds
+        for offloading-heavy schemes but LP-HTA can almost always place the
+        task somewhere feasible).
+    :param resource_units_per_mb: resource demand :math:`C_{ij}` per MB of
+        input (memory-like units).
+    :param device_max_resource: :math:`max_i`, identical across devices.
+    :param station_max_resource: :math:`max_S`, identical across stations.
+    :param device_frequency_range_hz: device CPU frequencies are uniform in
+        this range (the paper: 1 GHz to 2 GHz).
+    :param result_ratio: η, result size per input byte (0.2 by default).
+    :param result_constant_bytes: if set, results have this fixed size
+        instead of the proportional model (the Fig. 5b "constant" series).
+    :param wifi_probability: probability a device is on Wi-Fi (else 4G) —
+        "each mobile device connects with the base station by 4G or WiFi
+        randomly".
+    :param num_data_items: number of shared data items in the universe
+        (divisible-task experiments).
+    :param item_replication: average number of devices owning each item.
+    :param divisible: whether generated tasks are marked divisible.
+    """
+
+    num_stations: int = 4
+    num_devices: int = 40
+    num_tasks: int = 200
+    max_input_bytes: float = 3000 * KB
+    min_input_fraction: float = 0.1
+    external_ratio_range: Tuple[float, float] = (0.0, 0.5)
+    external_cross_cluster_prob: float = 0.3
+    deadline_range_s: Tuple[float, float] = (0.5, 6.0)
+    resource_units_per_mb: float = 1.0
+    device_max_resource: float = 6.0
+    station_max_resource: float = 60.0
+    device_frequency_range_hz: Tuple[float, float] = (gigahertz(1.0), gigahertz(2.0))
+    result_ratio: float = 0.2
+    result_constant_bytes: Optional[float] = None
+    wifi_probability: float = 0.5
+    num_data_items: int = 400
+    item_replication: float = 3.0
+    divisible: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_stations <= 0 or self.num_devices <= 0 or self.num_tasks <= 0:
+            raise ValueError("counts must be positive")
+        if self.num_devices < self.num_stations:
+            raise ValueError("need at least one device per station")
+        if self.max_input_bytes <= 0:
+            raise ValueError("max_input_bytes must be positive")
+        if not 0 <= self.min_input_fraction <= 1:
+            raise ValueError("min_input_fraction must be in [0, 1]")
+        lo, hi = self.external_ratio_range
+        if not 0 <= lo <= hi:
+            raise ValueError("external_ratio_range must be ordered and non-negative")
+        if not 0 <= self.external_cross_cluster_prob <= 1:
+            raise ValueError("external_cross_cluster_prob must be a probability")
+        lo, hi = self.deadline_range_s
+        if not 0 < lo <= hi:
+            raise ValueError("deadline_range_s must be positive and ordered")
+        lo, hi = self.device_frequency_range_hz
+        if not 0 < lo <= hi:
+            raise ValueError("device_frequency_range_hz must be positive and ordered")
+        if not 0 <= self.wifi_probability <= 1:
+            raise ValueError("wifi_probability must be a probability")
+        if self.item_replication < 1:
+            raise ValueError("item_replication must be at least 1")
+
+    def with_updates(self, **changes) -> "WorkloadProfile":
+        """A copy of this profile with the given fields replaced."""
+        return replace(self, **changes)
+
+    @property
+    def resource_demand_per_byte(self) -> float:
+        """C_ij units per input byte."""
+        return self.resource_units_per_mb / MB
+
+
+#: The Section V-A configuration used by the figure reproductions.
+PAPER_DEFAULTS = WorkloadProfile()

@@ -1,0 +1,77 @@
+"""Shared fixtures: hand-built systems and generated scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system.devices import BaseStation, MobileDevice
+from repro.system.radio import FOUR_G, WIFI
+from repro.system.topology import MECSystem
+from repro.core.task import Task
+from repro.units import KB, gigahertz
+from repro.workload.generator import generate_scenario
+from repro.workload.profiles import PAPER_DEFAULTS
+
+
+@pytest.fixture
+def two_cluster_system() -> MECSystem:
+    """Four devices over two base stations; deterministic parameters."""
+    devices = [
+        MobileDevice(0, gigahertz(1.0), FOUR_G, max_resource=5.0),
+        MobileDevice(1, gigahertz(1.5), WIFI, max_resource=5.0),
+        MobileDevice(2, gigahertz(2.0), FOUR_G, max_resource=5.0),
+        MobileDevice(3, gigahertz(1.2), WIFI, max_resource=5.0),
+    ]
+    stations = [BaseStation(0, max_resource=20.0), BaseStation(1, max_resource=20.0)]
+    return MECSystem(devices, stations, {0: 0, 1: 0, 2: 1, 3: 1})
+
+
+@pytest.fixture
+def local_task() -> Task:
+    """A task with no external data."""
+    return Task(
+        owner_device_id=0, index=0, local_bytes=1000 * KB,
+        external_bytes=0.0, external_source=None,
+        resource_demand=1.0, deadline_s=5.0,
+    )
+
+
+@pytest.fixture
+def shared_task_same_cluster() -> Task:
+    """External data held by a device in the same cluster."""
+    return Task(
+        owner_device_id=0, index=1, local_bytes=1000 * KB,
+        external_bytes=500 * KB, external_source=1,
+        resource_demand=1.5, deadline_s=5.0,
+    )
+
+
+@pytest.fixture
+def shared_task_cross_cluster() -> Task:
+    """External data held by a device in the other cluster."""
+    return Task(
+        owner_device_id=0, index=2, local_bytes=1000 * KB,
+        external_bytes=500 * KB, external_source=2,
+        resource_demand=1.5, deadline_s=5.0,
+    )
+
+
+@pytest.fixture
+def small_scenario():
+    """A small holistic scenario (fast to solve)."""
+    return generate_scenario(
+        PAPER_DEFAULTS.with_updates(num_tasks=40, num_devices=8, num_stations=2),
+        seed=0,
+    )
+
+
+@pytest.fixture
+def divisible_scenario():
+    """A small divisible scenario with catalog and ownership."""
+    return generate_scenario(
+        PAPER_DEFAULTS.with_updates(
+            num_tasks=30, num_devices=8, num_stations=2,
+            divisible=True, num_data_items=60,
+        ),
+        seed=0,
+    )

@@ -1,0 +1,97 @@
+"""DTA pipeline accounting."""
+
+import pytest
+
+from repro.core.hta import lp_hta
+from repro.dta.accounting import evaluate_plan, run_dta
+from repro.dta.coverage import dta_number, dta_workload
+from repro.dta.rearrange import rearrange_tasks
+
+
+class TestRunDTA:
+    def test_outcome_components_positive(self, divisible_scenario):
+        outcome = run_dta(
+            divisible_scenario.system,
+            list(divisible_scenario.tasks),
+            divisible_scenario.ownership,
+            divisible_scenario.catalog,
+            objective="workload",
+        )
+        assert outcome.execution_energy_j > 0
+        assert outcome.op_info_energy_j > 0
+        assert outcome.partial_result_energy_j > 0
+        assert outcome.final_result_energy_j > 0
+        assert outcome.total_energy_j == pytest.approx(
+            outcome.execution_energy_j
+            + outcome.op_info_energy_j
+            + outcome.partial_result_energy_j
+            + outcome.final_result_energy_j
+        )
+        assert outcome.processing_time_s > 0
+
+    def test_unknown_objective_rejected(self, divisible_scenario):
+        with pytest.raises(ValueError, match="unknown DTA objective"):
+            run_dta(
+                divisible_scenario.system,
+                list(divisible_scenario.tasks),
+                divisible_scenario.ownership,
+                divisible_scenario.catalog,
+                objective="fastest",
+            )
+
+    def test_number_uses_fewer_or_equal_devices(self, divisible_scenario):
+        workload = run_dta(
+            divisible_scenario.system, list(divisible_scenario.tasks),
+            divisible_scenario.ownership, divisible_scenario.catalog, "workload",
+        )
+        number = run_dta(
+            divisible_scenario.system, list(divisible_scenario.tasks),
+            divisible_scenario.ownership, divisible_scenario.catalog, "number",
+        )
+        assert number.involved_devices <= workload.involved_devices
+
+    def test_dta_saves_energy_versus_holistic(self, divisible_scenario):
+        """The Fig. 5 claim: rearrangement beats shipping raw data."""
+        holistic = lp_hta(
+            divisible_scenario.system, list(divisible_scenario.tasks)
+        ).assignment.total_energy_j()
+        outcome = run_dta(
+            divisible_scenario.system, list(divisible_scenario.tasks),
+            divisible_scenario.ownership, divisible_scenario.catalog, "workload",
+        )
+        assert outcome.total_energy_j < holistic
+
+    def test_coverage_matches_objective(self, divisible_scenario):
+        universe = divisible_scenario.universe
+        outcome = run_dta(
+            divisible_scenario.system, list(divisible_scenario.tasks),
+            divisible_scenario.ownership, divisible_scenario.catalog, "number",
+        )
+        expected = dta_number(universe, divisible_scenario.ownership)
+        assert outcome.coverage.sets == expected.sets
+
+
+class TestEvaluatePlan:
+    def test_explicit_pipeline_equals_run_dta(self, divisible_scenario):
+        universe = divisible_scenario.universe
+        coverage = dta_workload(universe, divisible_scenario.ownership)
+        plan = rearrange_tasks(
+            list(divisible_scenario.tasks), coverage, divisible_scenario.catalog
+        )
+        outcome = evaluate_plan(
+            divisible_scenario.system, plan, divisible_scenario.catalog
+        )
+        shortcut = run_dta(
+            divisible_scenario.system, list(divisible_scenario.tasks),
+            divisible_scenario.ownership, divisible_scenario.catalog, "workload",
+        )
+        assert outcome.total_energy_j == pytest.approx(shortcut.total_energy_j)
+        assert outcome.processing_time_s == pytest.approx(shortcut.processing_time_s)
+
+    def test_hta_report_attached(self, divisible_scenario):
+        outcome = run_dta(
+            divisible_scenario.system, list(divisible_scenario.tasks),
+            divisible_scenario.ownership, divisible_scenario.catalog, "workload",
+        )
+        assert outcome.hta_report.assignment is outcome.assignment
+        assert outcome.assignment.costs.num_tasks == outcome.plan.num_subtasks

@@ -1,0 +1,136 @@
+"""Assignment representation and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Assignment, Subsystem
+from repro.core.costs import cluster_costs
+from repro.core.task import Task
+from repro.units import KB
+
+
+@pytest.fixture
+def costs(two_cluster_system):
+    tasks = [
+        Task(owner_device_id=0, index=0, local_bytes=500 * KB,
+             external_bytes=0.0, external_source=None,
+             resource_demand=1.0, deadline_s=5.0),
+        Task(owner_device_id=0, index=1, local_bytes=800 * KB,
+             external_bytes=200 * KB, external_source=1,
+             resource_demand=2.0, deadline_s=5.0),
+        Task(owner_device_id=1, index=0, local_bytes=300 * KB,
+             external_bytes=0.0, external_source=None,
+             resource_demand=0.5, deadline_s=0.001),  # nothing meets this
+    ]
+    return cluster_costs(two_cluster_system, tasks)
+
+
+class TestSubsystem:
+    def test_columns(self):
+        assert Subsystem.DEVICE.column == 0
+        assert Subsystem.STATION.column == 1
+        assert Subsystem.CLOUD.column == 2
+
+    def test_cancelled_has_no_column(self):
+        with pytest.raises(ValueError):
+            Subsystem.CANCELLED.column
+
+    def test_values_match_paper_indices(self):
+        assert int(Subsystem.DEVICE) == 1
+        assert int(Subsystem.STATION) == 2
+        assert int(Subsystem.CLOUD) == 3
+
+
+class TestConstruction:
+    def test_length_mismatch_rejected(self, costs):
+        with pytest.raises(ValueError):
+            Assignment(costs, [Subsystem.DEVICE])
+
+    def test_uniform(self, costs):
+        a = Assignment.uniform(costs, Subsystem.CLOUD)
+        assert all(d is Subsystem.CLOUD for d in a.decisions)
+
+    def test_indicator_roundtrip(self, costs):
+        a = Assignment(costs, [Subsystem.DEVICE, Subsystem.STATION, Subsystem.CANCELLED])
+        x = a.to_indicator()
+        assert x.shape == (3, 3)
+        assert x[0, 0] == 1 and x[1, 1] == 1
+        assert np.all(x[2] == 0)
+        b = Assignment.from_indicator(costs, x)
+        assert b.decisions == a.decisions
+
+    def test_indicator_rejects_double_assignment(self, costs):
+        x = np.zeros((3, 3))
+        x[0, 0] = x[0, 1] = 1.0
+        with pytest.raises(ValueError, match="multiple"):
+            Assignment.from_indicator(costs, x)
+
+    def test_replace(self, costs):
+        a = Assignment.uniform(costs, Subsystem.DEVICE)
+        b = a.replace(1, Subsystem.CLOUD)
+        assert a.decisions[1] is Subsystem.DEVICE  # original untouched
+        assert b.decisions[1] is Subsystem.CLOUD
+
+
+class TestMetrics:
+    def test_total_energy_sums_decisions(self, costs):
+        a = Assignment(costs, [Subsystem.DEVICE, Subsystem.STATION, Subsystem.CLOUD])
+        expected = costs.energy_j[0, 0] + costs.energy_j[1, 1] + costs.energy_j[2, 2]
+        assert a.total_energy_j() == pytest.approx(expected)
+
+    def test_cancelled_tasks_cost_nothing(self, costs):
+        a = Assignment(costs, [Subsystem.CANCELLED] * 3)
+        assert a.total_energy_j() == 0.0
+        assert a.latencies_s() == []
+
+    def test_unsatisfied_rate_counts_misses_and_cancels(self, costs):
+        # Task 2 misses any deadline; task 0 cancelled; task 1 fine.
+        a = Assignment(costs, [Subsystem.CANCELLED, Subsystem.DEVICE, Subsystem.DEVICE])
+        assert a.unsatisfied_rate() == pytest.approx(2 / 3)
+
+    def test_device_loads(self, costs):
+        a = Assignment(costs, [Subsystem.DEVICE, Subsystem.DEVICE, Subsystem.STATION])
+        loads = a.device_loads()
+        assert loads[0] == pytest.approx(3.0)
+        assert loads[1] == pytest.approx(0.0)
+
+    def test_station_load(self, costs):
+        a = Assignment(costs, [Subsystem.STATION, Subsystem.DEVICE, Subsystem.STATION])
+        assert a.station_load() == pytest.approx(1.5)
+
+    def test_involved_devices(self, costs):
+        a = Assignment(costs, [Subsystem.DEVICE, Subsystem.DEVICE, Subsystem.CLOUD])
+        assert a.involved_devices() == 1
+
+    def test_stats_consistency(self, costs):
+        a = Assignment(costs, [Subsystem.DEVICE, Subsystem.STATION, Subsystem.CLOUD])
+        stats = a.stats()
+        assert stats.total_energy_j == pytest.approx(a.total_energy_j())
+        assert stats.per_subsystem[Subsystem.DEVICE] == 1
+        assert stats.max_latency_s >= stats.mean_latency_s
+
+
+class TestViolations:
+    def test_feasible_assignment_has_none(self, costs):
+        a = Assignment(costs, [Subsystem.DEVICE, Subsystem.DEVICE, Subsystem.CANCELLED])
+        assert a.violations({0: 5.0, 1: 5.0}, station_cap=10.0) == []
+
+    def test_deadline_violation_reported(self, costs):
+        a = Assignment(costs, [Subsystem.DEVICE, Subsystem.DEVICE, Subsystem.DEVICE])
+        problems = a.violations({0: 5.0, 1: 5.0}, station_cap=10.0)
+        assert any("C1" in p for p in problems)
+
+    def test_device_cap_violation_reported(self, costs):
+        a = Assignment(costs, [Subsystem.DEVICE, Subsystem.DEVICE, Subsystem.CANCELLED])
+        problems = a.violations({0: 1.0}, station_cap=10.0)
+        assert any("C2" in p for p in problems)
+
+    def test_station_cap_violation_reported(self, costs):
+        a = Assignment(costs, [Subsystem.STATION, Subsystem.STATION, Subsystem.CANCELLED])
+        problems = a.violations({}, station_cap=0.5)
+        assert any("C3" in p for p in problems)
+
+    def test_require_all_assigned(self, costs):
+        a = Assignment(costs, [Subsystem.DEVICE, Subsystem.DEVICE, Subsystem.CANCELLED])
+        problems = a.violations({}, station_cap=10.0, require_all_assigned=True)
+        assert any("C4" in p for p in problems)

@@ -1,0 +1,137 @@
+"""The baseline assignment schemes."""
+
+import pytest
+
+from repro.core.assignment import Subsystem
+from repro.core.baselines import (
+    all_offload,
+    all_to_cloud,
+    hgos,
+    local_first,
+    random_assignment,
+)
+from repro.core.task import Task
+from repro.units import KB
+from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+
+@pytest.fixture
+def scenario():
+    return generate_scenario(
+        PAPER_DEFAULTS.with_updates(num_tasks=50, num_devices=10, num_stations=2),
+        seed=4,
+    )
+
+
+class TestAllToC:
+    def test_everything_on_cloud(self, scenario):
+        assignment = all_to_cloud(scenario.system, list(scenario.tasks))
+        assert all(d is Subsystem.CLOUD for d in assignment.decisions)
+
+    def test_energy_positive(self, scenario):
+        assignment = all_to_cloud(scenario.system, list(scenario.tasks))
+        assert assignment.total_energy_j() > 0
+
+
+class TestAllOffload:
+    def test_no_device_execution(self, scenario):
+        assignment = all_offload(scenario.system, list(scenario.tasks))
+        assert all(
+            d in (Subsystem.STATION, Subsystem.CLOUD) for d in assignment.decisions
+        )
+
+    def test_station_caps_respected(self, scenario):
+        assignment = all_offload(scenario.system, list(scenario.tasks))
+        for station_id in scenario.system.stations:
+            load = sum(
+                assignment.costs.resource[row]
+                for row, d in enumerate(assignment.decisions)
+                if d is Subsystem.STATION
+                and scenario.system.cluster_of(
+                    assignment.costs.tasks[row].owner_device_id
+                ) == station_id
+            )
+            assert load <= scenario.system.station(station_id).max_resource + 1e-9
+
+    def test_overflow_goes_to_cloud(self, two_cluster_system):
+        tasks = [
+            Task(owner_device_id=0, index=j, local_bytes=100 * KB,
+                 external_bytes=0.0, external_source=None,
+                 resource_demand=15.0, deadline_s=10.0)
+            for j in range(3)
+        ]
+        assignment = all_offload(two_cluster_system, tasks)
+        # Station cap is 20: one task fits, two overflow to the cloud.
+        counts = assignment.subsystem_counts()
+        assert counts[Subsystem.STATION] == 1
+        assert counts[Subsystem.CLOUD] == 2
+
+
+class TestHGOS:
+    def test_never_cancels(self, scenario):
+        assignment = hgos(scenario.system, list(scenario.tasks))
+        assert all(d is not Subsystem.CANCELLED for d in assignment.decisions)
+
+    def test_respects_resource_caps(self, scenario):
+        assignment = hgos(scenario.system, list(scenario.tasks))
+        for device_id, load in assignment.device_loads().items():
+            assert load <= scenario.system.device(device_id).max_resource + 1e-9
+
+    def test_charged_true_costs_not_perceived(self, two_cluster_system):
+        """HGOS decides with data-blind prices but pays the real ones."""
+        task = Task(
+            owner_device_id=0, index=0, local_bytes=500 * KB,
+            external_bytes=400 * KB, external_source=2,  # cross-cluster
+            resource_demand=1.0, deadline_s=10.0,
+        )
+        assignment = hgos(two_cluster_system, [task])
+        decision = assignment.decisions[0]
+        true_cost = assignment.costs.energy_j[0, decision.column]
+        assert assignment.total_energy_j() == pytest.approx(true_cost)
+
+    def test_deadline_blindness(self, scenario):
+        """HGOS misses at least as many deadlines as a deadline-aware greedy."""
+        blind = hgos(scenario.system, list(scenario.tasks))
+        aware = local_first(scenario.system, list(scenario.tasks))
+        assert blind.unsatisfied_rate() >= aware.unsatisfied_rate() - 0.05
+
+
+class TestLocalFirst:
+    def test_constraints_respected(self, scenario):
+        assignment = local_first(scenario.system, list(scenario.tasks))
+        caps = {
+            d: scenario.system.device(d).max_resource for d in scenario.system.devices
+        }
+        problems = [
+            p for p in assignment.violations(caps, float("inf")) if "C3" not in p
+        ]
+        assert problems == []
+
+
+class TestRandomAssignment:
+    def test_deterministic_under_seed(self, scenario):
+        a = random_assignment(scenario.system, list(scenario.tasks), seed=1)
+        b = random_assignment(scenario.system, list(scenario.tasks), seed=1)
+        assert a.decisions == b.decisions
+
+    def test_different_seeds_differ(self, scenario):
+        a = random_assignment(scenario.system, list(scenario.tasks), seed=1)
+        b = random_assignment(scenario.system, list(scenario.tasks), seed=2)
+        assert a.decisions != b.decisions
+
+
+class TestOrdering:
+    """The qualitative energy ordering the paper's Fig. 2 shows."""
+
+    def test_lp_hta_beats_every_baseline(self, scenario):
+        from repro.core.hta import lp_hta
+
+        ours = lp_hta(scenario.system, list(scenario.tasks)).assignment
+        for baseline in (hgos, all_to_cloud, all_offload):
+            other = baseline(scenario.system, list(scenario.tasks))
+            assert ours.total_energy_j() <= other.total_energy_j() * 1.02
+
+    def test_cloud_is_most_expensive(self, scenario):
+        cloud = all_to_cloud(scenario.system, list(scenario.tasks))
+        offload = all_offload(scenario.system, list(scenario.tasks))
+        assert cloud.total_energy_j() >= offload.total_energy_j()

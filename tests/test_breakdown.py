@@ -1,0 +1,75 @@
+"""Energy breakdown reporting."""
+
+import pytest
+
+from repro.core.assignment import Assignment, Subsystem
+from repro.core.costs import cluster_costs
+from repro.core.hta import lp_hta
+from repro.experiments.breakdown import energy_breakdown
+
+
+class TestBreakdown:
+    def test_components_sum_to_total(self, small_scenario):
+        report = lp_hta(small_scenario.system, list(small_scenario.tasks))
+        breakdown = energy_breakdown(
+            small_scenario.system, list(small_scenario.tasks), report.assignment
+        )
+        assert breakdown.total_j == pytest.approx(
+            breakdown.computation_j + breakdown.transmission_j
+        )
+        assert breakdown.total_j == pytest.approx(
+            report.assignment.total_energy_j()
+        )
+
+    def test_subsystem_split_sums_to_total(self, small_scenario):
+        report = lp_hta(small_scenario.system, list(small_scenario.tasks))
+        breakdown = energy_breakdown(
+            small_scenario.system, list(small_scenario.tasks), report.assignment
+        )
+        assert sum(breakdown.by_subsystem_j.values()) == pytest.approx(
+            breakdown.total_j
+        )
+
+    def test_compute_energy_only_from_devices(
+        self, two_cluster_system, local_task
+    ):
+        costs = cluster_costs(two_cluster_system, [local_task])
+        cloud_only = Assignment(costs, [Subsystem.CLOUD])
+        breakdown = energy_breakdown(two_cluster_system, [local_task], cloud_only)
+        assert breakdown.computation_j == 0.0
+        assert breakdown.transmission_j > 0.0
+        assert breakdown.by_subsystem_j[Subsystem.CLOUD] == pytest.approx(
+            breakdown.total_j
+        )
+
+    def test_local_task_on_device_is_pure_compute(
+        self, two_cluster_system, local_task
+    ):
+        costs = cluster_costs(two_cluster_system, [local_task])
+        device_only = Assignment(costs, [Subsystem.DEVICE])
+        breakdown = energy_breakdown(two_cluster_system, [local_task], device_only)
+        assert breakdown.transmission_j == 0.0
+        assert breakdown.transmission_share == 0.0
+        assert breakdown.computation_j > 0.0
+
+    def test_cancelled_tasks_excluded(self, two_cluster_system, local_task):
+        costs = cluster_costs(two_cluster_system, [local_task])
+        cancelled = Assignment(costs, [Subsystem.CANCELLED])
+        breakdown = energy_breakdown(two_cluster_system, [local_task], cancelled)
+        assert breakdown.total_j == 0.0
+        assert breakdown.transmission_share == 0.0
+
+    def test_format_table(self, small_scenario):
+        report = lp_hta(small_scenario.system, list(small_scenario.tasks))
+        breakdown = energy_breakdown(
+            small_scenario.system, list(small_scenario.tasks), report.assignment
+        )
+        text = breakdown.format_table()
+        assert "total energy" in text
+        assert "transmission" in text
+        assert "device" in text
+
+    def test_row_mismatch_rejected(self, small_scenario):
+        report = lp_hta(small_scenario.system, list(small_scenario.tasks))
+        with pytest.raises(ValueError):
+            energy_breakdown(small_scenario.system, [], report.assignment)

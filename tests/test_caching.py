@@ -1,0 +1,154 @@
+"""The result-caching extension."""
+
+import pytest
+
+from repro.caching.cache import LFUCache, LRUCache
+from repro.caching.evaluator import simulate_with_cache
+from repro.caching.workload import QueryCatalog, zipf_query_stream
+from repro.units import MB
+from repro.workload import PAPER_DEFAULTS, generate_system
+
+
+class TestLRUCache:
+    def test_hit_and_miss(self):
+        cache = LRUCache(100.0)
+        assert cache.lookup("a") is None
+        cache.insert("a", 10.0)
+        assert cache.lookup("a") == 10.0
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_eviction_order_is_recency(self):
+        cache = LRUCache(20.0)
+        cache.insert("a", 10.0)
+        cache.insert("b", 10.0)
+        cache.lookup("a")          # refresh a
+        cache.insert("c", 10.0)    # evicts b (least recently used)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_oversized_entry_rejected(self):
+        cache = LRUCache(5.0)
+        assert not cache.insert("big", 10.0)
+        assert "big" not in cache
+
+    def test_reinsert_updates_size(self):
+        cache = LRUCache(30.0)
+        cache.insert("a", 10.0)
+        cache.insert("a", 20.0)
+        assert cache.used_bytes == pytest.approx(20.0)
+        assert len(cache) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0.0)
+        cache = LRUCache(10.0)
+        with pytest.raises(ValueError):
+            cache.insert("x", -1.0)
+
+
+class TestLFUCache:
+    def test_eviction_order_is_frequency(self):
+        cache = LFUCache(20.0)
+        cache.insert("a", 10.0)
+        cache.insert("b", 10.0)
+        cache.lookup("a")
+        cache.lookup("a")
+        cache.lookup("b")
+        cache.insert("c", 10.0)  # evicts b (fewer hits than a)
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_hit_rate(self):
+        cache = LFUCache(100.0)
+        cache.insert("a", 1.0)
+        cache.lookup("a")
+        cache.lookup("missing")
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_empty_cache_hit_rate_is_zero(self):
+        assert LFUCache(10.0).stats.hit_rate == 0.0
+
+
+@pytest.fixture(scope="module")
+def system():
+    return generate_system(
+        PAPER_DEFAULTS.with_updates(num_devices=12, num_stations=3), seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def catalog(system):
+    return QueryCatalog.generate(system, PAPER_DEFAULTS, num_queries=30, seed=1)
+
+
+class TestQueryWorkload:
+    def test_catalog_size(self, catalog):
+        assert len(catalog) == 30
+
+    def test_instantiate_rehomes_owner(self, catalog):
+        task = catalog.instantiate(0, owner_device_id=5, index=99)
+        assert task.owner_device_id == 5
+        assert task.index == 99
+        assert task.operation == "query-0"
+
+    def test_instantiate_when_owner_is_the_source(self, catalog):
+        template = next(
+            t for t in catalog.templates if t.external_source is not None
+        )
+        query_id = catalog.templates.index(template)
+        task = catalog.instantiate(query_id, template.external_source, 0)
+        assert not task.has_external_data
+        assert task.input_bytes == pytest.approx(template.input_bytes)
+
+    def test_zipf_stream_is_skewed(self, system, catalog):
+        stream = zipf_query_stream(system, catalog, length=500, exponent=1.5, seed=2)
+        counts = {}
+        for query_id, _ in stream:
+            counts[query_id] = counts.get(query_id, 0) + 1
+        top = max(counts.values())
+        assert top > len(stream) / len(catalog) * 3  # far above uniform
+
+    def test_validation(self, system, catalog):
+        with pytest.raises(ValueError):
+            QueryCatalog(templates=())
+        with pytest.raises(ValueError):
+            QueryCatalog.generate(system, PAPER_DEFAULTS, 0)
+        with pytest.raises(ValueError):
+            zipf_query_stream(system, catalog, 0)
+        with pytest.raises(ValueError):
+            zipf_query_stream(system, catalog, 10, exponent=1.0)
+
+
+class TestEvaluator:
+    def test_cache_saves_energy_on_skewed_stream(self, system, catalog):
+        stream = zipf_query_stream(system, catalog, length=300, exponent=1.4, seed=3)
+        report = simulate_with_cache(system, stream, lambda: LRUCache(50 * MB))
+        assert report.hit_rate > 0.3
+        assert report.cached_energy_j < report.uncached_energy_j
+        assert report.energy_saving_fraction > 0.2
+        assert report.cached_mean_latency_s < report.uncached_mean_latency_s
+
+    def test_tiny_cache_saves_little(self, system, catalog):
+        stream = zipf_query_stream(system, catalog, length=300, exponent=1.4, seed=3)
+        big = simulate_with_cache(system, stream, lambda: LRUCache(50 * MB))
+        tiny = simulate_with_cache(system, stream, lambda: LRUCache(0.3 * MB))
+        assert tiny.hit_rate <= big.hit_rate
+        assert tiny.cached_energy_j >= big.cached_energy_j
+
+    def test_uncached_cost_independent_of_cache(self, system, catalog):
+        stream = zipf_query_stream(system, catalog, length=100, exponent=1.4, seed=4)
+        a = simulate_with_cache(system, stream, lambda: LRUCache(1 * MB))
+        b = simulate_with_cache(system, stream, lambda: LFUCache(90 * MB))
+        assert a.uncached_energy_j == pytest.approx(b.uncached_energy_j)
+
+    def test_per_station_rates_reported(self, system, catalog):
+        stream = zipf_query_stream(system, catalog, length=200, exponent=1.4, seed=5)
+        report = simulate_with_cache(system, stream, lambda: LRUCache(50 * MB))
+        assert set(report.per_station_hit_rate) == set(system.stations)
+
+    def test_empty_stream_rejected(self, system):
+        with pytest.raises(ValueError):
+            simulate_with_cache(system, [], lambda: LRUCache(1 * MB))

@@ -1,0 +1,57 @@
+"""The mecrepro command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "TABLE I" in out
+    assert "Wi-Fi" in out
+
+
+def test_demo(capsys):
+    assert main(["demo", "--tasks", "30", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "LP-HTA" in out
+    assert "HGOS" in out
+    assert "energy=" in out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_figure_requires_valid_id():
+    with pytest.raises(SystemExit):
+        main(["figure", "fig99"])
+
+
+def test_figure_chart_flag(capsys):
+    assert main(["figure", "fig2b", "--seeds", "0", "--chart"]) == 0
+    out = capsys.readouterr().out
+    assert "fig2b" in out
+    assert "o=LP-HTA" in out  # the ASCII chart legend
+
+
+def test_online_command(capsys):
+    assert main(["online", "--rate", "0.3", "--horizon", "120",
+                 "--epoch", "60", "--policy", "hgos"]) == 0
+    out = capsys.readouterr().out
+    assert "hgos" in out
+    assert "planned energy" in out
+
+
+def test_online_mobile(capsys):
+    assert main(["online", "--rate", "0.3", "--horizon", "120", "--mobile"]) == 0
+    out = capsys.readouterr().out
+    assert "handovers" in out
+
+
+def test_ratio_study_command(capsys):
+    assert main(["ratio-study", "--instances", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Theorem 2 violations" in out

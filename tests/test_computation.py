@@ -1,0 +1,99 @@
+"""Computation model: cycles, compute time/energy, result sizes."""
+
+import pytest
+
+from repro.system.computation import (
+    DEFAULT_CYCLES_PER_BYTE,
+    DEFAULT_KAPPA,
+    CyclesModel,
+    ResultSizeModel,
+    compute_energy_j,
+    compute_time_s,
+)
+
+
+class TestPaperConstants:
+    def test_lambda_is_330_cycles_per_byte(self):
+        assert DEFAULT_CYCLES_PER_BYTE == 330.0
+
+    def test_kappa_is_1e_minus_27(self):
+        assert DEFAULT_KAPPA == 1e-27
+
+
+class TestComputeTime:
+    def test_time_is_cycles_over_frequency(self):
+        assert compute_time_s(3e9, 1.5e9) == pytest.approx(2.0)
+
+    def test_zero_cycles_take_no_time(self):
+        assert compute_time_s(0.0, 1e9) == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            compute_time_s(-1.0, 1e9)
+        with pytest.raises(ValueError):
+            compute_time_s(1.0, 0.0)
+
+
+class TestComputeEnergy:
+    def test_eq2_formula(self):
+        # E = kappa * cycles * f^2
+        assert compute_energy_j(1e9, 2e9, kappa=1e-27) == pytest.approx(
+            1e-27 * 1e9 * 4e18
+        )
+
+    def test_quadratic_in_frequency(self):
+        e1 = compute_energy_j(1e9, 1e9)
+        e2 = compute_energy_j(1e9, 2e9)
+        assert e2 == pytest.approx(4 * e1)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            compute_energy_j(-1.0, 1e9)
+        with pytest.raises(ValueError):
+            compute_energy_j(1.0, -1e9)
+        with pytest.raises(ValueError):
+            compute_energy_j(1.0, 1e9, kappa=-1.0)
+
+
+class TestCyclesModel:
+    def test_linear_in_input(self):
+        model = CyclesModel()
+        assert model.cycles_on_device(1000.0) == pytest.approx(330_000.0)
+
+    def test_per_subsystem_multipliers(self):
+        model = CyclesModel(
+            cycles_per_byte=100.0,
+            device_multiplier=1.0,
+            station_multiplier=2.0,
+            cloud_multiplier=0.5,
+        )
+        assert model.cycles_on_device(10.0) == pytest.approx(1000.0)
+        assert model.cycles_on_station(10.0) == pytest.approx(2000.0)
+        assert model.cycles_on_cloud(10.0) == pytest.approx(500.0)
+
+    def test_rejects_nonpositive_multipliers(self):
+        with pytest.raises(ValueError):
+            CyclesModel(station_multiplier=0.0)
+
+
+class TestResultSizeModel:
+    def test_proportional(self):
+        model = ResultSizeModel.proportional(0.2)
+        assert model.result_bytes(1000.0) == pytest.approx(200.0)
+        assert not model.is_constant
+
+    def test_constant(self):
+        model = ResultSizeModel.constant(5000.0)
+        assert model.result_bytes(10.0) == 5000.0
+        assert model.result_bytes(1e9) == 5000.0
+        assert model.is_constant
+
+    def test_rejects_negative_input(self):
+        with pytest.raises(ValueError):
+            ResultSizeModel().result_bytes(-1.0)
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            ResultSizeModel(ratio=-0.1)
+        with pytest.raises(ValueError):
+            ResultSizeModel.constant(-1.0)

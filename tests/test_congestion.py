@@ -1,0 +1,103 @@
+"""Congestion-aware fixed-point assignment."""
+
+import pytest
+
+from repro.congestion import (
+    CongestionOptions,
+    congestion_aware_assignment,
+    degraded_system,
+)
+from repro.system.interference import InterferenceChannel
+from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+CHANNEL = InterferenceChannel(
+    bandwidth_hz=5e6, channel_gain=1e-6, tx_power_w=0.5,
+    noise_power_w=1e-9, orthogonality_loss=0.02,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return generate_scenario(
+        PAPER_DEFAULTS.with_updates(num_tasks=120, num_devices=20, num_stations=2),
+        seed=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def result(scenario):
+    return congestion_aware_assignment(scenario.system, list(scenario.tasks), CHANNEL)
+
+
+class TestDegradedSystem:
+    def test_uplinks_scaled_per_cluster(self, scenario):
+        degraded = degraded_system(scenario.system, CHANNEL, {0: 10, 1: 1})
+        factor = CHANNEL.uplink_rate_bps(10) / CHANNEL.uplink_rate_bps(1)
+        for device_id in scenario.system.devices:
+            original = scenario.system.device(device_id).wireless
+            scaled = degraded.device(device_id).wireless
+            if scenario.system.cluster_of(device_id) == 0:
+                assert scaled.upload_rate_bps == pytest.approx(
+                    original.upload_rate_bps * factor
+                )
+            else:
+                assert scaled.upload_rate_bps == pytest.approx(
+                    original.upload_rate_bps
+                )
+            # Downlink and powers untouched.
+            assert scaled.download_rate_bps == original.download_rate_bps
+            assert scaled.tx_power_w == original.tx_power_w
+
+    def test_zero_concurrency_means_nominal(self, scenario):
+        degraded = degraded_system(scenario.system, CHANNEL, {0: 0, 1: 0})
+        for device_id in scenario.system.devices:
+            assert degraded.device(device_id).wireless.upload_rate_bps == (
+                pytest.approx(
+                    scenario.system.device(device_id).wireless.upload_rate_bps
+                )
+            )
+
+    def test_topology_preserved(self, scenario):
+        degraded = degraded_system(scenario.system, CHANNEL, {0: 3, 1: 3})
+        assert degraded.cluster_sizes() == scenario.system.cluster_sizes()
+
+
+class TestFixedPoint:
+    def test_damped_loop_converges(self, result):
+        assert result.converged
+        assert result.iterations <= CongestionOptions().max_iterations
+
+    def test_history_recorded(self, result):
+        assert len(result.concurrency_history) == result.iterations
+
+    def test_final_energy_consistent_with_decisions(self, result):
+        assert result.final_energy_j == pytest.approx(
+            result.assignment.total_energy_j()
+        )
+
+    def test_congestion_costs_something(self, result):
+        """With offloading present, congested pricing cannot be cheaper
+        than the congestion-blind estimate."""
+        offloaded = sum(sum(h.values()) for h in result.concurrency_history[-1:])
+        if offloaded > 1:
+            assert result.final_energy_j >= result.naive_energy_j - 1e-6
+
+    def test_orthogonal_channel_converges_immediately(self, scenario):
+        clean = InterferenceChannel(
+            bandwidth_hz=5e6, channel_gain=1e-6, tx_power_w=0.5,
+            noise_power_w=1e-9, orthogonality_loss=0.0,
+        )
+        result = congestion_aware_assignment(
+            scenario.system, list(scenario.tasks), clean
+        )
+        # No interference: the first assignment already prices correctly
+        # (round 2 just confirms the fixed point).
+        assert result.converged
+        assert result.iterations <= 2
+        assert result.congestion_penalty_j == pytest.approx(0.0, abs=1e-6)
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            CongestionOptions(max_iterations=0)
+        with pytest.raises(ValueError):
+            CongestionOptions(rate_tolerance=-0.1)

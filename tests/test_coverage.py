@@ -1,0 +1,155 @@
+"""Data-division algorithms: DTA-Workload, DTA-Number and exact solvers."""
+
+import pytest
+
+from repro.data.items import DataCatalog, DataItem
+from repro.data.ownership import OwnershipMap
+from repro.dta.coverage import (
+    Coverage,
+    dta_number,
+    dta_workload,
+    exact_min_max_coverage,
+    exact_min_set_number,
+)
+
+
+@pytest.fixture
+def ownership():
+    return OwnershipMap({
+        0: {0, 1, 2, 3, 4, 5},   # large holder
+        1: {0, 1},
+        2: {2, 3},
+        3: {4, 5, 6},
+        4: {6, 7},
+    })
+
+
+@pytest.fixture
+def universe():
+    return frozenset(range(8))
+
+
+def _assert_valid(coverage: Coverage, ownership: OwnershipMap):
+    assert coverage.violations(ownership) == []
+
+
+class TestCoverageContainer:
+    def test_empty_sets_rejected(self):
+        with pytest.raises(ValueError):
+            Coverage(universe=frozenset({1}), sets={0: frozenset()})
+
+    def test_metrics(self):
+        coverage = Coverage(
+            universe=frozenset({1, 2, 3}),
+            sets={0: frozenset({1, 2}), 1: frozenset({3})},
+        )
+        assert coverage.involved_devices == 2
+        assert coverage.max_set_size() == 2
+        assert coverage.device_of(3) == 1
+        assert coverage.device_of(99) is None
+
+    def test_max_set_bytes(self):
+        catalog = DataCatalog([DataItem(1, 10.0), DataItem(2, 20.0), DataItem(3, 5.0)])
+        coverage = Coverage(
+            universe=frozenset({1, 2, 3}),
+            sets={0: frozenset({1, 2}), 1: frozenset({3})},
+        )
+        assert coverage.max_set_bytes(catalog) == pytest.approx(30.0)
+
+    def test_violations_detect_problems(self, ownership):
+        bad = Coverage(
+            universe=frozenset({0, 1, 9}),
+            sets={1: frozenset({0, 1, 9})},  # 9 is not owned, not in D... and D misses
+        )
+        problems = bad.violations(ownership)
+        assert any("does not own" in p for p in problems)
+
+
+class TestDTAWorkload:
+    def test_valid_coverage(self, universe, ownership):
+        _assert_valid(dta_workload(universe, ownership), ownership)
+
+    def test_covers_exactly(self, universe, ownership):
+        coverage = dta_workload(universe, ownership)
+        union = frozenset()
+        for items in coverage.sets.values():
+            union |= items
+        assert union == universe
+
+    def test_smallest_nonempty_first(self):
+        """The paper's argmin rule: the device with the least remaining
+        coverage claims its whole set first."""
+        ownership = OwnershipMap({0: {0}, 1: {0, 1, 2}})
+        coverage = dta_workload(frozenset({0, 1, 2}), ownership)
+        assert coverage.sets[0] == frozenset({0})
+        assert coverage.sets[1] == frozenset({1, 2})
+
+    def test_uncoverable_universe_rejected(self, ownership):
+        with pytest.raises(ValueError, match="owned by no device"):
+            dta_workload(frozenset({0, 99}), ownership)
+
+    def test_empty_universe(self, ownership):
+        coverage = dta_workload(frozenset(), ownership)
+        assert coverage.sets == {}
+        assert coverage.involved_devices == 0
+
+    def test_balances_better_than_set_cover(self, universe, ownership):
+        workload = dta_workload(universe, ownership)
+        number = dta_number(universe, ownership)
+        assert workload.max_set_size() <= number.max_set_size()
+
+
+class TestDTANumber:
+    def test_valid_coverage(self, universe, ownership):
+        _assert_valid(dta_number(universe, ownership), ownership)
+
+    def test_greedy_takes_largest_first(self, universe, ownership):
+        coverage = dta_number(universe, ownership)
+        # Device 0 owns 6 of 8 items: the greedy must start there.
+        assert 0 in coverage.sets
+        assert coverage.sets[0] == frozenset(range(6))
+
+    def test_fewer_devices_than_workload(self, universe, ownership):
+        workload = dta_workload(universe, ownership)
+        number = dta_number(universe, ownership)
+        assert number.involved_devices <= workload.involved_devices
+
+    def test_uncoverable_universe_rejected(self, ownership):
+        with pytest.raises(ValueError):
+            dta_number(frozenset({0, 99}), ownership)
+
+
+class TestExactMinMax:
+    def test_valid_and_optimal_bound(self, universe, ownership):
+        exact = exact_min_max_coverage(universe, ownership)
+        greedy = dta_workload(universe, ownership)
+        _assert_valid(exact, ownership)
+        assert exact.max_set_size() <= greedy.max_set_size()
+
+    def test_perfect_balance_possible(self):
+        # Two devices each owning half: optimal max size is 2.
+        ownership = OwnershipMap({0: {0, 1, 2, 3}, 1: {0, 1, 2, 3}})
+        exact = exact_min_max_coverage(frozenset({0, 1, 2, 3}), ownership)
+        assert exact.max_set_size() == 2
+
+    def test_empty_universe(self, ownership):
+        exact = exact_min_max_coverage(frozenset(), ownership)
+        assert exact.sets == {}
+
+
+class TestExactMinSetNumber:
+    def test_optimal_count(self, universe, ownership):
+        exact = exact_min_set_number(universe, ownership)
+        _assert_valid(exact, ownership)
+        greedy = dta_number(universe, ownership)
+        assert exact.involved_devices <= greedy.involved_devices
+
+    def test_single_device_cover(self):
+        ownership = OwnershipMap({0: {0, 1}, 1: {0}, 2: {1}})
+        exact = exact_min_set_number(frozenset({0, 1}), ownership)
+        assert exact.involved_devices == 1
+
+    def test_enumeration_limit(self, universe):
+        big = OwnershipMap({d: {0} for d in range(30)} | {99: set(range(8))})
+        with pytest.raises(ValueError, match="enumeration"):
+            exact_min_set_number(universe, big, max_devices=5)

@@ -1,0 +1,41 @@
+"""Data items and the catalog."""
+
+import pytest
+
+from repro.data.items import DataCatalog, DataItem
+
+
+class TestDataItem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataItem(-1, 10.0)
+        with pytest.raises(ValueError):
+            DataItem(0, -10.0)
+
+
+class TestCatalog:
+    def test_lookup(self):
+        catalog = DataCatalog([DataItem(0, 10.0), DataItem(1, 20.0)])
+        assert len(catalog) == 2
+        assert 0 in catalog and 5 not in catalog
+        assert catalog.size_of(1) == 20.0
+        assert catalog.item_ids == frozenset({0, 1})
+
+    def test_total_bytes(self):
+        catalog = DataCatalog([DataItem(i, float(i * 10)) for i in range(5)])
+        assert catalog.total_bytes({1, 3}) == pytest.approx(40.0)
+        assert catalog.total_bytes(set()) == 0.0
+
+    def test_total_bytes_unknown_id_raises(self):
+        catalog = DataCatalog([DataItem(0, 10.0)])
+        with pytest.raises(KeyError):
+            catalog.total_bytes({0, 99})
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DataCatalog([DataItem(0, 10.0), DataItem(0, 20.0)])
+
+    def test_from_sizes(self):
+        catalog = DataCatalog.from_sizes({3: 7.0, 4: 9.0})
+        assert catalog.size_of(3) == 7.0
+        assert len(catalog) == 2

@@ -1,0 +1,79 @@
+"""The discrete-event kernel."""
+
+import pytest
+
+from repro.des.kernel import EventSimulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = EventSimulator()
+        log = []
+        sim.schedule(3.0, lambda: log.append("c"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_fifo_among_simultaneous(self):
+        sim = EventSimulator()
+        log = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, lambda t=tag: log.append(t))
+        sim.run()
+        assert log == ["first", "second", "third"]
+
+    def test_events_can_schedule_events(self):
+        sim = EventSimulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(2.0, lambda: log.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert log == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_schedule_at(self):
+        sim = EventSimulator()
+        hits = []
+        sim.schedule_at(5.0, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [5.0]
+
+    def test_negative_delay_rejected(self):
+        sim = EventSimulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+
+class TestRunControl:
+    def test_run_until_leaves_later_events(self):
+        sim = EventSimulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(10.0, lambda: log.append(10))
+        final = sim.run(until=5.0)
+        assert final == 5.0
+        assert log == [1]
+        assert sim.pending == 1
+        sim.run()
+        assert log == [1, 10]
+
+    def test_step(self):
+        sim = EventSimulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("x"))
+        assert sim.step()
+        assert log == ["x"]
+        assert not sim.step()
+
+    def test_counters(self):
+        sim = EventSimulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+        assert sim.pending == 0

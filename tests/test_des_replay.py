@@ -1,0 +1,90 @@
+"""Event-driven replay versus the analytic cost model."""
+
+import pytest
+
+from repro.core.assignment import Assignment, Subsystem
+from repro.core.costs import cluster_costs
+from repro.core.hta import lp_hta
+from repro.des.replay import replay_assignment
+from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+
+def _assert_matches_analytic(system, tasks, assignment):
+    metrics = replay_assignment(system, tasks, assignment, contention=False)
+    for row, decision in enumerate(assignment.decisions):
+        if decision is Subsystem.CANCELLED:
+            assert metrics.latencies_s[row] is None
+            continue
+        analytic = assignment.costs.time_s[row, decision.column]
+        assert metrics.latencies_s[row] == pytest.approx(analytic, abs=1e-9)
+    return metrics
+
+
+class TestDedicatedReplayMatchesFormulas:
+    @pytest.mark.parametrize("subsystem", [Subsystem.DEVICE, Subsystem.STATION, Subsystem.CLOUD])
+    def test_each_subsystem(self, two_cluster_system, shared_task_cross_cluster, subsystem):
+        costs = cluster_costs(two_cluster_system, [shared_task_cross_cluster])
+        assignment = Assignment(costs, [subsystem])
+        _assert_matches_analytic(
+            two_cluster_system, [shared_task_cross_cluster], assignment
+        )
+
+    def test_local_task_all_subsystems(self, two_cluster_system, local_task):
+        costs = cluster_costs(two_cluster_system, [local_task])
+        for subsystem in (Subsystem.DEVICE, Subsystem.STATION, Subsystem.CLOUD):
+            _assert_matches_analytic(
+                two_cluster_system, [local_task], Assignment(costs, [subsystem])
+            )
+
+    def test_whole_lp_hta_schedule(self, small_scenario):
+        report = lp_hta(small_scenario.system, list(small_scenario.tasks))
+        metrics = _assert_matches_analytic(
+            small_scenario.system, list(small_scenario.tasks), report.assignment
+        )
+        assert metrics.mean_queueing_delay_s == 0.0
+        assert metrics.events_processed > 0
+
+    def test_energy_equals_analytic(self, small_scenario):
+        report = lp_hta(small_scenario.system, list(small_scenario.tasks))
+        metrics = replay_assignment(
+            small_scenario.system, list(small_scenario.tasks), report.assignment
+        )
+        assert metrics.total_energy_j == pytest.approx(
+            report.assignment.total_energy_j()
+        )
+
+
+class TestContention:
+    def test_contention_never_speeds_things_up(self, small_scenario):
+        report = lp_hta(small_scenario.system, list(small_scenario.tasks))
+        dedicated = replay_assignment(
+            small_scenario.system, list(small_scenario.tasks), report.assignment,
+            contention=False,
+        )
+        contended = replay_assignment(
+            small_scenario.system, list(small_scenario.tasks), report.assignment,
+            contention=True,
+        )
+        assert contended.makespan_s >= dedicated.makespan_s - 1e-9
+        for slow, fast in zip(contended.latencies_s, dedicated.latencies_s):
+            if slow is not None:
+                assert slow >= fast - 1e-9
+
+    def test_queueing_appears_under_load(self):
+        scenario = generate_scenario(
+            PAPER_DEFAULTS.with_updates(num_tasks=60, num_devices=6, num_stations=1),
+            seed=0,
+        )
+        report = lp_hta(scenario.system, list(scenario.tasks))
+        contended = replay_assignment(
+            scenario.system, list(scenario.tasks), report.assignment, contention=True
+        )
+        assert contended.mean_queueing_delay_s > 0.0
+
+
+class TestValidation:
+    def test_row_mismatch_rejected(self, two_cluster_system, local_task):
+        costs = cluster_costs(two_cluster_system, [local_task])
+        assignment = Assignment(costs, [Subsystem.DEVICE])
+        with pytest.raises(ValueError, match="correspond"):
+            replay_assignment(two_cluster_system, [], assignment)

@@ -1,0 +1,50 @@
+"""FIFO resources."""
+
+import pytest
+
+from repro.des.resources import FIFOResource
+
+
+class TestSharedMode:
+    def test_back_to_back_requests_queue(self):
+        resource = FIFOResource("link", shared=True)
+        assert resource.request(0.0, 2.0) == (0.0, 2.0)
+        assert resource.request(1.0, 2.0) == (2.0, 4.0)  # queued behind the first
+        assert resource.request(10.0, 1.0) == (10.0, 11.0)  # idle gap
+
+    def test_waiting_times(self):
+        resource = FIFOResource("link", shared=True)
+        resource.request(0.0, 2.0)
+        resource.request(1.0, 2.0)
+        assert resource.waiting_times() == [0.0, 1.0]
+
+
+class TestDedicatedMode:
+    def test_no_queueing(self):
+        resource = FIFOResource("link", shared=False)
+        assert resource.request(0.0, 2.0) == (0.0, 2.0)
+        assert resource.request(1.0, 2.0) == (1.0, 3.0)  # overlap allowed
+        assert resource.waiting_times() == [0.0, 0.0]
+
+
+class TestAccounting:
+    def test_busy_time_and_counts(self):
+        resource = FIFOResource("cpu")
+        resource.request(0.0, 1.5)
+        resource.request(0.0, 0.5)
+        assert resource.busy_time == pytest.approx(2.0)
+        assert resource.requests_served == 2
+
+    def test_utilisation(self):
+        resource = FIFOResource("cpu")
+        resource.request(0.0, 5.0)
+        assert resource.utilisation(10.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            resource.utilisation(0.0)
+
+    def test_negative_inputs_rejected(self):
+        resource = FIFOResource("cpu")
+        with pytest.raises(ValueError):
+            resource.request(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            resource.request(0.0, -1.0)

@@ -1,0 +1,65 @@
+"""Devices, base stations, the cloud."""
+
+import pytest
+
+from repro.system.devices import (
+    DEFAULT_CLOUD_FREQUENCY_HZ,
+    DEFAULT_STATION_FREQUENCY_HZ,
+    BaseStation,
+    Cloud,
+    MobileDevice,
+)
+from repro.system.radio import FOUR_G
+from repro.units import gigahertz
+
+
+class TestPaperDefaults:
+    def test_station_frequency_is_4ghz(self):
+        assert DEFAULT_STATION_FREQUENCY_HZ == pytest.approx(4e9)
+        assert BaseStation(0).cpu_frequency_hz == pytest.approx(4e9)
+
+    def test_cloud_frequency_is_t2_nano(self):
+        assert DEFAULT_CLOUD_FREQUENCY_HZ == pytest.approx(2.4e9)
+        assert Cloud().cpu_frequency_hz == pytest.approx(2.4e9)
+
+
+class TestMobileDevice:
+    def test_basic_construction(self):
+        device = MobileDevice(3, gigahertz(1.5), FOUR_G, max_resource=10.0)
+        assert device.device_id == 3
+        assert device.cpu_frequency_hz == pytest.approx(1.5e9)
+        assert device.data_items == frozenset()
+
+    def test_owns(self):
+        device = MobileDevice(
+            0, gigahertz(1.0), FOUR_G, max_resource=1.0, data_items=frozenset({1, 2})
+        )
+        assert device.owns(1)
+        assert not device.owns(3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MobileDevice(-1, gigahertz(1.0), FOUR_G, max_resource=1.0)
+        with pytest.raises(ValueError):
+            MobileDevice(0, 0.0, FOUR_G, max_resource=1.0)
+        with pytest.raises(ValueError):
+            MobileDevice(0, gigahertz(1.0), FOUR_G, max_resource=-1.0)
+
+
+class TestBaseStation:
+    def test_default_resource_is_unbounded(self):
+        assert BaseStation(0).max_resource == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BaseStation(-1)
+        with pytest.raises(ValueError):
+            BaseStation(0, cpu_frequency_hz=0.0)
+        with pytest.raises(ValueError):
+            BaseStation(0, max_resource=-1.0)
+
+
+class TestCloud:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cloud(cpu_frequency_hz=-1.0)

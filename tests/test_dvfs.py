@@ -1,0 +1,101 @@
+"""Dynamic voltage/frequency scaling extension."""
+
+import pytest
+
+from repro.core.assignment import Subsystem
+from repro.core.hta import lp_hta
+from repro.dvfs import optimal_frequency, rescale_assignment
+from repro.units import gigahertz
+from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+
+class TestOptimalFrequency:
+    def test_closed_form(self):
+        # 1e9 cycles in 2 s needs 0.5 GHz.
+        assert optimal_frequency(1e9, 2.0) == pytest.approx(0.5e9)
+
+    def test_clipped_to_minimum(self):
+        # A trivial task would run at 1 Hz; the band floor applies.
+        assert optimal_frequency(1.0, 100.0) == pytest.approx(gigahertz(0.3))
+
+    def test_infeasible_returns_none(self):
+        # 1e10 cycles in 1 s needs 10 GHz > f_max.
+        assert optimal_frequency(1e10, 1.0) is None
+
+    def test_zero_budget_infeasible(self):
+        assert optimal_frequency(1e9, 0.0) is None
+
+    def test_zero_cycles_runs_at_floor(self):
+        assert optimal_frequency(0.0, 1.0) == pytest.approx(gigahertz(0.3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_frequency(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            optimal_frequency(1.0, 1.0, f_min_hz=2e9, f_max_hz=1e9)
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    scenario = generate_scenario(
+        PAPER_DEFAULTS.with_updates(num_tasks=80, num_devices=16, num_stations=2),
+        seed=8,
+    )
+    report = lp_hta(scenario.system, list(scenario.tasks))
+    return scenario, report.assignment
+
+
+class TestRescaleAssignment:
+    def test_energy_never_increases(self, schedule):
+        scenario, assignment = schedule
+        result = rescale_assignment(scenario.system, list(scenario.tasks), assignment)
+        assert result.scaled_energy_j <= result.nominal_energy_j + 1e-9
+        assert result.saving_j >= -1e-9
+
+    def test_savings_are_real_under_loose_deadlines(self, schedule):
+        scenario, assignment = schedule
+        result = rescale_assignment(scenario.system, list(scenario.tasks), assignment)
+        local_rows = [
+            c for c in result.choices if c is not None
+        ]
+        if local_rows:  # devices run some tasks in this scenario
+            assert result.saving_fraction > 0.0
+            assert any(c.chosen_hz < c.nominal_hz for c in local_rows)
+
+    def test_deadlines_still_met(self, schedule):
+        scenario, assignment = schedule
+        result = rescale_assignment(scenario.system, list(scenario.tasks), assignment)
+        for choice in result.choices:
+            if choice is not None:
+                assert choice.latency_s <= choice.task.deadline_s + 1e-9
+
+    def test_offloaded_tasks_untouched(self, schedule):
+        scenario, assignment = schedule
+        result = rescale_assignment(scenario.system, list(scenario.tasks), assignment)
+        for row, choice in enumerate(result.choices):
+            if assignment.decisions[row] is not Subsystem.DEVICE:
+                assert choice is None
+
+    def test_frequencies_within_band(self, schedule):
+        scenario, assignment = schedule
+        result = rescale_assignment(scenario.system, list(scenario.tasks), assignment)
+        for choice in result.choices:
+            if choice is not None:
+                assert gigahertz(0.3) - 1e-6 <= choice.chosen_hz
+                assert choice.chosen_hz <= choice.nominal_hz + 1e-6
+
+    def test_row_mismatch_rejected(self, schedule):
+        scenario, assignment = schedule
+        with pytest.raises(ValueError):
+            rescale_assignment(scenario.system, [], assignment)
+
+    def test_scaled_total_decomposes(self, schedule):
+        scenario, assignment = schedule
+        result = rescale_assignment(scenario.system, list(scenario.tasks), assignment)
+        explicit = 0.0
+        for row, choice in enumerate(result.choices):
+            if choice is not None:
+                explicit += choice.scaled_energy_j
+            elif assignment.decisions[row] is not Subsystem.CANCELLED:
+                explicit += assignment.task_energy_j(row)
+        assert result.scaled_energy_j == pytest.approx(explicit)

@@ -1,0 +1,115 @@
+"""Exact solvers: brute force and branch & bound."""
+
+import pytest
+
+from repro.core.assignment import Subsystem
+from repro.core.costs import cluster_costs
+from repro.core.exact import branch_and_bound_hta, brute_force_hta
+from repro.core.hta import lp_hta
+from repro.core.task import Task
+from repro.units import KB
+from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+
+def _small_costs(system, num_tasks=6, seed=0):
+    scenario = generate_scenario(
+        PAPER_DEFAULTS.with_updates(
+            num_tasks=num_tasks, num_devices=3, num_stations=1,
+            device_max_resource=4.0, station_max_resource=6.0,
+        ),
+        seed=seed,
+    )
+    return scenario, cluster_costs(scenario.system, list(scenario.tasks))
+
+
+class TestBruteForce:
+    def test_rejects_large_instances(self, two_cluster_system):
+        tasks = [
+            Task(owner_device_id=0, index=j, local_bytes=KB,
+                 external_bytes=0.0, external_source=None,
+                 resource_demand=0.1, deadline_s=10.0)
+            for j in range(15)
+        ]
+        costs = cluster_costs(two_cluster_system, tasks)
+        with pytest.raises(ValueError, match="brute-force limit"):
+            brute_force_hta(costs, {}, station_cap=100.0)
+
+    def test_infeasible_instance_returns_none(self, two_cluster_system):
+        task = Task(
+            owner_device_id=0, index=0, local_bytes=5000 * KB,
+            external_bytes=0.0, external_source=None,
+            resource_demand=1.0, deadline_s=0.001,
+        )
+        costs = cluster_costs(two_cluster_system, [task])
+        assert brute_force_hta(costs, {}, station_cap=100.0) is None
+
+    def test_picks_global_minimum(self, two_cluster_system):
+        tasks = [
+            Task(owner_device_id=0, index=j, local_bytes=(200 + 100 * j) * KB,
+                 external_bytes=0.0, external_source=None,
+                 resource_demand=1.0, deadline_s=10.0)
+            for j in range(3)
+        ]
+        costs = cluster_costs(two_cluster_system, tasks)
+        optimal = brute_force_hta(costs, {0: 100.0}, station_cap=100.0)
+        # Unconstrained, the cheapest subsystem per task is optimal.
+        expected = sum(costs.energy_j[r].min() for r in range(3))
+        assert optimal.total_energy_j() == pytest.approx(expected)
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_brute_force(self, two_cluster_system, seed):
+        scenario, costs = _small_costs(two_cluster_system, num_tasks=7, seed=seed)
+        caps = {d: 4.0 for d in scenario.system.devices}
+        reference = brute_force_hta(costs, caps, station_cap=6.0)
+        candidate = branch_and_bound_hta(costs, caps, station_cap=6.0)
+        if reference is None:
+            assert candidate is None
+        else:
+            assert candidate is not None
+            assert candidate.total_energy_j() == pytest.approx(
+                reference.total_energy_j()
+            )
+
+    def test_handles_moderate_sizes(self, two_cluster_system):
+        scenario, costs = _small_costs(two_cluster_system, num_tasks=18, seed=1)
+        caps = {d: 4.0 for d in scenario.system.devices}
+        result = branch_and_bound_hta(costs, caps, station_cap=10.0)
+        if result is not None:
+            assert result.violations(caps, station_cap=10.0) == []
+
+    def test_infeasible_returns_none(self, two_cluster_system):
+        task = Task(
+            owner_device_id=0, index=0, local_bytes=5000 * KB,
+            external_bytes=0.0, external_source=None,
+            resource_demand=1.0, deadline_s=0.001,
+        )
+        costs = cluster_costs(two_cluster_system, [task])
+        assert branch_and_bound_hta(costs, {}, station_cap=100.0) is None
+
+
+class TestLPHTAQuality:
+    """LP-HTA versus the exact optimum: the empirical ratio bound."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+    def test_lp_hta_within_theorem2_bound(self, seed):
+        scenario = generate_scenario(
+            PAPER_DEFAULTS.with_updates(
+                num_tasks=8, num_devices=4, num_stations=1,
+                device_max_resource=4.0, station_max_resource=8.0,
+            ),
+            seed=seed,
+        )
+        costs = cluster_costs(scenario.system, list(scenario.tasks))
+        caps = {d: 4.0 for d in scenario.system.devices}
+        optimal = brute_force_hta(costs, caps, station_cap=8.0)
+        if optimal is None:
+            return  # no fully feasible assignment: nothing to compare
+        report = lp_hta(scenario.system, list(scenario.tasks))
+        cancelled = report.assignment.subsystem_counts()[Subsystem.CANCELLED]
+        if cancelled:
+            return  # LP-HTA dropped a task; energies are not comparable
+        ratio = report.assignment.total_energy_j() / optimal.total_energy_j()
+        assert ratio >= 1.0 - 1e-9
+        assert ratio <= report.ratio_bound_theorem2 + 1e-9

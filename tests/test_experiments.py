@@ -1,0 +1,133 @@
+"""Experiment harness: series containers, runners, tables, figure wiring."""
+
+import pytest
+
+from repro.experiments.figures import ALL_FIGURES, run_figure
+from repro.experiments.runner import (
+    HOLISTIC_ALGORITHMS,
+    evaluate_dta,
+    evaluate_holistic,
+)
+from repro.experiments.series import SeriesData
+from repro.experiments.tables import table1_rows, table1_text
+
+
+class TestSeriesData:
+    def _sample(self) -> SeriesData:
+        return SeriesData(
+            figure_id="figX", title="demo", x_label="n", y_label="J",
+            x_values=(1, 2, 3),
+            series={"A": (3.0, 2.0, 1.0), "B": (1.0, 5.0, 0.5)},
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SeriesData(
+                figure_id="f", title="t", x_label="x", y_label="y",
+                x_values=(1, 2), series={"A": (1.0,)},
+            )
+
+    def test_values_of(self):
+        assert self._sample().values_of("A") == (3.0, 2.0, 1.0)
+
+    def test_winner_per_x(self):
+        assert self._sample().winner_per_x() == ("B", "A", "B")
+
+    def test_format_table_contains_everything(self):
+        text = self._sample().format_table()
+        assert "figX" in text and "A" in text and "B" in text
+        assert "3" in text
+
+
+class TestRunner:
+    def test_all_paper_algorithms_registered(self):
+        assert set(HOLISTIC_ALGORITHMS) == {"LP-HTA", "HGOS", "AllToC", "AllOffload"}
+
+    def test_evaluate_holistic(self, small_scenario):
+        result = evaluate_holistic(small_scenario, "LP-HTA")
+        assert result.name == "LP-HTA"
+        assert result.total_energy_j > 0
+        assert 0 <= result.unsatisfied_rate <= 1
+
+    def test_unknown_algorithm_rejected(self, small_scenario):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            evaluate_holistic(small_scenario, "SGD")
+
+    def test_evaluate_dta(self, divisible_scenario):
+        result = evaluate_dta(divisible_scenario, "workload")
+        assert result.name == "DTA-Workload"
+        assert result.involved_devices > 0
+
+    def test_evaluate_dta_needs_divisible_scenario(self, small_scenario):
+        with pytest.raises(ValueError, match="divisible"):
+            evaluate_dta(small_scenario, "workload")
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        rows = table1_rows()
+        assert rows[0] == ("4G", pytest.approx(13.76), pytest.approx(5.85),
+                           pytest.approx(7.32), pytest.approx(1.6))
+        assert rows[1][0] == "Wi-Fi"
+
+    def test_text_rendering(self):
+        text = table1_text()
+        assert "TABLE I" in text
+        assert "4G" in text and "Wi-Fi" in text
+        assert "13.76" in text and "54.97" in text
+
+
+class TestFigureRegistry:
+    def test_all_nine_figures_present(self):
+        assert set(ALL_FIGURES) == {
+            "fig2a", "fig2b", "fig3", "fig4a", "fig4b",
+            "fig5a", "fig5b", "fig6a", "fig6b",
+        }
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            run_figure("fig99")
+
+
+class TestRenderAscii:
+    def _sample(self) -> SeriesData:
+        return SeriesData(
+            figure_id="figY", title="chart demo", x_label="n", y_label="J",
+            x_values=(1, 2, 3, 4),
+            series={"A": (1.0, 2.0, 3.0, 4.0), "B": (4.0, 3.0, 2.0, 1.0)},
+        )
+
+    def test_contains_legend_and_labels(self):
+        chart = self._sample().render_ascii()
+        assert "o=A" in chart and "x=B" in chart
+        assert "figY" in chart and "[J]" in chart
+
+    def test_extremes_on_axis(self):
+        chart = self._sample().render_ascii()
+        assert "4" in chart  # y max label
+        assert "1" in chart  # y min / x ticks
+
+    def test_markers_present(self):
+        chart = self._sample().render_ascii(width=20, height=6)
+        assert chart.count("o") >= 3  # four points, possible overlap
+        assert chart.count("x") >= 3
+
+    def test_single_point_series(self):
+        data = SeriesData(
+            figure_id="f", title="t", x_label="x", y_label="y",
+            x_values=(10,), series={"A": (5.0,)},
+        )
+        chart = data.render_ascii(width=10, height=4)
+        assert "o" in chart
+
+    def test_flat_series_does_not_crash(self):
+        data = SeriesData(
+            figure_id="f", title="t", x_label="x", y_label="y",
+            x_values=(1, 2), series={"A": (3.0, 3.0)},
+        )
+        assert "o" in data.render_ascii()
+
+    def test_too_small_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            self._sample().render_ascii(width=2, height=2)

@@ -1,0 +1,101 @@
+"""Failure injection: faulty resources and outage-aware replay."""
+
+import pytest
+
+from repro.core.assignment import Assignment, Subsystem
+from repro.core.costs import cluster_costs
+from repro.core.hta import lp_hta
+from repro.des.replay import replay_assignment
+from repro.des.resources import FaultyResource
+
+
+class TestFaultyResource:
+    def test_no_outages_behaves_like_fifo(self):
+        resource = FaultyResource("link", shared=False)
+        assert resource.request(1.0, 2.0) == (1.0, 3.0)
+
+    def test_request_defers_past_outage(self):
+        resource = FaultyResource("link", shared=False, outages=((5.0, 8.0),))
+        # Service 4..7 overlaps the window: restart at 8.
+        assert resource.request(4.0, 3.0) == (8.0, 11.0)
+
+    def test_request_before_outage_unaffected(self):
+        resource = FaultyResource("link", shared=False, outages=((5.0, 8.0),))
+        assert resource.request(1.0, 2.0) == (1.0, 3.0)
+
+    def test_back_to_back_outages(self):
+        resource = FaultyResource(
+            "link", shared=False, outages=((2.0, 4.0), (4.5, 6.0))
+        )
+        # Restarting at 4 still collides with the second window.
+        assert resource.request(1.0, 1.5) == (6.0, 7.5)
+
+    def test_shared_mode_queues_after_outage(self):
+        resource = FaultyResource("link", shared=True, outages=((0.0, 10.0),))
+        first = resource.request(0.0, 1.0)
+        second = resource.request(0.0, 1.0)
+        assert first == (10.0, 11.0)
+        assert second == (11.0, 12.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            FaultyResource("x", outages=((3.0, 3.0),))
+        with pytest.raises(ValueError, match="disjoint"):
+            FaultyResource("x", outages=((0.0, 5.0), (4.0, 6.0)))
+
+
+class TestOutageReplay:
+    def test_backhaul_outage_delays_cross_cluster_tasks(
+        self, two_cluster_system, shared_task_cross_cluster
+    ):
+        costs = cluster_costs(two_cluster_system, [shared_task_cross_cluster])
+        assignment = Assignment(costs, [Subsystem.DEVICE])
+        healthy = replay_assignment(
+            two_cluster_system, [shared_task_cross_cluster], assignment
+        )
+        faulty = replay_assignment(
+            two_cluster_system, [shared_task_cross_cluster], assignment,
+            backhaul_outages=((0.0, 2.0),),
+        )
+        assert faulty.latencies_s[0] > healthy.latencies_s[0]
+        # Deferred past the 2 s window plus the normal transfer time.
+        assert faulty.latencies_s[0] >= 2.0
+
+    def test_same_cluster_tasks_unaffected_by_backhaul_outage(
+        self, two_cluster_system, shared_task_same_cluster
+    ):
+        costs = cluster_costs(two_cluster_system, [shared_task_same_cluster])
+        assignment = Assignment(costs, [Subsystem.DEVICE])
+        healthy = replay_assignment(
+            two_cluster_system, [shared_task_same_cluster], assignment
+        )
+        faulty = replay_assignment(
+            two_cluster_system, [shared_task_same_cluster], assignment,
+            backhaul_outages=((0.0, 100.0),),
+        )
+        assert faulty.latencies_s[0] == pytest.approx(healthy.latencies_s[0])
+
+    def test_wan_outage_delays_cloud_tasks(self, two_cluster_system, local_task):
+        costs = cluster_costs(two_cluster_system, [local_task])
+        assignment = Assignment(costs, [Subsystem.CLOUD])
+        healthy = replay_assignment(two_cluster_system, [local_task], assignment)
+        faulty = replay_assignment(
+            two_cluster_system, [local_task], assignment,
+            wan_outages=((0.0, 5.0),),
+        )
+        assert faulty.latencies_s[0] > healthy.latencies_s[0] + 1.0
+
+    def test_outages_never_speed_up_a_schedule(self, small_scenario):
+        report = lp_hta(small_scenario.system, list(small_scenario.tasks))
+        healthy = replay_assignment(
+            small_scenario.system, list(small_scenario.tasks), report.assignment
+        )
+        faulty = replay_assignment(
+            small_scenario.system, list(small_scenario.tasks), report.assignment,
+            backhaul_outages=((0.0, 1.0), (2.0, 3.0)),
+            wan_outages=((0.5, 1.5),),
+        )
+        for slow, fast in zip(faulty.latencies_s, healthy.latencies_s):
+            if slow is not None:
+                assert slow >= fast - 1e-9
+        assert faulty.makespan_s >= healthy.makespan_s - 1e-9

@@ -1,0 +1,117 @@
+"""The decentralized offloading game."""
+
+import pytest
+
+from repro.core.assignment import Subsystem
+from repro.core.costs import cluster_costs
+from repro.core.game import GameOptions, best_response_offloading
+from repro.core.hta import lp_hta
+from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return generate_scenario(
+        PAPER_DEFAULTS.with_updates(num_tasks=120, num_devices=20, num_stations=2),
+        seed=6,
+    )
+
+
+@pytest.fixture(scope="module")
+def result(scenario):
+    return best_response_offloading(scenario.system, list(scenario.tasks))
+
+
+class TestOptions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GameOptions(max_rounds=0)
+        with pytest.raises(ValueError):
+            GameOptions(congestion_weight=-1.0)
+
+
+class TestConvergence:
+    def test_converges(self, result):
+        assert result.converged
+        assert result.rounds <= GameOptions().max_rounds
+
+    def test_cost_history_non_increasing(self, result):
+        history = result.total_cost_history
+        for left, right in zip(history, history[1:]):
+            assert right <= left + 1e-6
+
+    def test_equilibrium_is_stable(self, scenario, result):
+        """No player can unilaterally reduce its cost: re-running the
+        dynamics from the equilibrium must make zero moves."""
+        again = best_response_offloading(scenario.system, list(scenario.tasks))
+        assert again.assignment.decisions == result.assignment.decisions
+
+    def test_deterministic(self, scenario, result):
+        repeat = best_response_offloading(scenario.system, list(scenario.tasks))
+        assert repeat.assignment.decisions == result.assignment.decisions
+        assert repeat.rounds == result.rounds
+
+
+class TestHardConstraints:
+    def test_respects_device_caps(self, scenario, result):
+        for device_id, load in result.assignment.device_loads().items():
+            assert load <= scenario.system.device(device_id).max_resource + 1e-9
+
+    def test_respects_station_caps(self, scenario, result):
+        for station_id in scenario.system.stations:
+            load = sum(
+                result.assignment.costs.resource[row]
+                for row, decision in enumerate(result.assignment.decisions)
+                if decision is Subsystem.STATION
+                and scenario.system.cluster_of(
+                    result.assignment.costs.tasks[row].owner_device_id
+                ) == station_id
+            )
+            assert load <= scenario.system.station(station_id).max_resource + 1e-9
+
+    def test_never_cancels(self, result):
+        assert all(
+            d is not Subsystem.CANCELLED for d in result.assignment.decisions
+        )
+
+    def test_soft_mode_may_overload_but_saves_energy(self, scenario):
+        hard = best_response_offloading(scenario.system, list(scenario.tasks))
+        soft = best_response_offloading(
+            scenario.system, list(scenario.tasks),
+            GameOptions(hard_constraints=False, congestion_weight=1.0),
+        )
+        assert (
+            soft.assignment.total_energy_j() <= hard.assignment.total_energy_j() + 1e-6
+        )
+
+
+class TestQuality:
+    def test_equilibrium_at_least_lp_hta_when_all_placed(self, scenario, result):
+        """A Nash equilibrium cannot beat the coordinated LP when LP-HTA
+        places every task (cancellations would skew the comparison)."""
+        report = lp_hta(scenario.system, list(scenario.tasks))
+        cancelled = report.assignment.subsystem_counts()[Subsystem.CANCELLED]
+        if cancelled == 0:
+            assert (
+                result.assignment.total_energy_j()
+                >= report.assignment.total_energy_j() - 1e-6
+            )
+
+    def test_beats_all_to_cloud(self, scenario, result):
+        from repro.core.baselines import all_to_cloud
+
+        cloud = all_to_cloud(scenario.system, list(scenario.tasks))
+        assert result.assignment.total_energy_j() <= cloud.total_energy_j() + 1e-6
+
+
+class TestDeadlineHandling:
+    def test_respecting_deadlines_lowers_unsatisfied_rate(self, scenario):
+        aware = best_response_offloading(scenario.system, list(scenario.tasks))
+        blind = best_response_offloading(
+            scenario.system, list(scenario.tasks),
+            GameOptions(respect_deadlines=False),
+        )
+        assert (
+            aware.assignment.unsatisfied_rate()
+            <= blind.assignment.unsatisfied_rate() + 1e-9
+        )

@@ -1,0 +1,68 @@
+"""The parameter-grid sweep utility."""
+
+import pytest
+
+from repro.experiments.grid import GridCell, pivot, run_grid
+from repro.experiments.runner import evaluate_holistic
+from repro.workload import PAPER_DEFAULTS
+
+_BASE = PAPER_DEFAULTS.with_updates(num_tasks=30, num_devices=8, num_stations=2)
+_EVALUATORS = {"LP-HTA": lambda scenario: evaluate_holistic(scenario, "LP-HTA")}
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return run_grid(
+        _BASE,
+        {"num_tasks": [20, 40], "device_max_resource": [3.0, 9.0]},
+        _EVALUATORS,
+        seeds=(0,),
+    )
+
+
+class TestRunGrid:
+    def test_full_cross_product(self, cells):
+        assert len(cells) == 4  # 2 × 2 points × 1 evaluator
+        points = {tuple(sorted(c.point.items())) for c in cells}
+        assert len(points) == 4
+
+    def test_metrics_populated(self, cells):
+        for cell in cells:
+            assert cell.metric("total_energy_j") > 0
+            assert 0 <= cell.metric("unsatisfied_rate") <= 1
+
+    def test_multiple_evaluators(self):
+        evaluators = {
+            name: (lambda s, n=name: evaluate_holistic(s, n))
+            for name in ("LP-HTA", "AllToC")
+        }
+        cells = run_grid(_BASE, {"num_tasks": [20]}, evaluators, seeds=(0,))
+        assert {c.evaluator for c in cells} == {"LP-HTA", "AllToC"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            run_grid(_BASE, {}, _EVALUATORS)
+        with pytest.raises(ValueError, match="at least one evaluator"):
+            run_grid(_BASE, {"num_tasks": [10]}, {})
+        with pytest.raises(ValueError, match="unknown profile field"):
+            run_grid(_BASE, {"warp_factor": [9]}, _EVALUATORS)
+
+    def test_unknown_metric_raises(self, cells):
+        with pytest.raises(KeyError):
+            cells[0].metric("flux")
+
+
+class TestPivot:
+    def test_axis_extraction(self, cells):
+        series = pivot(cells, "num_tasks", "total_energy_j", "LP-HTA")
+        assert [point for point, _ in series] == [20, 40]
+        # More tasks → more energy (the other axis is averaged out).
+        assert series[1][1] > series[0][1]
+
+    def test_other_axes_averaged(self, cells):
+        series = pivot(cells, "device_max_resource", "total_energy_j", "LP-HTA")
+        assert len(series) == 2
+
+    def test_no_match_raises(self, cells):
+        with pytest.raises(ValueError, match="no cells match"):
+            pivot(cells, "num_tasks", "total_energy_j", "SGD")

@@ -1,0 +1,183 @@
+"""LP-HTA: the six-step algorithm and its reports."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Subsystem
+from repro.core.costs import cluster_costs
+from repro.core.hta import LPHTAOptions, lp_hta, lp_hta_cluster
+from repro.core.task import Task
+from repro.units import KB
+from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+
+def _caps(system):
+    return {d: system.device(d).max_resource for d in system.devices}
+
+
+class TestOptions:
+    def test_bad_rounding_rejected(self):
+        with pytest.raises(ValueError):
+            LPHTAOptions(rounding="ceil")
+
+    def test_bad_repair_order_rejected(self):
+        with pytest.raises(ValueError):
+            LPHTAOptions(repair_order="random")
+
+
+class TestFeasibility:
+    """LP-HTA's output must satisfy every constraint (Section III-B.1)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_result_is_always_feasible(self, seed):
+        scenario = generate_scenario(
+            PAPER_DEFAULTS.with_updates(num_tasks=60, num_devices=10, num_stations=2),
+            seed=seed,
+        )
+        report = lp_hta(scenario.system, list(scenario.tasks))
+        assignment = report.assignment
+        caps = _caps(scenario.system)
+        # Check C1/C2 globally; C3 per cluster.
+        problems = [
+            p
+            for p in assignment.violations(caps, station_cap=float("inf"))
+            if "C3" not in p
+        ]
+        assert problems == []
+        for station_id in scenario.system.stations:
+            load = sum(
+                assignment.costs.resource[row]
+                for row, decision in enumerate(assignment.decisions)
+                if decision is Subsystem.STATION
+                and scenario.system.cluster_of(
+                    assignment.costs.tasks[row].owner_device_id
+                )
+                == station_id
+            )
+            assert load <= scenario.system.station(station_id).max_resource + 1e-9
+
+    def test_impossible_task_is_cancelled(self, two_cluster_system):
+        task = Task(
+            owner_device_id=0, index=0, local_bytes=5000 * KB,
+            external_bytes=0.0, external_source=None,
+            resource_demand=1.0, deadline_s=0.001,
+        )
+        report = lp_hta(two_cluster_system, [task])
+        assert report.assignment.decisions[0] is Subsystem.CANCELLED
+        assert report.clusters[0].cancelled_tasks == ((0, 0),)
+
+
+class TestSteps:
+    def test_zero_device_cap_forces_offload(self, two_cluster_system):
+        tasks = [
+            Task(owner_device_id=0, index=j, local_bytes=400 * KB,
+                 external_bytes=0.0, external_source=None,
+                 resource_demand=1.0, deadline_s=10.0)
+            for j in range(3)
+        ]
+        costs = cluster_costs(two_cluster_system, tasks)
+        decisions, report = lp_hta_cluster(costs, {0: 0.0}, station_cap=100.0)
+        assert all(d is not Subsystem.DEVICE for d in decisions)
+        assert all(d is not Subsystem.CANCELLED for d in decisions)
+
+    def test_zero_station_cap_pushes_to_cloud(self, two_cluster_system):
+        tasks = [
+            Task(owner_device_id=0, index=j, local_bytes=400 * KB,
+                 external_bytes=0.0, external_source=None,
+                 resource_demand=1.0, deadline_s=10.0)
+            for j in range(4)
+        ]
+        costs = cluster_costs(two_cluster_system, tasks)
+        decisions, _ = lp_hta_cluster(costs, {0: 0.0}, station_cap=0.0)
+        assert all(d is Subsystem.CLOUD for d in decisions)
+
+    def test_knapsack_special_case(self, two_cluster_system):
+        """Theorem 1's reduction: max_i = 0, T = inf — tasks split between
+        station and cloud by the knapsack on max_S."""
+        tasks = [
+            Task(owner_device_id=0, index=j, local_bytes=(300 + 200 * j) * KB,
+                 external_bytes=0.0, external_source=None,
+                 resource_demand=1.0 + j, deadline_s=1e9)
+            for j in range(4)
+        ]
+        costs = cluster_costs(two_cluster_system, tasks)
+        decisions, report = lp_hta_cluster(costs, {0: 0.0}, station_cap=5.0)
+        assert all(d in (Subsystem.STATION, Subsystem.CLOUD) for d in decisions)
+        station_load = sum(
+            costs.resource[r]
+            for r, d in enumerate(decisions) if d is Subsystem.STATION
+        )
+        assert station_load <= 5.0
+
+    def test_empty_cluster(self, two_cluster_system):
+        costs = cluster_costs(two_cluster_system, [])
+        decisions, report = lp_hta_cluster(costs, {}, station_cap=1.0)
+        assert decisions == []
+        assert report.num_tasks == 0
+
+
+class TestReports:
+    def test_cluster_reports_cover_all_clusters(self, small_scenario):
+        report = lp_hta(small_scenario.system, list(small_scenario.tasks))
+        assert {c.station_id for c in report.clusters} == set(
+            small_scenario.system.stations
+        )
+        assert sum(c.num_tasks for c in report.clusters) == len(small_scenario.tasks)
+
+    def test_energy_decomposes_over_clusters(self, small_scenario):
+        report = lp_hta(small_scenario.system, list(small_scenario.tasks))
+        assert report.assignment.total_energy_j() == pytest.approx(
+            sum(c.final_energy_j for c in report.clusters)
+        )
+
+    def test_theorem2_bound_at_least_three(self, small_scenario):
+        report = lp_hta(small_scenario.system, list(small_scenario.tasks))
+        assert report.ratio_bound_theorem2 >= 3.0
+        for cluster in report.clusters:
+            assert cluster.ratio_bound_corollary1 <= cluster.ratio_bound_theorem2 + 1e-12
+
+    def test_lp_objective_lower_bounds_feasible_energy(self, small_scenario):
+        """The relaxation optimum can only underestimate the rounded cost
+        when no tasks were cancelled."""
+        report = lp_hta(small_scenario.system, list(small_scenario.tasks))
+        cancelled = report.assignment.subsystem_counts()[Subsystem.CANCELLED]
+        if cancelled == 0:
+            assert (
+                report.assignment.total_energy_j() >= report.lp_objective_j - 1e-6
+            )
+
+
+class TestAblationOptions:
+    def test_randomized_rounding_still_feasible(self, small_scenario):
+        options = LPHTAOptions(rounding="randomized", seed=5)
+        report = lp_hta(small_scenario.system, list(small_scenario.tasks), options)
+        caps = _caps(small_scenario.system)
+        problems = [
+            p for p in report.assignment.violations(caps, float("inf"))
+            if "C3" not in p
+        ]
+        assert problems == []
+
+    def test_smallest_first_repair_still_feasible(self, small_scenario):
+        options = LPHTAOptions(repair_order="smallest-first")
+        report = lp_hta(small_scenario.system, list(small_scenario.tasks), options)
+        caps = _caps(small_scenario.system)
+        problems = [
+            p for p in report.assignment.violations(caps, float("inf"))
+            if "C3" not in p
+        ]
+        assert problems == []
+
+    @pytest.mark.parametrize("backend", ["structured", "interior-point", "simplex", "scipy"])
+    def test_backends_agree_on_energy(self, backend):
+        scenario = generate_scenario(
+            PAPER_DEFAULTS.with_updates(num_tasks=20, num_devices=5, num_stations=1),
+            seed=7,
+        )
+        base = lp_hta(scenario.system, list(scenario.tasks), LPHTAOptions())
+        other = lp_hta(
+            scenario.system, list(scenario.tasks), LPHTAOptions(backend=backend)
+        )
+        assert other.assignment.total_energy_j() == pytest.approx(
+            base.assignment.total_energy_j(), rel=1e-4
+        )

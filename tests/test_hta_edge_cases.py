@@ -1,0 +1,121 @@
+"""LP-HTA edge cases and regression tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import Subsystem
+from repro.core.costs import cluster_costs
+from repro.core.hta import LPHTAOptions, lp_hta, lp_hta_cluster
+from repro.core.lp_builder import build_p2, build_p2_structured
+from repro.core.task import Task
+from repro.lp.backends import solve
+from repro.lp.result import LPStatus
+from repro.units import KB, gigahertz
+from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+
+def _big_tight_tasks(count: int):
+    """Tasks too big for devices/stations whose cloud path misses the
+    deadline — the configuration that makes P2 as written infeasible."""
+    return [
+        Task(
+            owner_device_id=0, index=j, local_bytes=2000 * KB,
+            external_bytes=0.0, external_source=None,
+            resource_demand=10.0,       # device cap will not hold them all
+            deadline_s=1.3,             # cloud's WAN floor makes l=3 tight
+        )
+        for j in range(count)
+    ]
+
+
+class TestInfeasibleP2Regression:
+    """P2's deadline bounds can clash with the resource rows; LP-HTA must
+    fall back to the relaxed build instead of crashing (found by the
+    hypothesis suite)."""
+
+    def test_relaxation_fallback_produces_feasible_result(self, two_cluster_system):
+        tasks = _big_tight_tasks(4)
+        costs = cluster_costs(two_cluster_system, tasks)
+        # Confirm the strict build really is infeasible for this instance.
+        strict = build_p2(costs, {0: 10.0}, station_cap=10.0)
+        assert solve(strict.lp, "scipy").status is LPStatus.INFEASIBLE
+        # LP-HTA must still return a feasible (possibly partial) schedule.
+        decisions, report = lp_hta_cluster(costs, {0: 10.0}, station_cap=10.0)
+        load = sum(
+            costs.resource[r]
+            for r, d in enumerate(decisions) if d is Subsystem.DEVICE
+        )
+        assert load <= 10.0 + 1e-9
+        for r, d in enumerate(decisions):
+            if d is not Subsystem.CANCELLED:
+                assert costs.time_s[r, d.column] <= costs.deadline_s[r] + 1e-9
+
+    def test_relaxed_builds_are_always_feasible(self, two_cluster_system):
+        tasks = _big_tight_tasks(4)
+        costs = cluster_costs(two_cluster_system, tasks)
+        relaxed = build_p2(costs, {0: 10.0}, station_cap=10.0,
+                           relax_deadline_bounds=True)
+        assert solve(relaxed.lp, "scipy").status is LPStatus.OPTIMAL
+        structured = build_p2_structured(
+            costs, {0: 10.0}, station_cap=10.0, relax_deadline_bounds=True
+        )
+        from repro.lp.structured import solve_structured
+
+        assert solve_structured(structured.lp).status is LPStatus.OPTIMAL
+
+
+class TestDegenerateInstances:
+    def test_single_task(self, two_cluster_system, local_task):
+        report = lp_hta(two_cluster_system, [local_task])
+        assert report.assignment.decisions[0] is not Subsystem.CANCELLED
+
+    def test_no_tasks(self, two_cluster_system):
+        report = lp_hta(two_cluster_system, [])
+        assert report.assignment.decisions == ()
+        assert report.assignment.total_energy_j() == 0.0
+        assert report.clusters == ()
+
+    def test_all_tasks_in_one_cluster(self):
+        scenario = generate_scenario(
+            PAPER_DEFAULTS.with_updates(num_tasks=20, num_devices=5, num_stations=1),
+            seed=0,
+        )
+        report = lp_hta(scenario.system, list(scenario.tasks))
+        assert len(report.clusters) == 1
+        assert report.clusters[0].num_tasks == 20
+
+    def test_zero_size_task(self, two_cluster_system):
+        empty = Task(
+            owner_device_id=0, index=0, local_bytes=0.0,
+            external_bytes=0.0, external_source=None,
+            resource_demand=0.0, deadline_s=1.0,
+        )
+        report = lp_hta(two_cluster_system, [empty])
+        assert report.assignment.decisions[0] is not Subsystem.CANCELLED
+        assert report.assignment.total_energy_j() == pytest.approx(0.0)
+
+    def test_identical_tasks_tie_breaking_deterministic(self, two_cluster_system):
+        tasks = [
+            Task(owner_device_id=0, index=j, local_bytes=500 * KB,
+                 external_bytes=0.0, external_source=None,
+                 resource_demand=1.0, deadline_s=5.0)
+            for j in range(6)
+        ]
+        first = lp_hta(two_cluster_system, tasks)
+        second = lp_hta(two_cluster_system, tasks)
+        assert first.assignment.decisions == second.assignment.decisions
+
+
+class TestReportArithmetic:
+    def test_delta_matches_definition(self, small_scenario):
+        report = lp_hta(small_scenario.system, list(small_scenario.tasks))
+        for cluster in report.clusters:
+            assert cluster.delta_j == pytest.approx(
+                cluster.final_energy_j - cluster.rounded_energy_j
+            )
+
+    def test_empirical_ratio_bound_property(self, small_scenario):
+        report = lp_hta(small_scenario.system, list(small_scenario.tasks))
+        cancelled = report.assignment.subsystem_counts()[Subsystem.CANCELLED]
+        if cancelled == 0 and report.lp_objective_j > 0:
+            assert report.empirical_ratio_upper_bound >= 1.0 - 1e-6

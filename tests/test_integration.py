@@ -1,0 +1,124 @@
+"""Integration tests: figure shapes on reduced sweeps, examples as smoke tests."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figures import (
+    _divisible,  # noqa: F401 - used indirectly via figures
+    fig3,
+    fig5a,
+    fig6a,
+    fig6b,
+)
+from repro.experiments.runner import evaluate_dta, evaluate_holistic
+from repro.units import KB
+from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestPaperShapes:
+    """The qualitative claims of Section V, on small/fast configurations."""
+
+    def test_energy_ordering_holds(self):
+        scenario = generate_scenario(
+            PAPER_DEFAULTS.with_updates(num_tasks=200), seed=2
+        )
+        results = {
+            name: evaluate_holistic(scenario, name).total_energy_j
+            for name in ("LP-HTA", "HGOS", "AllToC", "AllOffload")
+        }
+        assert results["LP-HTA"] <= results["HGOS"] * 1.02
+        assert results["HGOS"] < results["AllOffload"]
+        assert results["AllOffload"] <= results["AllToC"]
+
+    def test_unsatisfied_ordering_holds(self):
+        scenario = generate_scenario(
+            PAPER_DEFAULTS.with_updates(num_tasks=300), seed=1
+        )
+        rates = {
+            name: evaluate_holistic(scenario, name).unsatisfied_rate
+            for name in ("LP-HTA", "HGOS", "AllOffload")
+        }
+        assert rates["LP-HTA"] <= rates["HGOS"]
+        assert rates["LP-HTA"] <= rates["AllOffload"]
+
+    def test_latency_ordering_holds(self):
+        scenario = generate_scenario(
+            PAPER_DEFAULTS.with_updates(num_tasks=200), seed=3
+        )
+        latencies = {
+            name: evaluate_holistic(scenario, name).mean_latency_s
+            for name in ("LP-HTA", "HGOS", "AllToC", "AllOffload")
+        }
+        assert latencies["LP-HTA"] <= min(
+            latencies["HGOS"] * 1.02, latencies["AllToC"], latencies["AllOffload"]
+        )
+
+    def test_dta_beats_holistic_on_divisible_work(self):
+        scenario = generate_scenario(
+            PAPER_DEFAULTS.with_updates(
+                num_tasks=150, divisible=True, num_data_items=300,
+                item_replication=6.0,
+            ),
+            seed=0,
+        )
+        holistic = evaluate_holistic(scenario, "LP-HTA").total_energy_j
+        workload = evaluate_dta(scenario, "workload").total_energy_j
+        number = evaluate_dta(scenario, "number").total_energy_j
+        assert workload < holistic
+        assert number < holistic
+
+    def test_dta_tradeoff(self):
+        scenario = generate_scenario(
+            PAPER_DEFAULTS.with_updates(
+                num_tasks=200, max_input_bytes=2000 * KB,
+                divisible=True, num_data_items=400, item_replication=6.0,
+            ),
+            seed=0,
+        )
+        workload = evaluate_dta(scenario, "workload")
+        number = evaluate_dta(scenario, "number")
+        # Fig 6's two sides of the trade-off.
+        assert workload.processing_time_s <= number.processing_time_s * 1.02
+        assert number.involved_devices <= workload.involved_devices
+
+
+class TestFigureProducersQuick:
+    """One-seed, reduced confidence sanity runs of the sweep machinery."""
+
+    def test_fig3_produces_full_series(self):
+        data = fig3(seeds=(0,))
+        assert len(data.x_values) == 8
+        assert set(data.series) == {"LP-HTA", "HGOS", "AllOffload"}
+
+    def test_fig5a_produces_full_series(self):
+        data = fig5a(seeds=(0,))
+        assert set(data.series) == {"LP-HTA", "DTA-Workload", "DTA-Number"}
+
+    def test_fig6_producers(self):
+        a = fig6a(seeds=(0,))
+        b = fig6b(seeds=(0,))
+        assert len(a.x_values) == 5
+        assert len(b.x_values) == 5
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "traffic_monitoring.py",
+        "object_tracking.py",
+        "solver_tour.py",
+        "custom_system.py",
+    ],
+)
+def test_examples_run(script, capsys, monkeypatch):
+    """Every shipped example executes end to end."""
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # they all narrate what they compute

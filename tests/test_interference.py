@@ -1,0 +1,103 @@
+"""The multi-user interference channel model."""
+
+import pytest
+
+from repro.system.interference import InterferenceChannel, congestion_profiles
+from repro.system.radio import shannon_rate_bps
+
+
+@pytest.fixture
+def channel():
+    return InterferenceChannel(
+        bandwidth_hz=5e6,
+        channel_gain=1e-6,
+        tx_power_w=0.5,
+        noise_power_w=1e-9,
+        orthogonality_loss=0.5,
+    )
+
+
+class TestRates:
+    def test_single_user_matches_shannon(self, channel):
+        expected = shannon_rate_bps(5e6, 1e-6, 0.5, 1e-9)
+        assert channel.uplink_rate_bps(1) == pytest.approx(expected)
+
+    def test_rate_decreases_with_concurrency(self, channel):
+        rates = [channel.uplink_rate_bps(k) for k in range(1, 8)]
+        for faster, slower in zip(rates, rates[1:]):
+            assert slower < faster
+
+    def test_orthogonal_channels_do_not_interfere(self):
+        clean = InterferenceChannel(
+            bandwidth_hz=5e6, channel_gain=1e-6, tx_power_w=0.5,
+            noise_power_w=1e-9, orthogonality_loss=0.0,
+        )
+        assert clean.uplink_rate_bps(10) == pytest.approx(clean.uplink_rate_bps(1))
+
+    def test_cell_throughput_sublinear_in_users(self, channel):
+        t1 = channel.cell_throughput_bps(1)
+        t4 = channel.cell_throughput_bps(4)
+        assert 0 < t4 < 4 * t1  # each user gets less than a private channel
+        # With orthogonal channels the aggregate is exactly linear.
+        clean = InterferenceChannel(
+            bandwidth_hz=5e6, channel_gain=1e-6, tx_power_w=0.5,
+            noise_power_w=1e-9, orthogonality_loss=0.0,
+        )
+        assert clean.cell_throughput_bps(4) == pytest.approx(
+            4 * clean.cell_throughput_bps(1)
+        )
+
+    def test_invalid_concurrency_rejected(self, channel):
+        with pytest.raises(ValueError):
+            channel.uplink_rate_bps(0)
+
+
+class TestProfiles:
+    def test_to_profile(self, channel):
+        profile = channel.to_profile(3)
+        assert profile.upload_rate_bps == pytest.approx(channel.uplink_rate_bps(3))
+        assert profile.download_rate_bps == channel.downlink_rate_bps
+        assert "k3" in profile.name
+
+    def test_congestion_profiles(self, channel):
+        profiles = congestion_profiles(channel, 5)
+        assert len(profiles) == 5
+        uploads = [p.upload_rate_bps for p in profiles]
+        assert uploads == sorted(uploads, reverse=True)
+
+    def test_validation(self, channel):
+        with pytest.raises(ValueError):
+            congestion_profiles(channel, 0)
+        with pytest.raises(ValueError):
+            InterferenceChannel(
+                bandwidth_hz=1e6, channel_gain=1.0, tx_power_w=1.0,
+                noise_power_w=1e-9, orthogonality_loss=2.0,
+            )
+
+
+class TestIntegrationWithCosts:
+    def test_congested_profile_raises_task_cost(self, channel):
+        """A device priced at the k=6 operating point pays more to offload
+        than at k=1 — the congestion externality the [9] game prices."""
+        from repro.core.costs import task_costs
+        from repro.core.task import Task
+        from repro.system.devices import BaseStation, MobileDevice
+        from repro.system.topology import MECSystem
+        from repro.units import KB, gigahertz
+
+        def system_with(profile):
+            return MECSystem(
+                [MobileDevice(0, gigahertz(1.5), profile, max_resource=5.0)],
+                [BaseStation(0)],
+                {0: 0},
+            )
+
+        task = Task(
+            owner_device_id=0, index=0, local_bytes=1000 * KB,
+            external_bytes=0.0, external_source=None,
+            resource_demand=1.0, deadline_s=10.0,
+        )
+        quiet = task_costs(system_with(channel.to_profile(1)), task)
+        busy = task_costs(system_with(channel.to_profile(6)), task)
+        assert busy.total_time_s[1] > quiet.total_time_s[1]
+        assert busy.total_energy_j[1] > quiet.total_energy_j[1]

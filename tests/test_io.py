@@ -1,0 +1,125 @@
+"""JSON serialization round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.costs import cluster_costs
+from repro.core.hta import lp_hta
+from repro.experiments.figures import fig2a
+from repro.io import (
+    assignment_from_dict,
+    assignment_to_dict,
+    load_scenario,
+    save_scenario,
+    scenario_from_dict,
+    scenario_to_dict,
+    series_from_dict,
+    series_to_dict,
+    system_from_dict,
+    system_to_dict,
+    task_from_dict,
+    task_to_dict,
+)
+from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+
+@pytest.fixture(scope="module")
+def holistic_scenario():
+    return generate_scenario(
+        PAPER_DEFAULTS.with_updates(num_tasks=30, num_devices=8, num_stations=2),
+        seed=5,
+    )
+
+
+class TestTaskRoundTrip:
+    def test_all_fields_preserved(self, holistic_scenario):
+        for task in holistic_scenario.tasks:
+            restored = task_from_dict(task_to_dict(task))
+            assert restored == task
+
+    def test_json_serializable(self, holistic_scenario):
+        text = json.dumps([task_to_dict(t) for t in holistic_scenario.tasks])
+        assert len(text) > 0
+
+
+class TestSystemRoundTrip:
+    def test_costs_identical_after_round_trip(self, holistic_scenario):
+        restored = system_from_dict(system_to_dict(holistic_scenario.system))
+        original_costs = cluster_costs(
+            holistic_scenario.system, list(holistic_scenario.tasks)
+        )
+        restored_costs = cluster_costs(restored, list(holistic_scenario.tasks))
+        np.testing.assert_allclose(original_costs.energy_j, restored_costs.energy_j)
+        np.testing.assert_allclose(original_costs.time_s, restored_costs.time_s)
+
+    def test_topology_preserved(self, holistic_scenario):
+        restored = system_from_dict(system_to_dict(holistic_scenario.system))
+        assert restored.cluster_sizes() == holistic_scenario.system.cluster_sizes()
+        for device_id in holistic_scenario.system.devices:
+            assert restored.cluster_of(device_id) == (
+                holistic_scenario.system.cluster_of(device_id)
+            )
+
+
+class TestScenarioRoundTrip:
+    def test_holistic(self, holistic_scenario):
+        restored = scenario_from_dict(scenario_to_dict(holistic_scenario))
+        assert restored.seed == holistic_scenario.seed
+        assert restored.tasks == holistic_scenario.tasks
+        assert restored.profile == holistic_scenario.profile
+
+    def test_divisible(self, divisible_scenario):
+        restored = scenario_from_dict(scenario_to_dict(divisible_scenario))
+        assert restored.catalog.item_ids == divisible_scenario.catalog.item_ids
+        for item_id in restored.catalog.item_ids:
+            assert restored.catalog.size_of(item_id) == pytest.approx(
+                divisible_scenario.catalog.size_of(item_id)
+            )
+        for device_id in divisible_scenario.ownership.device_ids:
+            assert restored.ownership.items_of(device_id) == (
+                divisible_scenario.ownership.items_of(device_id)
+            )
+
+    def test_file_round_trip(self, holistic_scenario, tmp_path):
+        path = tmp_path / "scenario.json"
+        save_scenario(holistic_scenario, path)
+        restored = load_scenario(path)
+        assert restored.tasks == holistic_scenario.tasks
+
+    def test_unknown_version_rejected(self, holistic_scenario):
+        data = scenario_to_dict(holistic_scenario)
+        data["format_version"] = 999
+        with pytest.raises(ValueError, match="format version"):
+            scenario_from_dict(data)
+
+
+class TestAssignmentRoundTrip:
+    def test_energy_preserved(self, holistic_scenario):
+        report = lp_hta(holistic_scenario.system, list(holistic_scenario.tasks))
+        data = assignment_to_dict(report.assignment)
+        restored = assignment_from_dict(
+            data, holistic_scenario.system, list(holistic_scenario.tasks)
+        )
+        assert restored.decisions == report.assignment.decisions
+        assert restored.total_energy_j() == pytest.approx(
+            report.assignment.total_energy_j()
+        )
+
+    def test_missing_decision_rejected(self, holistic_scenario):
+        report = lp_hta(holistic_scenario.system, list(holistic_scenario.tasks))
+        data = assignment_to_dict(report.assignment)
+        data["decisions"].pop()
+        with pytest.raises(ValueError, match="no stored decision"):
+            assignment_from_dict(
+                data, holistic_scenario.system, list(holistic_scenario.tasks)
+            )
+
+
+class TestSeriesRoundTrip:
+    def test_round_trip(self):
+        data = fig2a(seeds=(0,))
+        restored = series_from_dict(series_to_dict(data))
+        assert restored == data
+        assert restored.format_table() == data.format_table()

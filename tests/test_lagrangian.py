@@ -1,0 +1,101 @@
+"""The Lagrangian-relaxation HTA solver."""
+
+import pytest
+
+from repro.core.assignment import Subsystem
+from repro.core.hta import lp_hta
+from repro.core.lagrangian import LagrangianOptions, lagrangian_hta
+from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    # Loose deadlines: no hopeless tasks, so the dual bound is comparable
+    # to the LP optimum of the same instance.
+    return generate_scenario(
+        PAPER_DEFAULTS.with_updates(
+            num_tasks=120, num_devices=20, num_stations=2,
+            deadline_range_s=(3.0, 10.0),
+        ),
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def report(scenario):
+    return lagrangian_hta(scenario.system, list(scenario.tasks))
+
+
+class TestOptions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LagrangianOptions(iterations=0)
+        with pytest.raises(ValueError):
+            LagrangianOptions(initial_step=0.0)
+        with pytest.raises(ValueError):
+            LagrangianOptions(repair_every=0)
+
+
+class TestDualBound:
+    def test_dual_lower_bounds_primal(self, report):
+        assert report.best_dual_j <= report.primal_energy_j + 1e-6
+        assert report.duality_gap_j >= -1e-6
+
+    def test_dual_approaches_lp_bound(self, scenario, report):
+        """The per-task subproblem has the integrality property, so the
+        dual optimum equals the LP relaxation bound."""
+        lp = lp_hta(scenario.system, list(scenario.tasks))
+        assert report.best_dual_j <= lp.lp_objective_j * 1.001
+        assert report.best_dual_j >= lp.lp_objective_j * 0.95
+
+    def test_history_recorded(self, report):
+        assert len(report.dual_history) > 0
+        # best_dual sums each cluster's own best iteration, so it can only
+        # exceed any single merged-history point.
+        assert max(report.dual_history) <= report.best_dual_j + 1e-6
+
+
+class TestPrimalRecovery:
+    def test_feasible(self, scenario, report):
+        assignment = report.assignment
+        for device_id, load in assignment.device_loads().items():
+            assert load <= scenario.system.device(device_id).max_resource + 1e-9
+        for station_id in scenario.system.stations:
+            load = sum(
+                assignment.costs.resource[row]
+                for row, decision in enumerate(assignment.decisions)
+                if decision is Subsystem.STATION
+                and scenario.system.cluster_of(
+                    assignment.costs.tasks[row].owner_device_id
+                ) == station_id
+            )
+            assert load <= scenario.system.station(station_id).max_resource + 1e-9
+
+    def test_deadlines_respected(self, report):
+        assignment = report.assignment
+        for row, decision in enumerate(assignment.decisions):
+            if decision is not Subsystem.CANCELLED:
+                assert (
+                    assignment.costs.time_s[row, decision.column]
+                    <= assignment.costs.deadline_s[row] + 1e-9
+                )
+
+    def test_competitive_with_lp_hta(self, scenario, report):
+        """The recovered primal lands in LP-HTA's ballpark."""
+        lp = lp_hta(scenario.system, list(scenario.tasks))
+        lp_cancelled = lp.assignment.subsystem_counts()[Subsystem.CANCELLED]
+        lag_cancelled = report.assignment.subsystem_counts()[Subsystem.CANCELLED]
+        if lp_cancelled == lag_cancelled == 0:
+            assert report.primal_energy_j <= lp.assignment.total_energy_j() * 1.15
+
+    def test_empty_task_list(self, scenario):
+        result = lagrangian_hta(scenario.system, [])
+        assert result.primal_energy_j == 0.0
+        assert result.assignment.decisions == ()
+
+
+class TestDeterminism:
+    def test_repeatable(self, scenario, report):
+        again = lagrangian_hta(scenario.system, list(scenario.tasks))
+        assert again.assignment.decisions == report.assignment.decisions
+        assert again.best_dual_j == pytest.approx(report.best_dual_j)

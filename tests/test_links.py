@@ -1,0 +1,57 @@
+"""Backhaul and cloud links."""
+
+import pytest
+
+from repro.system.links import (
+    DEFAULT_BS_BS_LINK,
+    DEFAULT_BS_CLOUD_LINK,
+    BackhaulLink,
+    CloudLink,
+)
+
+
+class TestDefaults:
+    def test_bs_bs_latency_is_15ms(self):
+        assert DEFAULT_BS_BS_LINK.latency_s == pytest.approx(0.015)
+
+    def test_bs_cloud_latency_is_250ms(self):
+        assert DEFAULT_BS_CLOUD_LINK.latency_s == pytest.approx(0.250)
+
+    def test_cloud_link_costs_more_per_byte(self):
+        # Needed for the paper's E_ij3 > E_ij2 claim.
+        assert (
+            DEFAULT_BS_CLOUD_LINK.energy_per_byte_j
+            > DEFAULT_BS_BS_LINK.energy_per_byte_j
+        )
+
+    def test_cloud_link_is_marker_subclass(self):
+        assert isinstance(DEFAULT_BS_CLOUD_LINK, CloudLink)
+        assert isinstance(DEFAULT_BS_CLOUD_LINK, BackhaulLink)
+
+
+class TestTransferModel:
+    def test_time_is_latency_plus_serialisation(self):
+        link = BackhaulLink(latency_s=0.01, bandwidth_bps=8e6, energy_per_byte_j=0.0)
+        # 1 MB at 8 Mbps = 1 s serialisation.
+        assert link.transfer_time_s(1e6) == pytest.approx(1.01)
+
+    def test_zero_bytes_skip_latency(self):
+        link = BackhaulLink(latency_s=0.5, bandwidth_bps=1e6, energy_per_byte_j=1.0)
+        assert link.transfer_time_s(0.0) == 0.0
+        assert link.transfer_energy_j(0.0) == 0.0
+
+    def test_energy_linear_in_size(self):
+        link = BackhaulLink(latency_s=0.0, bandwidth_bps=1e6, energy_per_byte_j=2e-7)
+        assert link.transfer_energy_j(5e5) == pytest.approx(0.1)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            DEFAULT_BS_BS_LINK.transfer_energy_j(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackhaulLink(latency_s=-1.0, bandwidth_bps=1e6, energy_per_byte_j=0.0)
+        with pytest.raises(ValueError):
+            BackhaulLink(latency_s=0.0, bandwidth_bps=0.0, energy_per_byte_j=0.0)
+        with pytest.raises(ValueError):
+            BackhaulLink(latency_s=0.0, bandwidth_bps=1e6, energy_per_byte_j=-1e-9)

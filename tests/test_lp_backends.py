@@ -1,0 +1,46 @@
+"""The LP backend dispatcher."""
+
+import numpy as np
+import pytest
+
+from repro.lp import LinearProgram, LPStatus, available_backends, solve
+
+
+@pytest.fixture
+def lp():
+    return LinearProgram(
+        c=np.array([-1.0, -2.0]),
+        a_ub=np.array([[1.0, 1.0]]), b_ub=np.array([4.0]),
+        upper_bounds=np.array([3.0, 3.0]),
+    )
+
+
+def test_backend_names():
+    assert set(available_backends()) == {"interior-point", "simplex", "scipy"}
+
+
+@pytest.mark.parametrize("method", ["interior-point", "simplex", "scipy"])
+def test_all_backends_agree(lp, method):
+    result = solve(lp, method)
+    assert result.status is LPStatus.OPTIMAL
+    assert result.objective == pytest.approx(-7.0, abs=1e-6)
+    assert result.backend == method
+
+
+def test_unknown_backend_rejected(lp):
+    with pytest.raises(ValueError, match="unknown LP backend"):
+        solve(lp, "gurobi")
+
+
+def test_scipy_infeasible_mapping():
+    lp = LinearProgram(
+        c=np.array([1.0]),
+        a_eq=np.array([[1.0]]), b_eq=np.array([5.0]),
+        upper_bounds=np.array([1.0]),
+    )
+    assert solve(lp, "scipy").status is LPStatus.INFEASIBLE
+
+
+def test_scipy_unbounded_mapping():
+    lp = LinearProgram(c=np.array([-1.0]))
+    assert solve(lp, "scipy").status is LPStatus.UNBOUNDED

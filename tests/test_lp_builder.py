@@ -1,0 +1,103 @@
+"""Building the relaxation P2 from a cost table."""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import cluster_costs
+from repro.core.lp_builder import (
+    build_p2,
+    build_p2_structured,
+    reshape_solution,
+)
+from repro.core.task import Task
+from repro.lp import solve
+from repro.lp.structured import solve_structured
+from repro.units import KB
+
+
+def _tasks():
+    return [
+        Task(owner_device_id=0, index=0, local_bytes=500 * KB,
+             external_bytes=0.0, external_source=None,
+             resource_demand=1.0, deadline_s=5.0),
+        Task(owner_device_id=0, index=1, local_bytes=900 * KB,
+             external_bytes=300 * KB, external_source=1,
+             resource_demand=2.0, deadline_s=5.0),
+        Task(owner_device_id=1, index=0, local_bytes=700 * KB,
+             external_bytes=0.0, external_source=None,
+             resource_demand=1.0, deadline_s=0.005),  # doomed
+    ]
+
+
+@pytest.fixture
+def costs(two_cluster_system):
+    return cluster_costs(two_cluster_system, _tasks())
+
+
+class TestGenericBuild:
+    def test_dimensions(self, costs):
+        build = build_p2(costs, {0: 5.0, 1: 5.0}, station_cap=20.0)
+        lp = build.lp
+        assert lp.num_vars == 9  # 3 tasks × 3 subsystems
+        assert lp.a_eq.shape == (3, 9)
+        # 2 device rows + 1 station row.
+        assert lp.a_ub.shape == (3, 9)
+
+    def test_doomed_rows_detected(self, costs):
+        build = build_p2(costs, {0: 5.0, 1: 5.0}, station_cap=20.0)
+        assert build.doomed_rows == (2,)
+        # Doomed rows keep upper bounds of 1 so C4 stays satisfiable.
+        assert np.all(build.lp.upper_bounds[6:9] == 1.0)
+
+    def test_deadline_bounds(self, costs):
+        build = build_p2(costs, {0: 5.0, 1: 5.0}, station_cap=20.0)
+        for row in (0, 1):
+            for l in range(3):
+                expected = min(1.0, costs.deadline_s[row] / costs.time_s[row, l])
+                assert build.lp.upper_bounds[3 * row + l] == pytest.approx(expected)
+
+    def test_infinite_caps_drop_rows(self, costs):
+        build = build_p2(costs, {}, station_cap=float("inf"))
+        assert build.lp.a_ub is None
+
+    def test_solution_is_distribution(self, costs):
+        build = build_p2(costs, {0: 5.0, 1: 5.0}, station_cap=20.0)
+        result = solve(build.lp, "scipy")
+        x = reshape_solution(result.require_ok(), costs.num_tasks)
+        assert np.allclose(x.sum(axis=1), 1.0, atol=1e-7)
+
+
+class TestStructuredBuild:
+    def test_matches_generic_optimum(self, costs):
+        generic = build_p2(costs, {0: 5.0, 1: 5.0}, station_cap=20.0)
+        structured = build_p2_structured(costs, {0: 5.0, 1: 5.0}, station_cap=20.0)
+        assert structured.doomed_rows == generic.doomed_rows
+        ref = solve(generic.lp, "scipy")
+        ours = solve_structured(structured.lp)
+        assert ours.objective == pytest.approx(ref.objective, abs=1e-6)
+
+    def test_coupling_rows(self, costs):
+        structured = build_p2_structured(costs, {0: 5.0, 1: 5.0}, station_cap=20.0)
+        assert structured.lp.num_coupling == 3  # two devices + the station
+        without_caps = build_p2_structured(costs, {}, station_cap=float("inf"))
+        assert without_caps.lp.num_coupling == 0
+
+    def test_group_structure(self, costs):
+        structured = build_p2_structured(costs, {0: 5.0}, station_cap=20.0)
+        assert structured.lp.num_groups == costs.num_tasks
+        np.testing.assert_array_equal(
+            structured.lp.group_index, np.repeat(np.arange(3), 3)
+        )
+
+
+class TestReshape:
+    def test_reshape_matches_paper_indexing(self):
+        xi = np.arange(6, dtype=float)
+        x = reshape_solution(xi, 2)
+        # X[i, j, l] = xi[3m(i-1) + 3(j-1) + l] with a flat (task, l) layout.
+        assert x[0].tolist() == [0.0, 1.0, 2.0]
+        assert x[1].tolist() == [3.0, 4.0, 5.0]
+
+    def test_reshape_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            reshape_solution(np.zeros(5), 2)

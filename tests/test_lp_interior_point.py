@@ -1,0 +1,94 @@
+"""The dense Mehrotra predictor–corrector interior-point solver."""
+
+import numpy as np
+import pytest
+
+from repro.lp import LinearProgram, LPStatus
+from repro.lp.interior_point import IPMOptions, solve_interior_point
+
+
+class TestBasicProblems:
+    def test_bounded_knapsack_relaxation(self):
+        lp = LinearProgram(
+            c=np.array([-3.0, -5.0, -2.0]),
+            a_ub=np.array([[2.0, 4.0, 1.0]]), b_ub=np.array([5.0]),
+            upper_bounds=np.ones(3),
+        )
+        result = solve_interior_point(lp)
+        assert result.status is LPStatus.OPTIMAL
+        # Take item 2 fully (best ratio 1.25), item 1 fully (1.5), fill with item 3.
+        assert result.objective == pytest.approx(-8.0 - 2.0 * 0.0 - 0.0, abs=1e-5) or True
+        # Check against scipy instead of hand-arithmetic:
+        from scipy.optimize import linprog
+        ref = linprog(lp.c, A_ub=lp.a_ub, b_ub=lp.b_ub, bounds=[(0, 1)] * 3,
+                      method="highs")
+        assert result.objective == pytest.approx(ref.fun, abs=1e-6)
+
+    def test_equality_constrained(self):
+        lp = LinearProgram(
+            c=np.array([1.0, 3.0]),
+            a_eq=np.array([[1.0, 1.0]]), b_eq=np.array([2.0]),
+            upper_bounds=np.array([5.0, 5.0]),
+        )
+        result = solve_interior_point(lp)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(2.0, abs=1e-6)
+
+    def test_no_constraints_nonneg_costs(self):
+        lp = LinearProgram(c=np.array([1.0, 0.0]))
+        result = solve_interior_point(lp)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == 0.0
+
+    def test_no_constraints_unbounded(self):
+        lp = LinearProgram(c=np.array([-1.0]))
+        assert solve_interior_point(lp).status is LPStatus.UNBOUNDED
+
+
+class TestRobustness:
+    def test_iteration_limit_reported(self):
+        lp = LinearProgram(
+            c=np.array([1.0, 3.0]),
+            a_eq=np.array([[1.0, 1.0]]), b_eq=np.array([2.0]),
+        )
+        result = solve_interior_point(lp, IPMOptions(max_iterations=1))
+        assert result.status in (LPStatus.ITERATION_LIMIT, LPStatus.OPTIMAL)
+
+    def test_interior_solution_is_feasible(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            n = 8
+            c = rng.normal(size=n)
+            a_eq = rng.normal(size=(3, n))
+            b_eq = a_eq @ rng.uniform(0.2, 0.8, size=n)
+            lp = LinearProgram(c, a_eq=a_eq, b_eq=b_eq, upper_bounds=np.ones(n))
+            result = solve_interior_point(lp)
+            if result.status is LPStatus.OPTIMAL:
+                assert lp.is_feasible(result.x, tol=1e-5)
+
+    def test_require_ok_raises_on_failure(self):
+        lp = LinearProgram(c=np.array([-1.0]))
+        result = solve_interior_point(lp)
+        with pytest.raises(RuntimeError, match="unbounded"):
+            result.require_ok()
+
+
+class TestAgainstScipy:
+    def test_random_inequality_problems(self):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(21)
+        for _ in range(20):
+            n = int(rng.integers(3, 9))
+            m = int(rng.integers(1, 5))
+            c = rng.normal(size=n)
+            a_ub = rng.normal(size=(m, n))
+            x0 = rng.uniform(0.1, 1.0, size=n)
+            b_ub = a_ub @ x0 + rng.uniform(0.05, 1.0, size=m)
+            lp = LinearProgram(c, a_ub=a_ub, b_ub=b_ub, upper_bounds=np.full(n, 2.0))
+            ours = solve_interior_point(lp)
+            ref = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=[(0, 2.0)] * n,
+                          method="highs")
+            assert ours.status is LPStatus.OPTIMAL
+            assert ours.objective == pytest.approx(ref.fun, abs=2e-5)
+            assert lp.is_feasible(ours.x, tol=1e-5)

@@ -1,0 +1,103 @@
+"""LinearProgram representation and standard-form conversion."""
+
+import numpy as np
+import pytest
+
+from repro.lp.problem import LinearProgram, StandardFormLP
+
+
+def _sample() -> LinearProgram:
+    return LinearProgram(
+        c=np.array([1.0, -2.0, 0.5]),
+        a_ub=np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 2.0]]),
+        b_ub=np.array([4.0, 6.0]),
+        a_eq=np.array([[1.0, 1.0, 1.0]]),
+        b_eq=np.array([3.0]),
+        upper_bounds=np.array([2.0, np.inf, 1.5]),
+    )
+
+
+class TestValidation:
+    def test_paired_blocks(self):
+        with pytest.raises(ValueError):
+            LinearProgram(np.array([1.0]), a_ub=np.array([[1.0]]))
+        with pytest.raises(ValueError):
+            LinearProgram(np.array([1.0]), b_eq=np.array([1.0]))
+
+    def test_dimension_checks(self):
+        with pytest.raises(ValueError):
+            LinearProgram(
+                np.array([1.0, 2.0]),
+                a_ub=np.array([[1.0]]), b_ub=np.array([1.0]),
+            )
+        with pytest.raises(ValueError):
+            LinearProgram(np.array([1.0]), upper_bounds=np.array([1.0, 2.0]))
+
+    def test_negative_upper_bound_rejected(self):
+        with pytest.raises(ValueError):
+            LinearProgram(np.array([1.0]), upper_bounds=np.array([-1.0]))
+
+
+class TestFeasibility:
+    def test_feasible_point(self):
+        lp = _sample()
+        x = np.array([1.0, 1.0, 1.0])
+        assert lp.is_feasible(x)
+        assert lp.objective(x) == pytest.approx(-0.5)
+
+    def test_upper_bound_violation(self):
+        lp = _sample()
+        assert not lp.is_feasible(np.array([2.5, 0.0, 0.5]))
+
+    def test_equality_violation(self):
+        lp = _sample()
+        assert not lp.is_feasible(np.array([0.5, 0.5, 0.5]))
+
+    def test_residual_keys(self):
+        residuals = _sample().residuals(np.zeros(3))
+        assert set(residuals) == {"lower", "upper", "ub", "eq"}
+
+
+class TestStandardForm:
+    def test_dimensions(self):
+        standard = _sample().to_standard_form()
+        # 3 original + 2 ub slacks + 2 bound slacks (vars 0 and 2).
+        assert standard.num_vars == 7
+        # 2 ub rows + 2 bound rows + 1 eq row.
+        assert standard.num_rows == 5
+        assert standard.num_original == 3
+
+    def test_solution_transfers(self):
+        lp = _sample()
+        standard = lp.to_standard_form()
+        x = np.array([1.0, 1.0, 1.0])
+        # Complete x with consistent slacks.
+        slack_ub = lp.b_ub - lp.a_ub @ x
+        slack_bounds = np.array([2.0 - 1.0, 1.5 - 1.0])
+        full = np.concatenate([x, slack_ub, slack_bounds])
+        assert np.allclose(standard.a @ full, standard.b)
+        assert standard.extract_original(full) == pytest.approx(x)
+
+    def test_objective_only_on_original_vars(self):
+        standard = _sample().to_standard_form()
+        assert np.all(standard.c[3:] == 0.0)
+
+    def test_no_constraints(self):
+        lp = LinearProgram(np.array([1.0, 2.0]))
+        standard = lp.to_standard_form()
+        assert standard.num_rows == 0
+        assert standard.num_vars == 2
+
+    def test_standard_form_validation(self):
+        with pytest.raises(ValueError):
+            StandardFormLP(
+                c=np.zeros(2), a=np.zeros((1, 3)), b=np.zeros(1), num_original=1
+            )
+        with pytest.raises(ValueError):
+            StandardFormLP(
+                c=np.zeros(3), a=np.zeros((1, 3)), b=np.zeros(2), num_original=1
+            )
+        with pytest.raises(ValueError):
+            StandardFormLP(
+                c=np.zeros(3), a=np.zeros((1, 3)), b=np.zeros(1), num_original=9
+            )

@@ -1,0 +1,116 @@
+"""The two-phase simplex solver."""
+
+import numpy as np
+import pytest
+
+from repro.lp import LinearProgram, LPStatus
+from repro.lp.simplex import SimplexOptions, solve_simplex
+
+
+class TestTextbookProblems:
+    def test_simple_maximisation(self):
+        # max x + 2y s.t. x + y <= 4, x,y <= 3  -> (1, 3), objective -7.
+        lp = LinearProgram(
+            c=np.array([-1.0, -2.0]),
+            a_ub=np.array([[1.0, 1.0]]), b_ub=np.array([4.0]),
+            upper_bounds=np.array([3.0, 3.0]),
+        )
+        result = solve_simplex(lp)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(-7.0)
+        assert result.x == pytest.approx([1.0, 3.0])
+
+    def test_equality_constrained(self):
+        # min x + 3y s.t. x + y = 2, 0 <= x,y  -> (2, 0).
+        lp = LinearProgram(
+            c=np.array([1.0, 3.0]),
+            a_eq=np.array([[1.0, 1.0]]), b_eq=np.array([2.0]),
+        )
+        result = solve_simplex(lp)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(2.0)
+        assert result.x == pytest.approx([2.0, 0.0])
+
+    def test_degenerate_problem(self):
+        # Multiple constraints active at the optimum; Bland's rule must not cycle.
+        lp = LinearProgram(
+            c=np.array([-0.75, 150.0, -0.02, 6.0]),
+            a_ub=np.array(
+                [
+                    [0.25, -60.0, -0.04, 9.0],
+                    [0.5, -90.0, -0.02, 3.0],
+                    [0.0, 0.0, 1.0, 0.0],
+                ]
+            ),
+            b_ub=np.array([0.0, 0.0, 1.0]),
+        )
+        result = solve_simplex(lp)
+        # The classic Beale cycling example: optimum is -0.05.
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(-0.05)
+
+
+class TestStatusDetection:
+    def test_infeasible(self):
+        lp = LinearProgram(
+            c=np.array([1.0]),
+            a_eq=np.array([[1.0]]), b_eq=np.array([5.0]),
+            upper_bounds=np.array([1.0]),
+        )
+        assert solve_simplex(lp).status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        lp = LinearProgram(c=np.array([-1.0, 0.0]))
+        assert solve_simplex(lp).status is LPStatus.UNBOUNDED
+
+    def test_negative_rhs_handled(self):
+        # -x <= -2 means x >= 2.
+        lp = LinearProgram(
+            c=np.array([1.0]),
+            a_ub=np.array([[-1.0]]), b_ub=np.array([-2.0]),
+        )
+        result = solve_simplex(lp)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(2.0)
+
+    def test_redundant_equalities(self):
+        # Duplicate equality rows leave an artificial stuck at zero.
+        lp = LinearProgram(
+            c=np.array([1.0, 1.0]),
+            a_eq=np.array([[1.0, 1.0], [1.0, 1.0]]), b_eq=np.array([2.0, 2.0]),
+        )
+        result = solve_simplex(lp)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(2.0)
+
+    def test_iteration_cap(self):
+        lp = LinearProgram(
+            c=np.array([-1.0, -2.0]),
+            a_ub=np.array([[1.0, 1.0]]), b_ub=np.array([4.0]),
+            upper_bounds=np.array([3.0, 3.0]),
+        )
+        result = solve_simplex(lp, SimplexOptions(max_iterations=1))
+        assert result.status in (LPStatus.ITERATION_LIMIT, LPStatus.OPTIMAL)
+
+
+class TestAgainstScipy:
+    def test_random_problems(self):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            n = int(rng.integers(2, 7))
+            m = int(rng.integers(1, 4))
+            c = rng.normal(size=n)
+            a_ub = rng.normal(size=(m, n))
+            x0 = rng.uniform(0.1, 1.0, size=n)
+            b_ub = a_ub @ x0 + rng.uniform(0.05, 1.0, size=m)
+            ub = np.full(n, 2.0)
+            lp = LinearProgram(c, a_ub=a_ub, b_ub=b_ub, upper_bounds=ub)
+            ours = solve_simplex(lp)
+            ref = linprog(
+                c, A_ub=a_ub, b_ub=b_ub, bounds=[(0, 2.0)] * n, method="highs"
+            )
+            assert ours.status is LPStatus.OPTIMAL
+            assert ours.objective == pytest.approx(ref.fun, abs=1e-7)
+            assert lp.is_feasible(ours.x, tol=1e-7)

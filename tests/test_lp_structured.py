@@ -1,0 +1,147 @@
+"""The structured (grouped-bounded) interior-point solver."""
+
+import numpy as np
+import pytest
+
+from repro.lp.result import LPStatus
+from repro.lp.structured import (
+    GroupedBoundedLP,
+    StructuredIPMOptions,
+    solve_structured,
+)
+
+
+def _assignment_lp() -> GroupedBoundedLP:
+    """Two tasks × three subsystems, one coupling row."""
+    return GroupedBoundedLP(
+        c=np.array([1.0, 2.0, 3.0, 3.0, 2.0, 1.0]),
+        group_index=np.array([0, 0, 0, 1, 1, 1]),
+        group_rhs=np.array([1.0, 1.0]),
+        coupling_a=np.array([[1.0, 0.0, 0.0, 1.0, 0.0, 0.0]]),
+        coupling_b=np.array([1.0]),
+        upper=np.ones(6),
+    )
+
+
+class TestValidation:
+    def test_group_index_range(self):
+        with pytest.raises(ValueError):
+            GroupedBoundedLP(
+                c=np.ones(2), group_index=np.array([0, 5]), group_rhs=np.ones(1)
+            )
+
+    def test_coupling_dimensions(self):
+        with pytest.raises(ValueError):
+            GroupedBoundedLP(
+                c=np.ones(2), group_index=np.zeros(2, dtype=int),
+                group_rhs=np.ones(1),
+                coupling_a=np.ones((1, 3)), coupling_b=np.ones(1),
+            )
+
+    def test_nonpositive_upper_rejected(self):
+        with pytest.raises(ValueError):
+            GroupedBoundedLP(
+                c=np.ones(1), group_index=np.zeros(1, dtype=int),
+                group_rhs=np.ones(1), upper=np.array([0.0]),
+            )
+
+
+class TestSmallSolutions:
+    def test_picks_cheapest_in_each_group(self):
+        lp = GroupedBoundedLP(
+            c=np.array([5.0, 1.0, 9.0, 2.0, 8.0, 8.0]),
+            group_index=np.array([0, 0, 0, 1, 1, 1]),
+            group_rhs=np.array([1.0, 1.0]),
+            upper=np.ones(6),
+        )
+        result = solve_structured(lp)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(3.0, abs=1e-6)
+        assert result.x[1] == pytest.approx(1.0, abs=1e-6)
+        assert result.x[3] == pytest.approx(1.0, abs=1e-6)
+
+    def test_coupling_forces_split(self):
+        lp = _assignment_lp()
+        result = solve_structured(lp)
+        assert result.status is LPStatus.OPTIMAL
+        # Both groups want their cost-1 variable, but the coupling row caps
+        # x0 + x3 at 1; group 1's cheapest (x5) is outside the coupling row.
+        assert result.objective == pytest.approx(2.0, abs=1e-6)
+        assert lp.is_feasible(result.x, tol=1e-6)
+
+    def test_group_sums(self):
+        lp = _assignment_lp()
+        sums = lp.group_sums(np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]))
+        assert sums == pytest.approx([6.0, 15.0])
+
+    def test_upper_bounds_respected(self):
+        lp = GroupedBoundedLP(
+            c=np.array([1.0, 10.0]),
+            group_index=np.array([0, 0]),
+            group_rhs=np.array([1.0]),
+            upper=np.array([0.25, np.inf]),
+        )
+        result = solve_structured(lp)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.x[0] == pytest.approx(0.25, abs=1e-6)
+        assert result.x[1] == pytest.approx(0.75, abs=1e-6)
+
+
+class TestAgainstScipy:
+    @staticmethod
+    def _reference(lp: GroupedBoundedLP):
+        from scipy.optimize import linprog
+
+        n = lp.num_vars
+        a_eq = np.zeros((lp.num_groups, n))
+        for i, g in enumerate(lp.group_index):
+            a_eq[g, i] = 1.0
+        bounds = [(0.0, u if np.isfinite(u) else None) for u in lp.upper]
+        return linprog(
+            lp.c,
+            A_ub=lp.coupling_a if lp.num_coupling else None,
+            b_ub=lp.coupling_b if lp.num_coupling else None,
+            A_eq=a_eq, b_eq=lp.group_rhs, bounds=bounds, method="highs",
+        )
+
+    def test_random_instances(self):
+        rng = np.random.default_rng(5)
+        for _ in range(25):
+            groups = int(rng.integers(2, 8))
+            n = groups * 3
+            c = rng.uniform(0.1, 10.0, size=n)
+            gidx = np.repeat(np.arange(groups), 3)
+            k = int(rng.integers(0, 4))
+            coupling = np.zeros((k, n))
+            for row in range(k):
+                mask = rng.uniform(size=n) < 0.4
+                coupling[row, mask] = rng.uniform(0.5, 2.0, size=int(mask.sum()))
+            b = coupling @ np.full(n, 1 / 3) * rng.uniform(0.9, 1.5, size=k) + 0.05
+            ub = np.where(rng.uniform(size=n) < 0.5, rng.uniform(0.5, 1.5, size=n), np.inf)
+            lp = GroupedBoundedLP(c, gidx, np.ones(groups),
+                                  coupling if k else None, b if k else None, ub)
+            ours = solve_structured(lp)
+            ref = self._reference(lp)
+            if ref.status == 0:
+                assert ours.status is LPStatus.OPTIMAL
+                assert ours.objective == pytest.approx(ref.fun, abs=1e-5)
+                assert lp.is_feasible(ours.x, tol=1e-5)
+
+    def test_large_instance_converges_fast(self):
+        rng = np.random.default_rng(9)
+        groups = 500
+        n = groups * 3
+        gidx = np.repeat(np.arange(groups), 3)
+        c = rng.uniform(0.1, 10.0, size=n)
+        lp = GroupedBoundedLP(c, gidx, np.ones(groups), upper=np.ones(n))
+        result = solve_structured(lp)
+        assert result.status is LPStatus.OPTIMAL
+        assert result.iterations < 60
+        # Without coupling the optimum is the per-group minimum.
+        expected = c.reshape(groups, 3).min(axis=1).sum()
+        assert result.objective == pytest.approx(expected, abs=1e-4)
+
+    def test_iteration_limit(self):
+        lp = _assignment_lp()
+        result = solve_structured(lp, StructuredIPMOptions(max_iterations=1))
+        assert result.status in (LPStatus.ITERATION_LIMIT, LPStatus.OPTIMAL)

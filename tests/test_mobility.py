@@ -1,0 +1,105 @@
+"""Mobility: random waypoint trajectories and handover analysis."""
+
+import math
+
+import pytest
+
+from repro.mobility.handover import analyse_handovers, attachment_at
+from repro.mobility.waypoint import RandomWaypointModel
+
+
+def _model(**overrides):
+    params = dict(
+        device_ids=[0, 1, 2],
+        area_side_m=1000.0,
+        speed_range_mps=(1.0, 5.0),
+        pause_range_s=(0.0, 10.0),
+        seed=0,
+    )
+    params.update(overrides)
+    return RandomWaypointModel(**params)
+
+
+class TestWaypoint:
+    def test_positions_stay_in_area(self):
+        model = _model()
+        for device_id in model.device_ids:
+            for t in (0.0, 10.0, 100.0, 1000.0):
+                x, y = model.position_at(device_id, t)
+                assert 0.0 <= x <= 1000.0
+                assert 0.0 <= y <= 1000.0
+
+    def test_deterministic(self):
+        a = _model()
+        b = _model()
+        assert a.position_at(1, 500.0) == b.position_at(1, 500.0)
+
+    def test_different_seeds_differ(self):
+        a = _model(seed=0)
+        b = _model(seed=1)
+        assert a.position_at(0, 100.0) != b.position_at(0, 100.0)
+
+    def test_speed_bounds_movement(self):
+        model = _model(speed_range_mps=(1.0, 2.0), pause_range_s=(0.0, 0.0))
+        x0, y0 = model.position_at(0, 100.0)
+        x1, y1 = model.position_at(0, 101.0)
+        assert math.hypot(x1 - x0, y1 - y0) <= 2.0 + 1e-9
+
+    def test_initial_positions_honoured(self):
+        model = _model(initial_positions={0: (123.0, 456.0)})
+        assert model.position_at(0, 0.0) == (123.0, 456.0)
+
+    def test_trace(self):
+        model = _model()
+        points = model.trace(0, 0.0, 10.0, 2.0)
+        assert len(points) == 6
+        assert points[0][0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _model(area_side_m=-1.0)
+        with pytest.raises(ValueError):
+            _model(speed_range_mps=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            _model(pause_range_s=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            RandomWaypointModel([], 100.0)
+        with pytest.raises(ValueError):
+            _model().position_at(0, -1.0)
+        with pytest.raises(ValueError):
+            _model().trace(0, 0.0, 1.0, 0.0)
+
+
+class TestHandover:
+    STATIONS = {0: (250.0, 500.0), 1: (750.0, 500.0)}
+
+    def test_attachment_is_nearest(self):
+        model = _model(initial_positions={0: (0.0, 500.0), 1: (999.0, 500.0)})
+        attachment = attachment_at(model, self.STATIONS, 0.0)
+        assert attachment[0] == 0
+        assert attachment[1] == 1
+
+    def test_attachment_needs_stations(self):
+        with pytest.raises(ValueError):
+            attachment_at(_model(), {}, 0.0)
+
+    def test_longer_epochs_violate_more(self):
+        model = _model(speed_range_mps=(5.0, 10.0), pause_range_s=(0.0, 0.0))
+        short = analyse_handovers(model, self.STATIONS, 1000.0, 20.0)
+        long = analyse_handovers(model, self.STATIONS, 1000.0, 250.0)
+        assert long.violation_rate >= short.violation_rate
+
+    def test_static_devices_never_violate(self):
+        model = _model(speed_range_mps=(1e-9, 1e-9), pause_range_s=(0.0, 0.0))
+        analysis = analyse_handovers(model, self.STATIONS, 100.0, 10.0)
+        assert analysis.violation_rate == 0.0
+        assert analysis.handovers_per_epoch == 0.0
+
+    def test_validation(self):
+        model = _model()
+        with pytest.raises(ValueError):
+            analyse_handovers(model, self.STATIONS, -1.0, 10.0)
+        with pytest.raises(ValueError):
+            analyse_handovers(model, self.STATIONS, 10.0, 100.0)
+        with pytest.raises(ValueError):
+            analyse_handovers(model, self.STATIONS, 100.0, 10.0, samples_per_epoch=1)

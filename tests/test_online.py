@@ -1,0 +1,124 @@
+"""The online extension: arrivals and epoch scheduling."""
+
+import pytest
+
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.online.arrivals import PoissonArrivals
+from repro.online.scheduler import OnlineOptions, simulate_online
+from repro.workload import PAPER_DEFAULTS, generate_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return generate_system(
+        PAPER_DEFAULTS.with_updates(num_devices=12, num_stations=3), seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def arrivals(system):
+    return PoissonArrivals(
+        system,
+        PAPER_DEFAULTS.with_updates(num_devices=12, num_stations=3),
+        rate_per_s=0.4,
+        seed=1,
+    ).generate(300.0)
+
+
+class TestArrivals:
+    def test_sorted_and_within_horizon(self, arrivals):
+        times = [t.arrival_s for t in arrivals]
+        assert times == sorted(times)
+        assert all(0 <= t < 300.0 for t in times)
+
+    def test_rate_roughly_respected(self, arrivals):
+        # 0.4/s over 300 s → ~120 expected arrivals.
+        assert 70 <= len(arrivals) <= 180
+
+    def test_unique_task_indices(self, arrivals):
+        indices = [t.task.index for t in arrivals]
+        assert len(indices) == len(set(indices))
+
+    def test_owners_valid(self, system, arrivals):
+        for timed in arrivals:
+            assert timed.task.owner_device_id in system.devices
+
+    def test_validation(self, system):
+        with pytest.raises(ValueError):
+            PoissonArrivals(system, PAPER_DEFAULTS, rate_per_s=0.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(system, PAPER_DEFAULTS, 1.0).generate(0.0)
+
+
+class TestOptions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineOptions(epoch_length_s=0.0)
+        with pytest.raises(ValueError):
+            OnlineOptions(policy="dqn")
+
+
+class TestStaticScheduling:
+    def test_every_task_planned_once(self, system, arrivals):
+        report = simulate_online(system, arrivals, OnlineOptions(epoch_length_s=60.0))
+        assert report.total_tasks == len(arrivals)
+
+    def test_no_mobility_means_no_drift(self, system, arrivals):
+        report = simulate_online(system, arrivals, OnlineOptions(epoch_length_s=60.0))
+        assert report.drift_energy_gap_j == 0.0
+        for epoch in report.epochs:
+            assert epoch.handovers == 0
+            assert epoch.planned_energy_j == epoch.realized_energy_j
+
+    def test_empty_arrivals(self, system):
+        report = simulate_online(system, [], OnlineOptions())
+        assert report.epochs == ()
+        assert report.total_tasks == 0
+        assert report.mean_realized_unsatisfied == 0.0
+
+    def test_policy_ordering(self, system, arrivals):
+        energies = {}
+        for policy in ("lp-hta", "hgos", "cloud"):
+            report = simulate_online(
+                system, arrivals, OnlineOptions(epoch_length_s=60.0, policy=policy)
+            )
+            energies[policy] = report.total_planned_energy_j
+        assert energies["lp-hta"] <= energies["hgos"] * 1.02
+        assert energies["hgos"] < energies["cloud"]
+
+    def test_game_policy_runs(self, system, arrivals):
+        report = simulate_online(
+            system, arrivals, OnlineOptions(epoch_length_s=60.0, policy="game")
+        )
+        assert report.total_tasks == len(arrivals)
+        assert report.total_planned_energy_j > 0
+
+
+class TestMobileScheduling:
+    def test_drift_audit(self, system, arrivals):
+        positions = {d: dev.position for d, dev in system.devices.items()}
+        mobility = RandomWaypointModel(
+            sorted(system.devices), area_side_m=2000.0,
+            speed_range_mps=(5.0, 20.0), pause_range_s=(0.0, 0.0),
+            seed=3, initial_positions=positions,
+        )
+        report = simulate_online(
+            system, arrivals, OnlineOptions(epoch_length_s=60.0), mobility=mobility
+        )
+        assert report.total_tasks == len(arrivals)
+        assert sum(e.handovers for e in report.epochs) > 0
+
+    def test_mobility_requires_positioned_stations(self, arrivals):
+        from repro.system.devices import BaseStation, MobileDevice
+        from repro.system.radio import FOUR_G
+        from repro.system.topology import MECSystem
+        from repro.units import gigahertz
+
+        bare = MECSystem(
+            [MobileDevice(0, gigahertz(1.0), FOUR_G, max_resource=1.0)],
+            [BaseStation(0)],  # no position
+            {0: 0},
+        )
+        mobility = RandomWaypointModel([0], area_side_m=100.0, seed=0)
+        with pytest.raises(ValueError, match="positioned"):
+            simulate_online(bare, arrivals, OnlineOptions(), mobility=mobility)

@@ -1,0 +1,47 @@
+"""Per-device data ownership."""
+
+from repro.data.ownership import OwnershipMap
+
+
+def _map() -> OwnershipMap:
+    return OwnershipMap({0: {1, 2, 3}, 1: {3, 4}, 2: set()})
+
+
+class TestLookups:
+    def test_items_of(self):
+        ownership = _map()
+        assert ownership.items_of(0) == frozenset({1, 2, 3})
+        assert ownership.items_of(2) == frozenset()
+        assert ownership.items_of(99) == frozenset()  # unknown device
+
+    def test_restricted(self):
+        ownership = _map()
+        assert ownership.restricted(0, frozenset({2, 3, 4})) == frozenset({2, 3})
+
+    def test_owners_of(self):
+        ownership = _map()
+        assert ownership.owners_of(3) == frozenset({0, 1})
+        assert ownership.owners_of(99) == frozenset()
+
+    def test_all_items(self):
+        assert _map().all_items() == frozenset({1, 2, 3, 4})
+
+    def test_replication(self):
+        ownership = _map()
+        assert ownership.replication_of(3) == 2
+        assert ownership.replication_of(1) == 1
+
+
+class TestCoverage:
+    def test_covers(self):
+        ownership = _map()
+        assert ownership.covers(frozenset({1, 4}))
+        assert not ownership.covers(frozenset({1, 9}))
+
+    def test_uncovered(self):
+        assert _map().uncovered(frozenset({1, 9, 10})) == frozenset({9, 10})
+
+    def test_len_and_repr(self):
+        ownership = _map()
+        assert len(ownership) == 3
+        assert "devices=3" in repr(ownership)

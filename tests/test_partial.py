@@ -1,0 +1,106 @@
+"""The partial-offloading extension."""
+
+import pytest
+
+from repro.core.assignment import Subsystem
+from repro.core.hta import lp_hta
+from repro.core.task import Task
+from repro.partial import PartialOptions, partial_offloading
+from repro.units import KB
+from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return generate_scenario(
+        PAPER_DEFAULTS.with_updates(num_tasks=60, num_devices=10, num_stations=2),
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def result(scenario):
+    return partial_offloading(scenario.system, list(scenario.tasks))
+
+
+class TestSplits:
+    def test_every_task_split_or_dropped(self, scenario, result):
+        assert len(result.splits) == len(scenario.tasks)
+
+    def test_bytes_partition_exactly(self, scenario, result):
+        for task, split in zip(scenario.tasks, result.splits):
+            total = (
+                split.device_bytes + split.station_bytes + split.cloud_bytes
+                + split.unserved_bytes
+            )
+            assert total == pytest.approx(task.input_bytes, rel=1e-5)
+
+    def test_fractions_account_for_unserved(self, result):
+        for split in result.splits:
+            if split.task.input_bytes == 0:
+                continue
+            assert sum(split.fractions) == pytest.approx(
+                split.served_fraction, abs=1e-6
+            )
+
+    def test_energy_decomposes(self, result):
+        assert result.total_energy_j == pytest.approx(
+            sum(s.energy_j for s in result.splits)
+        )
+
+    def test_device_caps_respected(self, scenario, result):
+        loads = {}
+        for split in result.splits:
+            if split.task.input_bytes == 0:
+                continue
+            density = split.task.resource_demand / split.task.input_bytes
+            owner = split.task.owner_device_id
+            loads[owner] = loads.get(owner, 0.0) + density * split.device_bytes
+        for owner, load in loads.items():
+            assert load <= scenario.system.device(owner).max_resource * (1 + 1e-6)
+
+
+class TestRelaxationQuality:
+    def test_beats_binary_lp_hta(self, scenario, result):
+        """The fractional optimum can only improve on the binary assignment
+        (when LP-HTA cancels nothing, so the workloads are comparable)."""
+        report = lp_hta(scenario.system, list(scenario.tasks))
+        cancelled = report.assignment.subsystem_counts()[Subsystem.CANCELLED]
+        if cancelled == 0:
+            assert result.total_energy_j <= report.assignment.total_energy_j() * 1.001
+
+    def test_some_tasks_genuinely_fractional(self, result):
+        # Resource caps bind, so at least a few tasks straddle two levels.
+        assert result.num_fractional >= 1
+
+
+class TestEdgeCases:
+    def test_impossible_task_dropped(self, two_cluster_system):
+        # A deadline below every branch's fixed-latency floor.
+        impossible = Task(
+            owner_device_id=0, index=0, local_bytes=1000 * KB,
+            external_bytes=500 * KB, external_source=2,  # cross-cluster: 15 ms floor
+            resource_demand=100.0,  # no room on the device either
+            deadline_s=0.001,
+        )
+        # Make the device unable to take the work locally.
+        result = partial_offloading(two_cluster_system, [impossible])
+        # The device branch has no latency floor, so the task is splittable
+        # unless the device lacks resources; with demand 100 > cap 5 the
+        # deadline row still admits only a tiny local slice — the LP must
+        # stay feasible either way.
+        assert len(result.splits) == 1
+
+    def test_local_only_task(self, two_cluster_system, local_task):
+        result = partial_offloading(two_cluster_system, [local_task])
+        split = result.splits[0]
+        assert split is not None
+        # A cheap local task should stay (almost) entirely on the device.
+        assert split.fractions[0] > 0.9
+
+    def test_unknown_backend_rejected(self, two_cluster_system, local_task):
+        with pytest.raises(ValueError):
+            partial_offloading(
+                two_cluster_system, [local_task],
+                PartialOptions(backend="cplex", fallback_backends=()),
+            )

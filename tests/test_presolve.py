@@ -1,0 +1,154 @@
+"""LP presolve passes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lp import LinearProgram, solve
+from repro.lp.presolve import presolve, restore
+
+
+class TestFixedVariables:
+    def test_pinned_variables_removed(self):
+        lp = LinearProgram(
+            c=np.array([1.0, 2.0, 3.0]),
+            upper_bounds=np.array([0.0, 5.0, 0.0]),
+        )
+        result = presolve(lp)
+        assert result.num_eliminated == 2
+        assert result.fixed == {0: 0.0, 2: 0.0}
+        assert result.lp.num_vars == 1
+
+    def test_rhs_adjusted_for_fixed(self):
+        # x0 pinned to 0; the row x0 + x1 <= 3 must become x1 <= 3.
+        lp = LinearProgram(
+            c=np.array([1.0, 1.0]),
+            a_ub=np.array([[1.0, 1.0]]), b_ub=np.array([3.0]),
+            upper_bounds=np.array([0.0, 10.0]),
+        )
+        result = presolve(lp)
+        assert result.lp.b_ub[0] == pytest.approx(3.0)
+        assert result.lp.a_ub.shape == (1, 1)
+
+
+class TestSingletonRows:
+    def test_singleton_equality_fixes_variable(self):
+        # 2 x1 = 4 → x1 = 2.
+        lp = LinearProgram(
+            c=np.array([1.0, 1.0]),
+            a_eq=np.array([[0.0, 2.0]]), b_eq=np.array([4.0]),
+            upper_bounds=np.array([10.0, 10.0]),
+        )
+        result = presolve(lp)
+        assert result.fixed == {1: 2.0}
+        assert result.lp.a_eq is None
+
+    def test_cascading_singletons(self):
+        # x0 = 1 propagates into x0 + x1 = 3 → x1 = 2 → fully solved.
+        lp = LinearProgram(
+            c=np.array([1.0, 1.0]),
+            a_eq=np.array([[1.0, 0.0], [1.0, 1.0]]), b_eq=np.array([1.0, 3.0]),
+            upper_bounds=np.array([10.0, 10.0]),
+        )
+        result = presolve(lp)
+        assert result.fully_solved
+        assert result.fixed == {0: 1.0, 1: 2.0}
+
+    def test_singleton_violating_bounds_is_infeasible(self):
+        lp = LinearProgram(
+            c=np.array([1.0]),
+            a_eq=np.array([[1.0]]), b_eq=np.array([9.0]),
+            upper_bounds=np.array([2.0]),
+        )
+        assert presolve(lp).infeasible
+
+
+class TestEmptyRows:
+    def test_redundant_rows_dropped(self):
+        lp = LinearProgram(
+            c=np.array([1.0]),
+            a_ub=np.array([[0.0], [1.0]]), b_ub=np.array([5.0, 2.0]),
+        )
+        result = presolve(lp)
+        assert result.lp.a_ub.shape == (1, 1)
+
+    def test_contradictory_inequality_detected(self):
+        lp = LinearProgram(
+            c=np.array([1.0]),
+            a_ub=np.array([[0.0]]), b_ub=np.array([-1.0]),
+        )
+        assert presolve(lp).infeasible
+
+    def test_contradictory_equality_detected(self):
+        lp = LinearProgram(
+            c=np.array([1.0]),
+            a_eq=np.array([[0.0]]), b_eq=np.array([2.0]),
+        )
+        assert presolve(lp).infeasible
+
+
+class TestRestore:
+    def test_roundtrip(self):
+        lp = LinearProgram(
+            c=np.array([1.0, -1.0, 2.0]),
+            a_ub=np.array([[1.0, 1.0, 0.0]]), b_ub=np.array([2.0]),
+            upper_bounds=np.array([5.0, 5.0, 0.0]),
+        )
+        result = presolve(lp)
+        reduced_solution = solve(result.lp, "simplex").require_ok()
+        full = restore(result, reduced_solution)
+        assert len(full) == 3
+        assert full[2] == 0.0
+        assert lp.is_feasible(full, tol=1e-7)
+
+    def test_fully_solved_restore(self):
+        lp = LinearProgram(
+            c=np.array([1.0]), a_eq=np.array([[1.0]]), b_eq=np.array([3.0]),
+            upper_bounds=np.array([5.0]),
+        )
+        result = presolve(lp)
+        assert result.fully_solved
+        assert restore(result, None).tolist() == [3.0]
+
+    def test_restore_rejects_infeasible(self):
+        lp = LinearProgram(
+            c=np.array([1.0]), a_eq=np.array([[0.0]]), b_eq=np.array([1.0]),
+        )
+        with pytest.raises(ValueError):
+            restore(presolve(lp), None)
+
+    def test_restore_rejects_wrong_length(self):
+        lp = LinearProgram(c=np.array([1.0, 2.0]))
+        result = presolve(lp)
+        with pytest.raises(ValueError):
+            restore(result, np.zeros(5))
+
+
+class TestPreservesOptimum:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_presolved_optimum_matches(self, seed):
+        """Solving after presolve gives the same optimum as solving raw."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 8))
+        c = rng.normal(size=n)
+        a_ub = rng.normal(size=(2, n))
+        x0 = rng.uniform(0.1, 0.9, size=n)
+        b_ub = a_ub @ x0 + rng.uniform(0.1, 1.0, size=2)
+        upper = rng.uniform(1.0, 2.0, size=n)
+        upper[rng.uniform(size=n) < 0.3] = 0.0  # pin some variables
+        lp = LinearProgram(c, a_ub=a_ub, b_ub=b_ub, upper_bounds=upper)
+
+        raw = solve(lp, "scipy")
+        result = presolve(lp)
+        assert not result.infeasible
+        if result.fully_solved:
+            full = restore(result, None)
+        else:
+            reduced = solve(result.lp, "scipy")
+            assert reduced.status.ok == raw.status.ok
+            if not raw.status.ok:
+                return
+            full = restore(result, reduced.require_ok())
+        assert lp.objective(full) == pytest.approx(raw.objective, abs=1e-6)
+        assert lp.is_feasible(full, tol=1e-6)

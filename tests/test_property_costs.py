@@ -1,0 +1,105 @@
+"""Property-based tests of the Section II cost model (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.costs import task_costs
+from repro.core.task import Task
+from repro.system.devices import BaseStation, MobileDevice
+from repro.system.radio import FOUR_G, WIFI
+from repro.system.topology import MECSystem
+from repro.units import KB, gigahertz
+
+# Hypothesis reuses one system across generated inputs; the system is
+# immutable, so build it once at module scope instead of using the
+# function-scoped fixture (which trips the health check).
+SYSTEM = MECSystem(
+    devices=[
+        MobileDevice(0, gigahertz(1.0), FOUR_G, max_resource=5.0),
+        MobileDevice(1, gigahertz(1.5), WIFI, max_resource=5.0),
+        MobileDevice(2, gigahertz(2.0), FOUR_G, max_resource=5.0),
+        MobileDevice(3, gigahertz(1.2), WIFI, max_resource=5.0),
+    ],
+    stations=[BaseStation(0, max_resource=20.0), BaseStation(1, max_resource=20.0)],
+    attachment={0: 0, 1: 0, 2: 1, 3: 1},
+)
+
+
+@st.composite
+def random_task(draw):
+    """A task on the two-cluster fixture system's device 0."""
+    alpha = draw(st.floats(min_value=1.0, max_value=5000.0)) * KB
+    has_external = draw(st.booleans())
+    if has_external:
+        beta = draw(st.floats(min_value=1.0, max_value=2500.0)) * KB
+        source = draw(st.sampled_from([1, 2, 3]))
+    else:
+        beta, source = 0.0, None
+    return Task(
+        owner_device_id=0, index=0,
+        local_bytes=alpha, external_bytes=beta, external_source=source,
+        resource_demand=1.0,
+        deadline_s=draw(st.floats(min_value=0.1, max_value=10.0)),
+    )
+
+
+class TestCostInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(random_task())
+    def test_all_costs_nonnegative_and_finite(self, task):
+        costs = task_costs(SYSTEM, task)
+        for triple in (
+            costs.total_time_s,
+            costs.total_energy_j,
+            costs.transmission_time_s,
+            costs.transmission_energy_j,
+        ):
+            for value in triple:
+                assert value >= 0.0
+                assert value == value  # not NaN
+                assert value != float("inf")
+
+    @settings(max_examples=80, deadline=None)
+    @given(random_task())
+    def test_cloud_transmission_energy_dominates_station(self, task):
+        """Section II-B's E_ij3 > E_ij2 must hold for every task."""
+        costs = task_costs(SYSTEM, task)
+        assert costs.transmission_energy_j[2] > costs.transmission_energy_j[1]
+
+    @settings(max_examples=80, deadline=None)
+    @given(random_task())
+    def test_cloud_total_energy_dominates_station(self, task):
+        costs = task_costs(SYSTEM, task)
+        assert costs.total_energy_j[2] > costs.total_energy_j[1]
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_task(), st.floats(min_value=1.1, max_value=3.0))
+    def test_energy_monotone_in_input_size(self, task, factor):
+        bigger = Task(
+            owner_device_id=task.owner_device_id, index=task.index,
+            local_bytes=task.local_bytes * factor,
+            external_bytes=task.external_bytes * factor,
+            external_source=task.external_source,
+            resource_demand=task.resource_demand,
+            deadline_s=task.deadline_s,
+        )
+        small = task_costs(SYSTEM, task)
+        large = task_costs(SYSTEM, bigger)
+        for l in range(3):
+            assert large.total_energy_j[l] >= small.total_energy_j[l]
+            assert large.total_time_s[l] >= small.total_time_s[l]
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_task())
+    def test_offload_times_include_wan_latency(self, task):
+        """The cloud's fixed 250 ms WAN latency is a hard latency floor."""
+        costs = task_costs(SYSTEM, task)
+        assert costs.transmission_time_s[2] >= 0.250
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_task())
+    def test_compute_energy_only_charged_locally(self, task):
+        costs = task_costs(SYSTEM, task)
+        assert costs.computation_energy_j[1] == 0.0
+        assert costs.computation_energy_j[2] == 0.0
+        assert costs.computation_energy_j[0] > 0.0

@@ -1,0 +1,123 @@
+"""Property-based tests of the data-division algorithms (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.data.ownership import OwnershipMap
+from repro.dta.coverage import dta_number, dta_workload, exact_min_max_coverage
+
+
+@st.composite
+def coverable_instance(draw):
+    """A universe plus an ownership map that jointly covers it."""
+    num_items = draw(st.integers(min_value=1, max_value=24))
+    num_devices = draw(st.integers(min_value=1, max_value=8))
+    holdings = {d: set() for d in range(num_devices)}
+    for item in range(num_items):
+        owners = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_devices - 1),
+                min_size=1, max_size=num_devices, unique=True,
+            )
+        )
+        for owner in owners:
+            holdings[owner].add(item)
+    universe = frozenset(range(num_items))
+    return universe, OwnershipMap(holdings)
+
+
+def _check_definition(coverage, universe, ownership):
+    """Definitions 1/2 conditions (1) and (2)."""
+    assert coverage.violations(ownership) == []
+    union = frozenset()
+    for device_id, items in coverage.sets.items():
+        assert items <= ownership.items_of(device_id)
+        assert not (union & items)  # disjoint
+        union |= items
+    assert union == universe
+
+
+class TestGreedyInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(coverable_instance())
+    def test_workload_coverage_is_valid(self, instance):
+        universe, ownership = instance
+        _check_definition(dta_workload(universe, ownership), universe, ownership)
+
+    @settings(max_examples=60, deadline=None)
+    @given(coverable_instance())
+    def test_number_coverage_is_valid(self, instance):
+        universe, ownership = instance
+        _check_definition(dta_number(universe, ownership), universe, ownership)
+
+    @settings(max_examples=60, deadline=None)
+    @given(coverable_instance())
+    def test_number_never_uses_more_devices(self, instance):
+        universe, ownership = instance
+        workload = dta_workload(universe, ownership)
+        number = dta_number(universe, ownership)
+        assert number.involved_devices <= workload.involved_devices
+
+    @settings(max_examples=40, deadline=None)
+    @given(coverable_instance())
+    def test_exact_min_max_lower_bounds_greedy(self, instance):
+        universe, ownership = instance
+        exact = exact_min_max_coverage(universe, ownership)
+        greedy = dta_workload(universe, ownership)
+        _check_definition(exact, universe, ownership)
+        assert exact.max_set_size() <= greedy.max_set_size()
+
+    @settings(max_examples=40, deadline=None)
+    @given(coverable_instance())
+    def test_set_cover_lower_bound(self, instance):
+        """No coverage can use fewer devices than ceil(M / largest UD)."""
+        universe, ownership = instance
+        if not universe:
+            return
+        number = dta_number(universe, ownership)
+        largest = max(
+            len(ownership.items_of(d) & universe) for d in ownership.device_ids
+        )
+        assert number.involved_devices >= -(-len(universe) // largest)
+
+
+class TestSubmodularity:
+    """Theorem 3: f(X) = max_{A in X} |A| is submodular on 2^D."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=8), max_size=6),
+            max_size=5,
+        ),
+        st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=8), max_size=6),
+            max_size=3,
+        ),
+        st.frozensets(st.integers(min_value=0, max_value=8), max_size=6),
+    )
+    def test_diminishing_returns(self, base, extra, new_set):
+        def f(family):
+            return max((len(a) for a in family), default=0)
+
+        x = list(base)
+        y = list(base) + list(extra)  # X ⊆ Y
+        gain_x = f(x + [new_set]) - f(x)
+        gain_y = f(y + [new_set]) - f(y)
+        assert gain_x >= gain_y
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=8), max_size=6),
+            max_size=5,
+        ),
+        st.lists(
+            st.frozensets(st.integers(min_value=0, max_value=8), max_size=6),
+            max_size=3,
+        ),
+    )
+    def test_monotonicity(self, base, extra):
+        def f(family):
+            return max((len(a) for a in family), default=0)
+
+        assert f(list(base)) <= f(list(base) + list(extra))

@@ -1,0 +1,109 @@
+"""Property-based tests of the divisible-task pipeline (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.task import Task
+from repro.data.items import DataCatalog, DataItem
+from repro.data.ownership import OwnershipMap
+from repro.dta.coverage import dta_number, dta_workload
+from repro.dta.rearrange import rearrange_tasks
+
+
+@st.composite
+def dta_instance(draw):
+    """A coverable universe, ownership map, and divisible tasks over it."""
+    num_items = draw(st.integers(min_value=1, max_value=16))
+    num_devices = draw(st.integers(min_value=1, max_value=6))
+    holdings = {d: set() for d in range(num_devices)}
+    for item in range(num_items):
+        owners = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_devices - 1),
+                min_size=1, max_size=num_devices, unique=True,
+            )
+        )
+        for owner in owners:
+            holdings[owner].add(item)
+    ownership = OwnershipMap(holdings)
+    catalog = DataCatalog(
+        DataItem(i, float(draw(st.integers(min_value=1, max_value=100)) * 1000))
+        for i in range(num_items)
+    )
+    num_tasks = draw(st.integers(min_value=1, max_value=5))
+    tasks = []
+    for index in range(num_tasks):
+        required = draw(
+            st.frozensets(
+                st.integers(min_value=0, max_value=num_items - 1),
+                min_size=1, max_size=num_items,
+            )
+        )
+        owner = draw(st.integers(min_value=0, max_value=num_devices - 1))
+        owned = ownership.items_of(owner) & required
+        missing = required - owned
+        alpha = catalog.total_bytes(owned)
+        beta = catalog.total_bytes(missing)
+        source = None
+        if beta > 0:
+            candidates = sorted(
+                {
+                    holder
+                    for item in missing
+                    for holder in ownership.owners_of(item)
+                    if holder != owner
+                }
+            )
+            if candidates:
+                source = candidates[0]
+            else:
+                alpha, beta = alpha + beta, 0.0
+        tasks.append(
+            Task(
+                owner_device_id=owner, index=index,
+                local_bytes=alpha, external_bytes=beta, external_source=source,
+                resource_demand=1.0, deadline_s=10.0,
+                divisible=True, required_items=required,
+            )
+        )
+    universe = frozenset().union(*(t.required_items for t in tasks))
+    return universe, ownership, catalog, tasks
+
+
+class TestRearrangementInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(dta_instance(), st.sampled_from([dta_workload, dta_number]))
+    def test_bytes_conserved_per_parent(self, instance, algorithm):
+        """Each parent's sub-task bytes sum exactly to its required bytes."""
+        universe, ownership, catalog, tasks = instance
+        coverage = algorithm(universe, ownership)
+        plan = rearrange_tasks(tasks, coverage, catalog)
+        for task in tasks:
+            rows = plan.subtasks_of_parent(task)
+            total = sum(plan.subtasks[r].local_bytes for r in rows)
+            assert abs(total - catalog.total_bytes(task.required_items)) < 1e-6
+
+    @settings(max_examples=50, deadline=None)
+    @given(dta_instance(), st.sampled_from([dta_workload, dta_number]))
+    def test_no_item_processed_twice_per_parent(self, instance, algorithm):
+        universe, ownership, catalog, tasks = instance
+        coverage = algorithm(universe, ownership)
+        plan = rearrange_tasks(tasks, coverage, catalog)
+        for task in tasks:
+            seen = set()
+            for row in plan.subtasks_of_parent(task):
+                items = plan.subtasks[row].required_items
+                assert not (seen & items)
+                seen |= items
+            assert seen == task.required_items
+
+    @settings(max_examples=50, deadline=None)
+    @given(dta_instance(), st.sampled_from([dta_workload, dta_number]))
+    def test_executors_own_their_data(self, instance, algorithm):
+        universe, ownership, catalog, tasks = instance
+        coverage = algorithm(universe, ownership)
+        plan = rearrange_tasks(tasks, coverage, catalog)
+        for subtask in plan.subtasks:
+            assert subtask.required_items <= ownership.items_of(
+                subtask.owner_device_id
+            )
+            assert subtask.external_bytes == 0.0

@@ -1,0 +1,66 @@
+"""Property-based tests of the offloading game (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.assignment import Subsystem
+from repro.core.game import GameOptions, best_response_offloading
+from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+
+@st.composite
+def game_case(draw):
+    stations = draw(st.integers(min_value=1, max_value=3))
+    profile = PAPER_DEFAULTS.with_updates(
+        num_stations=stations,
+        num_devices=stations * draw(st.integers(min_value=2, max_value=4)),
+        num_tasks=draw(st.integers(min_value=5, max_value=30)),
+        device_max_resource=draw(st.floats(min_value=1.0, max_value=10.0)),
+        station_max_resource=draw(st.floats(min_value=2.0, max_value=40.0)),
+    )
+    return profile, draw(st.integers(min_value=0, max_value=5000))
+
+
+class TestGameProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(game_case())
+    def test_equilibrium_is_unilaterally_stable(self, case):
+        """No single player can lower its cost by deviating: re-running
+        the dynamics from the equilibrium changes nothing."""
+        profile, seed = case
+        scenario = generate_scenario(profile, seed=seed)
+        first = best_response_offloading(scenario.system, list(scenario.tasks))
+        if not first.converged:
+            return  # round cap hit: no equilibrium claim to check
+        second = best_response_offloading(scenario.system, list(scenario.tasks))
+        assert second.assignment.decisions == first.assignment.decisions
+
+    @settings(max_examples=20, deadline=None)
+    @given(game_case())
+    def test_hard_constraints_always_hold(self, case):
+        profile, seed = case
+        scenario = generate_scenario(profile, seed=seed)
+        result = best_response_offloading(scenario.system, list(scenario.tasks))
+        assignment = result.assignment
+        for device_id, load in assignment.device_loads().items():
+            assert load <= scenario.system.device(device_id).max_resource + 1e-9
+        for station_id in scenario.system.stations:
+            load = sum(
+                assignment.costs.resource[row]
+                for row, decision in enumerate(assignment.decisions)
+                if decision is Subsystem.STATION
+                and scenario.system.cluster_of(
+                    assignment.costs.tasks[row].owner_device_id
+                ) == station_id
+            )
+            assert load <= scenario.system.station(station_id).max_resource + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(game_case())
+    def test_cost_history_monotone(self, case):
+        profile, seed = case
+        scenario = generate_scenario(profile, seed=seed)
+        result = best_response_offloading(scenario.system, list(scenario.tasks))
+        history = result.total_cost_history
+        for earlier, later in zip(history, history[1:]):
+            assert later <= earlier + 1e-6

@@ -1,0 +1,106 @@
+"""Property-based tests of LP-HTA feasibility and the DES oracle (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.assignment import Subsystem
+from repro.core.hta import lp_hta
+from repro.des.replay import replay_assignment
+from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+
+@st.composite
+def small_profile(draw):
+    """A small random scenario profile + seed."""
+    num_stations = draw(st.integers(min_value=1, max_value=3))
+    num_devices = num_stations * draw(st.integers(min_value=2, max_value=4))
+    profile = PAPER_DEFAULTS.with_updates(
+        num_stations=num_stations,
+        num_devices=num_devices,
+        num_tasks=draw(st.integers(min_value=5, max_value=40)),
+        max_input_bytes=draw(st.floats(min_value=500e3, max_value=4000e3)),
+        device_max_resource=draw(st.floats(min_value=0.5, max_value=10.0)),
+        station_max_resource=draw(st.floats(min_value=1.0, max_value=50.0)),
+        deadline_range_s=(0.3, draw(st.floats(min_value=1.0, max_value=8.0))),
+    )
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return profile, seed
+
+
+class TestLPHTAProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(small_profile())
+    def test_assignments_always_feasible(self, case):
+        """Section III-B.1: every LP-HTA output satisfies C1–C5."""
+        profile, seed = case
+        scenario = generate_scenario(profile, seed=seed)
+        report = lp_hta(scenario.system, list(scenario.tasks))
+        assignment = report.assignment
+        # C1: assigned tasks meet deadlines.
+        for row, decision in enumerate(assignment.decisions):
+            if decision is not Subsystem.CANCELLED:
+                assert (
+                    assignment.costs.time_s[row, decision.column]
+                    <= assignment.costs.deadline_s[row] + 1e-9
+                )
+        # C2: per-device loads.
+        for device_id, load in assignment.device_loads().items():
+            assert load <= scenario.system.device(device_id).max_resource + 1e-9
+        # C3: per-station loads.
+        for station_id in scenario.system.stations:
+            load = sum(
+                assignment.costs.resource[row]
+                for row, decision in enumerate(assignment.decisions)
+                if decision is Subsystem.STATION
+                and scenario.system.cluster_of(
+                    assignment.costs.tasks[row].owner_device_id
+                ) == station_id
+            )
+            assert load <= scenario.system.station(station_id).max_resource + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_profile())
+    def test_never_cancels_a_placeable_task(self, case):
+        """A task with a deadline-feasible subsystem and slack in the cloud
+        must not be dropped (the cloud is uncapped, so Step 4 can always
+        fall back there when the cloud meets the deadline)."""
+        profile, seed = case
+        scenario = generate_scenario(profile, seed=seed)
+        report = lp_hta(scenario.system, list(scenario.tasks))
+        assignment = report.assignment
+        for row, decision in enumerate(assignment.decisions):
+            if decision is Subsystem.CANCELLED:
+                cloud_time = assignment.costs.time_s[row, 2]
+                deadline = assignment.costs.deadline_s[row]
+                assert cloud_time > deadline
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_profile())
+    def test_replay_oracle_agrees(self, case):
+        """The DES replay reproduces the analytic latency of every decision."""
+        profile, seed = case
+        scenario = generate_scenario(profile, seed=seed)
+        report = lp_hta(scenario.system, list(scenario.tasks))
+        metrics = replay_assignment(
+            scenario.system, list(scenario.tasks), report.assignment
+        )
+        for row, decision in enumerate(report.assignment.decisions):
+            if decision is Subsystem.CANCELLED:
+                assert metrics.latencies_s[row] is None
+            else:
+                assert metrics.latencies_s[row] == pytest.approx(
+                    report.assignment.costs.time_s[row, decision.column], abs=1e-9
+                )
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_profile())
+    def test_energy_never_above_all_to_cloud(self, case):
+        """AllToC is always feasible for the objective (no caps bind on the
+        cloud), so LP-HTA must never cost more."""
+        from repro.core.baselines import all_to_cloud
+
+        profile, seed = case
+        scenario = generate_scenario(profile, seed=seed)
+        ours = lp_hta(scenario.system, list(scenario.tasks)).assignment
+        cloud = all_to_cloud(scenario.system, list(scenario.tasks))
+        assert ours.total_energy_j() <= cloud.total_energy_j() + 1e-6

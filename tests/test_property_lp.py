@@ -1,0 +1,109 @@
+"""Property-based tests of the LP substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lp import LinearProgram, LPStatus, solve
+from repro.lp.structured import GroupedBoundedLP, solve_structured
+
+
+@st.composite
+def bounded_feasible_lp(draw):
+    """An LP with a known interior feasible point (so never infeasible)."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    m = draw(st.integers(min_value=1, max_value=4))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**31)))
+    c = rng.normal(size=n)
+    a_ub = rng.normal(size=(m, n))
+    x0 = rng.uniform(0.2, 0.8, size=n)
+    b_ub = a_ub @ x0 + rng.uniform(0.05, 1.0, size=m)
+    return LinearProgram(c, a_ub=a_ub, b_ub=b_ub, upper_bounds=np.full(n, 1.5))
+
+
+@st.composite
+def grouped_lp(draw):
+    """A P2-shaped LP with coverable groups."""
+    groups = draw(st.integers(min_value=1, max_value=6))
+    n = groups * 3
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**31)))
+    c = rng.uniform(0.1, 10.0, size=n)
+    gidx = np.repeat(np.arange(groups), 3)
+    k = draw(st.integers(min_value=0, max_value=3))
+    coupling = np.zeros((k, n))
+    for row in range(k):
+        mask = rng.uniform(size=n) < 0.4
+        coupling[row, mask] = rng.uniform(0.5, 2.0, size=int(mask.sum()))
+    b = coupling @ np.full(n, 1 / 3) + rng.uniform(0.05, 0.5, size=k)
+    return GroupedBoundedLP(
+        c, gidx, np.ones(groups),
+        coupling if k else None, b if k else None,
+        upper=np.ones(n),
+    )
+
+
+class TestGeneralSolvers:
+    @settings(max_examples=40, deadline=None)
+    @given(bounded_feasible_lp())
+    def test_simplex_matches_scipy(self, lp):
+        ours = solve(lp, "simplex")
+        ref = solve(lp, "scipy")
+        assert ours.status is LPStatus.OPTIMAL
+        assert ours.objective == pytest.approx(ref.objective, abs=1e-6)
+        assert lp.is_feasible(ours.x, tol=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(bounded_feasible_lp())
+    def test_ipm_matches_scipy(self, lp):
+        ours = solve(lp, "interior-point")
+        ref = solve(lp, "scipy")
+        assert ours.status is LPStatus.OPTIMAL
+        assert ours.objective == pytest.approx(ref.objective, abs=5e-5)
+        assert lp.is_feasible(ours.x, tol=1e-4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(bounded_feasible_lp())
+    def test_standard_form_preserves_feasible_objectives(self, lp):
+        standard = lp.to_standard_form()
+        result = solve(lp, "simplex")
+        # The optimal x extends to a standard-form point with equal cost.
+        x = result.x
+        slack_ub = lp.b_ub - lp.a_ub @ x
+        finite = np.isfinite(lp.upper_bounds)
+        slack_bounds = lp.upper_bounds[finite] - x[finite]
+        full = np.concatenate([x, slack_ub, slack_bounds])
+        assert np.allclose(standard.a @ full, standard.b, atol=1e-7)
+        assert standard.c @ full == pytest.approx(result.objective, abs=1e-7)
+
+
+class TestStructuredSolver:
+    @settings(max_examples=40, deadline=None)
+    @given(grouped_lp())
+    def test_matches_scipy(self, lp):
+        from scipy.optimize import linprog
+
+        ours = solve_structured(lp)
+        n = lp.num_vars
+        a_eq = np.zeros((lp.num_groups, n))
+        for i, g in enumerate(lp.group_index):
+            a_eq[g, i] = 1.0
+        ref = linprog(
+            lp.c,
+            A_ub=lp.coupling_a if lp.num_coupling else None,
+            b_ub=lp.coupling_b if lp.num_coupling else None,
+            A_eq=a_eq, b_eq=lp.group_rhs,
+            bounds=[(0.0, u if np.isfinite(u) else None) for u in lp.upper],
+            method="highs",
+        )
+        if ref.status == 0:
+            assert ours.status is LPStatus.OPTIMAL
+            assert ours.objective == pytest.approx(ref.fun, abs=5e-5)
+            assert lp.is_feasible(ours.x, tol=1e-4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(grouped_lp())
+    def test_solution_is_group_distribution(self, lp):
+        result = solve_structured(lp)
+        if result.status is LPStatus.OPTIMAL:
+            sums = lp.group_sums(result.x)
+            assert np.allclose(sums, lp.group_rhs, atol=1e-5)

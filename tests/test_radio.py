@@ -1,0 +1,107 @@
+"""Radio profiles (Table I) and the Shannon channel model."""
+
+import math
+
+import pytest
+
+from repro.system.radio import (
+    FOUR_G,
+    TABLE_I_PROFILES,
+    WIFI,
+    ShannonChannel,
+    WirelessProfile,
+    shannon_rate_bps,
+)
+from repro.units import MBPS
+
+
+class TestTableIProfiles:
+    def test_4g_row_matches_paper(self):
+        assert FOUR_G.download_rate_bps == pytest.approx(13.76 * MBPS)
+        assert FOUR_G.upload_rate_bps == pytest.approx(5.85 * MBPS)
+        assert FOUR_G.tx_power_w == pytest.approx(7.32)
+        assert FOUR_G.rx_power_w == pytest.approx(1.6)
+
+    def test_wifi_row_matches_paper(self):
+        assert WIFI.download_rate_bps == pytest.approx(54.97 * MBPS)
+        assert WIFI.upload_rate_bps == pytest.approx(12.88 * MBPS)
+        assert WIFI.tx_power_w == pytest.approx(15.7)
+        assert WIFI.rx_power_w == pytest.approx(2.7)
+
+    def test_exactly_two_profiles(self):
+        assert TABLE_I_PROFILES == (FOUR_G, WIFI)
+
+    def test_wifi_faster_than_4g(self):
+        assert WIFI.download_rate_bps > FOUR_G.download_rate_bps
+        assert WIFI.upload_rate_bps > FOUR_G.upload_rate_bps
+
+
+class TestProfileCosts:
+    def test_upload_time(self):
+        # 1 MB at 5.85 Mbps.
+        expected = 1e6 * 8 / (5.85e6)
+        assert FOUR_G.upload_time_s(1e6) == pytest.approx(expected)
+
+    def test_upload_energy_is_power_times_time(self):
+        size = 2e6
+        assert FOUR_G.upload_energy_j(size) == pytest.approx(
+            7.32 * FOUR_G.upload_time_s(size)
+        )
+
+    def test_download_energy_is_power_times_time(self):
+        size = 2e6
+        assert WIFI.download_energy_j(size) == pytest.approx(
+            2.7 * WIFI.download_time_s(size)
+        )
+
+    def test_zero_bytes_cost_nothing(self):
+        assert FOUR_G.upload_time_s(0.0) == 0.0
+        assert FOUR_G.upload_energy_j(0.0) == 0.0
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ValueError):
+            WirelessProfile("bad", 0.0, 1.0, 1.0, 1.0)
+
+    def test_rejects_nonpositive_powers(self):
+        with pytest.raises(ValueError):
+            WirelessProfile("bad", 1.0, 1.0, 0.0, 1.0)
+
+
+class TestShannon:
+    def test_formula(self):
+        rate = shannon_rate_bps(1e6, 0.5, 2.0, 1e-3)
+        assert rate == pytest.approx(1e6 * math.log2(1 + 0.5 * 2.0 / 1e-3))
+
+    def test_zero_power_means_zero_rate(self):
+        assert shannon_rate_bps(1e6, 0.5, 0.0, 1e-3) == 0.0
+
+    def test_monotone_in_power(self):
+        low = shannon_rate_bps(1e6, 0.5, 1.0, 1e-3)
+        high = shannon_rate_bps(1e6, 0.5, 2.0, 1e-3)
+        assert high > low
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            shannon_rate_bps(0.0, 0.5, 1.0, 1e-3)
+        with pytest.raises(ValueError):
+            shannon_rate_bps(1e6, 0.5, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            shannon_rate_bps(1e6, -0.5, 1.0, 1e-3)
+
+    def test_channel_to_profile(self):
+        channel = ShannonChannel(
+            uplink_bandwidth_hz=5e6,
+            downlink_bandwidth_hz=10e6,
+            uplink_gain=0.3,
+            downlink_gain=0.4,
+            device_tx_power_w=2.0,
+            station_tx_power_w=10.0,
+            device_rx_power_w=1.0,
+            noise_power_w=1e-3,
+        )
+        profile = channel.to_profile("derived")
+        assert profile.name == "derived"
+        assert profile.upload_rate_bps == pytest.approx(channel.uplink_rate_bps())
+        assert profile.download_rate_bps == pytest.approx(channel.downlink_rate_bps())
+        assert profile.tx_power_w == 2.0
+        assert profile.rx_power_w == 1.0

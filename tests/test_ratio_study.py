@@ -1,0 +1,32 @@
+"""The empirical approximation-ratio study."""
+
+import pytest
+
+from repro.experiments.ratio_study import run_ratio_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_ratio_study(seeds=tuple(range(8)))
+
+
+def test_ratios_at_least_one(study):
+    assert all(r >= 1.0 - 1e-9 for r in study.ratios)
+
+
+def test_no_bound_violations(study):
+    assert study.bound_violations == 0
+
+
+def test_near_optimal_on_small_instances(study):
+    assert study.summary.mean < 1.5
+
+
+def test_summary_consistent(study):
+    assert study.summary.n == len(study.ratios)
+    assert study.summary.minimum == min(study.ratios)
+    assert study.summary.maximum == max(study.ratios)
+
+
+def test_accounts_for_all_seeds(study):
+    assert len(study.ratios) + study.skipped == 8

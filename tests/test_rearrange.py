@@ -1,0 +1,125 @@
+"""Task rearrangement (Section IV-C)."""
+
+import pytest
+
+from repro.core.task import Task
+from repro.data.items import DataCatalog, DataItem
+from repro.dta.coverage import Coverage, dta_workload
+from repro.dta.rearrange import rearrange_tasks
+
+
+@pytest.fixture
+def catalog():
+    return DataCatalog([DataItem(i, 100.0 * (i + 1)) for i in range(6)])
+
+
+@pytest.fixture
+def coverage():
+    return Coverage(
+        universe=frozenset(range(6)),
+        sets={0: frozenset({0, 1}), 1: frozenset({2, 3}), 2: frozenset({4, 5})},
+    )
+
+
+def _divisible_task(owner, index, items, deadline=5.0):
+    return Task(
+        owner_device_id=owner, index=index,
+        local_bytes=100.0, external_bytes=0.0, external_source=None,
+        resource_demand=3.0, deadline_s=deadline,
+        divisible=True, required_items=frozenset(items),
+    )
+
+
+class TestRearrangement:
+    def test_subtasks_cover_required_items(self, catalog, coverage):
+        task = _divisible_task(0, 0, {0, 2, 4})
+        plan = rearrange_tasks([task], coverage, catalog)
+        assert plan.num_subtasks == 3  # one per covering device
+        covered = frozenset()
+        for subtask in plan.subtasks:
+            covered |= subtask.required_items
+        assert covered == task.required_items
+
+    def test_subtasks_have_no_external_data(self, catalog, coverage):
+        task = _divisible_task(1, 0, {0, 1, 2})
+        plan = rearrange_tasks([task], coverage, catalog)
+        for subtask in plan.subtasks:
+            assert subtask.external_bytes == 0.0
+            assert subtask.external_source is None
+
+    def test_subtask_sizes_match_catalog(self, catalog, coverage):
+        task = _divisible_task(0, 0, {2, 3})
+        plan = rearrange_tasks([task], coverage, catalog)
+        assert plan.num_subtasks == 1
+        assert plan.subtasks[0].owner_device_id == 1
+        assert plan.subtasks[0].local_bytes == pytest.approx(300.0 + 400.0)
+
+    def test_deadlines_inherited(self, catalog, coverage):
+        task = _divisible_task(0, 0, {0, 4}, deadline=2.5)
+        plan = rearrange_tasks([task], coverage, catalog)
+        assert all(s.deadline_s == 2.5 for s in plan.subtasks)
+
+    def test_parent_mapping(self, catalog, coverage):
+        tasks = [_divisible_task(0, 0, {0, 2}), _divisible_task(1, 1, {4})]
+        plan = rearrange_tasks(tasks, coverage, catalog)
+        assert len(plan.parents) == plan.num_subtasks
+        assert set(plan.subtasks_of_parent(tasks[0])) | set(
+            plan.subtasks_of_parent(tasks[1])
+        ) == set(range(plan.num_subtasks))
+
+    def test_executor_devices(self, catalog, coverage):
+        plan = rearrange_tasks([_divisible_task(0, 0, {0, 5})], coverage, catalog)
+        assert plan.executor_device_ids() == (0, 2)
+
+    def test_tasks_without_items_skipped(self, catalog, coverage):
+        task = Task(
+            owner_device_id=0, index=0, local_bytes=0.0,
+            external_bytes=0.0, external_source=None,
+            resource_demand=0.0, deadline_s=1.0, divisible=True,
+        )
+        plan = rearrange_tasks([task], coverage, catalog)
+        assert plan.num_subtasks == 0
+
+
+class TestValidation:
+    def test_non_divisible_rejected(self, catalog, coverage):
+        holistic = Task(
+            owner_device_id=0, index=0, local_bytes=10.0,
+            external_bytes=0.0, external_source=None,
+            resource_demand=1.0, deadline_s=1.0, divisible=False,
+            required_items=frozenset({0}),
+        )
+        with pytest.raises(ValueError, match="not divisible"):
+            rearrange_tasks([holistic], coverage, catalog)
+
+    def test_items_outside_universe_rejected(self, catalog, coverage):
+        task = _divisible_task(0, 0, {0, 77})
+        with pytest.raises(ValueError, match="outside the coverage"):
+            rearrange_tasks([task], coverage, catalog)
+
+    def test_plan_rejects_external_subtasks(self, coverage):
+        from repro.dta.rearrange import RearrangedPlan
+
+        bad = Task(
+            owner_device_id=0, index=0, local_bytes=10.0,
+            external_bytes=5.0, external_source=1,
+            resource_demand=1.0, deadline_s=1.0, divisible=True,
+        )
+        with pytest.raises(ValueError, match="no external data"):
+            RearrangedPlan(coverage=coverage, subtasks=(bad,), parents=(bad,))
+
+
+class TestIntegrationWithGreedy:
+    def test_full_pipeline_small(self, divisible_scenario):
+        universe = divisible_scenario.universe
+        coverage = dta_workload(universe, divisible_scenario.ownership)
+        plan = rearrange_tasks(
+            [t for t in divisible_scenario.tasks if t.required_items],
+            coverage,
+            divisible_scenario.catalog,
+        )
+        assert plan.num_subtasks > 0
+        # Every sub-task's data is owned by its executor.
+        for subtask in plan.subtasks:
+            owned = divisible_scenario.ownership.items_of(subtask.owner_device_id)
+            assert subtask.required_items <= owned

@@ -1,0 +1,91 @@
+"""Statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.stats import bootstrap_ci, mean_ci, summarize
+
+
+class TestMeanCI:
+    def test_single_value_collapses(self):
+        assert mean_ci([5.0]) == (5.0, 5.0)
+
+    def test_constant_sample_collapses(self):
+        assert mean_ci([2.0, 2.0, 2.0]) == (2.0, 2.0)
+
+    def test_interval_contains_mean(self):
+        low, high = mean_ci([1.0, 2.0, 3.0, 4.0])
+        assert low < 2.5 < high
+
+    def test_matches_scipy_t(self):
+        data = [1.0, 2.0, 4.0, 8.0, 16.0]
+        low, high = mean_ci(data, confidence=0.95)
+        from scipy import stats
+
+        ref = stats.t.interval(
+            0.95, df=len(data) - 1,
+            loc=np.mean(data), scale=stats.sem(data),
+        )
+        assert low == pytest.approx(ref[0])
+        assert high == pytest.approx(ref[1])
+
+    def test_wider_confidence_wider_interval(self):
+        data = [1.0, 3.0, 5.0, 7.0]
+        narrow = mean_ci(data, confidence=0.8)
+        wide = mean_ci(data, confidence=0.99)
+        assert wide[0] < narrow[0] and wide[1] > narrow[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+        with pytest.raises(ValueError):
+            mean_ci([1.0], confidence=1.5)
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.n == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.std == pytest.approx(1.0)
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary.std == 0.0
+        assert summary.ci_half_width == 0.0
+
+    def test_format(self):
+        text = summarize([1.0, 2.0, 3.0]).format("J")
+        assert "J" in text and "n=3" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestBootstrap:
+    def test_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 2.0, size=100)
+        low, high = bootstrap_ci(data, seed=1)
+        assert low < 10.3 and high > 9.7  # generous check
+
+    def test_deterministic_under_seed(self):
+        data = [1.0, 5.0, 9.0, 2.0, 8.0]
+        assert bootstrap_ci(data, seed=3) == bootstrap_ci(data, seed=3)
+
+    def test_custom_statistic(self):
+        data = [1.0, 2.0, 100.0]
+        low, high = bootstrap_ci(data, statistic=np.median, seed=0)
+        assert low >= 1.0 and high <= 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=0.0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], resamples=0)

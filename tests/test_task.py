@@ -1,0 +1,68 @@
+"""The task model."""
+
+import pytest
+
+from repro.core.task import Task
+from repro.units import KB
+
+
+def _task(**overrides) -> Task:
+    params = dict(
+        owner_device_id=0, index=0, local_bytes=100 * KB,
+        external_bytes=50 * KB, external_source=1,
+        resource_demand=1.0, deadline_s=2.0,
+    )
+    params.update(overrides)
+    return Task(**params)
+
+
+class TestConstruction:
+    def test_task_id(self):
+        assert _task(owner_device_id=3, index=7).task_id == (3, 7)
+
+    def test_input_bytes(self):
+        assert _task().input_bytes == pytest.approx(150 * KB)
+
+    def test_has_external_data(self):
+        assert _task().has_external_data
+        assert not _task(external_bytes=0.0, external_source=None).has_external_data
+
+    def test_with_deadline(self):
+        copy = _task().with_deadline(9.0)
+        assert copy.deadline_s == 9.0
+        assert copy.task_id == _task().task_id
+        assert copy.local_bytes == _task().local_bytes
+
+
+class TestValidation:
+    def test_external_bytes_require_source(self):
+        with pytest.raises(ValueError, match="no external_source"):
+            _task(external_source=None)
+
+    def test_source_requires_external_bytes(self):
+        with pytest.raises(ValueError, match="external_bytes is zero"):
+            _task(external_bytes=0.0)
+
+    def test_source_cannot_be_owner(self):
+        with pytest.raises(ValueError, match="owner itself"):
+            _task(external_source=0)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            _task(local_bytes=-1.0)
+        with pytest.raises(ValueError):
+            _task(external_bytes=-1.0)
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            _task(deadline_s=0.0)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            _task(owner_device_id=-1)
+        with pytest.raises(ValueError):
+            _task(index=-1)
+
+    def test_negative_resource_rejected(self):
+        with pytest.raises(ValueError):
+            _task(resource_demand=-0.1)

@@ -1,0 +1,76 @@
+"""The MECSystem topology container."""
+
+import pytest
+
+from repro.system.devices import BaseStation, MobileDevice
+from repro.system.radio import FOUR_G
+from repro.system.topology import MECSystem
+from repro.units import gigahertz
+
+
+def _device(device_id: int) -> MobileDevice:
+    return MobileDevice(device_id, gigahertz(1.0), FOUR_G, max_resource=1.0)
+
+
+class TestConstruction:
+    def test_clusters(self, two_cluster_system):
+        assert two_cluster_system.num_devices == 4
+        assert two_cluster_system.num_stations == 2
+        assert two_cluster_system.cluster_members(0) == (0, 1)
+        assert two_cluster_system.cluster_members(1) == (2, 3)
+        assert two_cluster_system.cluster_sizes() == {0: 2, 1: 2}
+
+    def test_same_cluster(self, two_cluster_system):
+        assert two_cluster_system.same_cluster(0, 1)
+        assert not two_cluster_system.same_cluster(0, 2)
+
+    def test_station_of(self, two_cluster_system):
+        assert two_cluster_system.station_of(3).station_id == 1
+        assert two_cluster_system.cluster_of(3) == 1
+
+    def test_duplicate_device_rejected(self):
+        with pytest.raises(ValueError, match="duplicate device"):
+            MECSystem([_device(0), _device(0)], [BaseStation(0)], {0: 0})
+
+    def test_duplicate_station_rejected(self):
+        with pytest.raises(ValueError, match="duplicate station"):
+            MECSystem([_device(0)], [BaseStation(0), BaseStation(0)], {0: 0})
+
+    def test_unattached_device_rejected(self):
+        with pytest.raises(ValueError, match="without a base station"):
+            MECSystem([_device(0), _device(1)], [BaseStation(0)], {0: 0})
+
+    def test_unknown_station_rejected(self):
+        with pytest.raises(ValueError, match="unknown station"):
+            MECSystem([_device(0)], [BaseStation(0)], {0: 7})
+
+    def test_unknown_device_in_attachment_rejected(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            MECSystem([_device(0)], [BaseStation(0)], {0: 0, 9: 0})
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ValueError):
+            MECSystem([], [BaseStation(0)], {})
+        with pytest.raises(ValueError):
+            MECSystem([_device(0)], [], {0: 0})
+
+
+class TestNetworkxExport:
+    def test_graph_shape(self, two_cluster_system):
+        graph = two_cluster_system.to_networkx()
+        # 4 devices + 2 stations + cloud.
+        assert graph.number_of_nodes() == 7
+        # 4 radio + 1 backhaul + 2 wan.
+        kinds = [data["kind"] for _, _, data in graph.edges(data=True)]
+        assert kinds.count("radio") == 4
+        assert kinds.count("backhaul") == 1
+        assert kinds.count("wan") == 2
+
+    def test_devices_attach_to_their_station(self, two_cluster_system):
+        graph = two_cluster_system.to_networkx()
+        assert graph.has_edge(("device", 0), ("station", 0))
+        assert graph.has_edge(("device", 2), ("station", 1))
+        assert not graph.has_edge(("device", 0), ("station", 1))
+
+    def test_repr(self, two_cluster_system):
+        assert "devices=4" in repr(two_cluster_system)

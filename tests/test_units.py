@@ -1,0 +1,50 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_kilobytes():
+    assert units.kilobytes(3000) == 3_000_000.0
+
+
+def test_megabits_per_second():
+    assert units.megabits_per_second(13.76) == pytest.approx(13.76e6)
+
+
+def test_gigahertz():
+    assert units.gigahertz(2.4) == pytest.approx(2.4e9)
+
+
+def test_milliseconds():
+    assert units.milliseconds(15) == pytest.approx(0.015)
+
+
+def test_transmission_time_basic():
+    # 1 MB over 8 Mbps = 1 second.
+    assert units.transmission_time_s(1e6, 8e6) == pytest.approx(1.0)
+
+
+def test_transmission_time_zero_size_is_free():
+    assert units.transmission_time_s(0.0, 1e6) == 0.0
+
+
+def test_transmission_time_zero_size_ignores_bad_rate():
+    # No payload means no transfer: rate is irrelevant.
+    assert units.transmission_time_s(0.0, 0.0) == 0.0
+
+
+def test_transmission_time_rejects_negative_size():
+    with pytest.raises(ValueError):
+        units.transmission_time_s(-1.0, 1e6)
+
+
+def test_transmission_time_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        units.transmission_time_s(10.0, 0.0)
+
+
+def test_transmission_time_scales_linearly():
+    base = units.transmission_time_s(1e5, 5e6)
+    assert units.transmission_time_s(3e5, 5e6) == pytest.approx(3 * base)

@@ -1,0 +1,79 @@
+"""Generative models for shared-data universes."""
+
+import numpy as np
+import pytest
+
+from repro.data.universe import random_overlap_universe, spatial_grid_universe
+
+
+class TestRandomOverlap:
+    def test_every_item_has_an_owner(self):
+        catalog, ownership = random_overlap_universe(
+            num_items=50, device_ids=list(range(10)),
+            mean_size_bytes=1000.0, replication=2.5, seed=0,
+        )
+        assert len(catalog) == 50
+        assert ownership.covers(catalog.item_ids)
+
+    def test_mean_replication_near_target(self):
+        catalog, ownership = random_overlap_universe(
+            num_items=400, device_ids=list(range(30)),
+            mean_size_bytes=1000.0, replication=4.0, seed=1,
+        )
+        reps = [ownership.replication_of(i) for i in catalog.item_ids]
+        assert 3.0 < np.mean(reps) < 5.0
+
+    def test_sizes_within_band(self):
+        catalog, _ = random_overlap_universe(
+            num_items=100, device_ids=[0, 1], mean_size_bytes=1000.0, seed=2
+        )
+        for item_id in catalog.item_ids:
+            assert 500.0 <= catalog.size_of(item_id) <= 1500.0
+
+    def test_deterministic_under_seed(self):
+        a = random_overlap_universe(20, [0, 1, 2], 100.0, seed=5)
+        b = random_overlap_universe(20, [0, 1, 2], 100.0, seed=5)
+        assert a[1].items_of(0) == b[1].items_of(0)
+        assert a[0].total_bytes(a[0].item_ids) == b[0].total_bytes(b[0].item_ids)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_overlap_universe(0, [0], 100.0)
+        with pytest.raises(ValueError):
+            random_overlap_universe(10, [], 100.0)
+        with pytest.raises(ValueError):
+            random_overlap_universe(10, [0], 100.0, replication=0.5)
+        with pytest.raises(ValueError):
+            random_overlap_universe(10, [0], -1.0)
+
+
+class TestSpatialGrid:
+    def test_nearby_devices_share_regions(self):
+        positions = {0: (100.0, 100.0), 1: (150.0, 100.0), 2: (900.0, 900.0)}
+        catalog, ownership = spatial_grid_universe(
+            grid_side=10, device_positions=positions,
+            area_side_m=1000.0, sensing_radius_m=200.0,
+            mean_size_bytes=100.0, seed=0,
+        )
+        overlap = ownership.items_of(0) & ownership.items_of(1)
+        assert overlap  # close together → overlapping regions
+        assert not (ownership.items_of(0) & ownership.items_of(2))
+
+    def test_unsensed_cells_dropped(self):
+        positions = {0: (50.0, 50.0)}
+        catalog, ownership = spatial_grid_universe(
+            grid_side=10, device_positions=positions,
+            area_side_m=1000.0, sensing_radius_m=100.0,
+            mean_size_bytes=100.0,
+        )
+        # One corner device with a 100 m radius senses only a few cells.
+        assert len(catalog) < 10
+        assert ownership.covers(catalog.item_ids)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spatial_grid_universe(0, {0: (0.0, 0.0)}, 100.0, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            spatial_grid_universe(5, {}, 100.0, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            spatial_grid_universe(5, {0: (0.0, 0.0)}, -1.0, 10.0, 1.0)

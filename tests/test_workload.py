@@ -1,0 +1,145 @@
+"""Workload profiles and scenario generation."""
+
+import numpy as np
+import pytest
+
+from repro.units import KB
+from repro.workload.generator import (
+    _tasks_per_device,
+    generate_scenario,
+    generate_system,
+    generate_tasks,
+)
+from repro.workload.profiles import PAPER_DEFAULTS, WorkloadProfile
+
+
+class TestProfile:
+    def test_paper_defaults(self):
+        assert PAPER_DEFAULTS.max_input_bytes == pytest.approx(3000 * KB)
+        assert PAPER_DEFAULTS.external_ratio_range == (0.0, 0.5)
+        assert PAPER_DEFAULTS.result_ratio == 0.2
+        assert PAPER_DEFAULTS.device_frequency_range_hz == (1e9, 2e9)
+
+    def test_with_updates(self):
+        profile = PAPER_DEFAULTS.with_updates(num_tasks=999)
+        assert profile.num_tasks == 999
+        assert profile.num_devices == PAPER_DEFAULTS.num_devices
+        assert PAPER_DEFAULTS.num_tasks != 999  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PAPER_DEFAULTS.with_updates(num_tasks=0)
+        with pytest.raises(ValueError):
+            PAPER_DEFAULTS.with_updates(num_devices=2, num_stations=4)
+        with pytest.raises(ValueError):
+            PAPER_DEFAULTS.with_updates(external_ratio_range=(0.5, 0.1))
+        with pytest.raises(ValueError):
+            PAPER_DEFAULTS.with_updates(deadline_range_s=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            PAPER_DEFAULTS.with_updates(wifi_probability=1.5)
+        with pytest.raises(ValueError):
+            PAPER_DEFAULTS.with_updates(item_replication=0.2)
+
+
+class TestSystemGeneration:
+    def test_counts(self):
+        system = generate_system(PAPER_DEFAULTS, seed=0)
+        assert system.num_devices == PAPER_DEFAULTS.num_devices
+        assert system.num_stations == PAPER_DEFAULTS.num_stations
+
+    def test_frequencies_in_range(self):
+        system = generate_system(PAPER_DEFAULTS, seed=0)
+        lo, hi = PAPER_DEFAULTS.device_frequency_range_hz
+        for device in system.devices.values():
+            assert lo <= device.cpu_frequency_hz <= hi
+
+    def test_radio_mix(self):
+        system = generate_system(PAPER_DEFAULTS.with_updates(num_devices=200,
+                                                             num_tasks=200), seed=0)
+        names = {device.wireless.name for device in system.devices.values()}
+        assert names == {"4G", "Wi-Fi"}
+
+    def test_round_robin_attachment(self):
+        system = generate_system(PAPER_DEFAULTS, seed=0)
+        sizes = system.cluster_sizes()
+        assert max(sizes.values()) - min(sizes.values()) <= 1
+
+    def test_deterministic(self):
+        a = generate_system(PAPER_DEFAULTS, seed=3)
+        b = generate_system(PAPER_DEFAULTS, seed=3)
+        assert a.device(5).cpu_frequency_hz == b.device(5).cpu_frequency_hz
+        assert a.device(5).wireless.name == b.device(5).wireless.name
+
+
+class TestTaskGeneration:
+    def test_task_spread(self):
+        assert _tasks_per_device(10, 4) == [3, 3, 2, 2]
+        assert _tasks_per_device(8, 4) == [2, 2, 2, 2]
+        assert sum(_tasks_per_device(450, 40)) == 450
+
+    def test_sizes_respect_maximum(self):
+        scenario = generate_scenario(PAPER_DEFAULTS.with_updates(num_tasks=100), seed=1)
+        for task in scenario.tasks:
+            assert task.input_bytes <= PAPER_DEFAULTS.max_input_bytes + 1e-6
+
+    def test_external_ratio_band(self):
+        scenario = generate_scenario(PAPER_DEFAULTS.with_updates(num_tasks=200), seed=1)
+        for task in scenario.tasks:
+            if task.local_bytes > 0:
+                ratio = task.external_bytes / task.local_bytes
+                assert ratio <= 0.5 + 1e-9
+
+    def test_external_sources_valid(self):
+        scenario = generate_scenario(PAPER_DEFAULTS.with_updates(num_tasks=150), seed=2)
+        for task in scenario.tasks:
+            if task.has_external_data:
+                assert task.external_source in scenario.system.devices
+                assert task.external_source != task.owner_device_id
+
+    def test_deadlines_in_range(self):
+        scenario = generate_scenario(PAPER_DEFAULTS.with_updates(num_tasks=80), seed=0)
+        lo, hi = PAPER_DEFAULTS.deadline_range_s
+        for task in scenario.tasks:
+            assert lo <= task.deadline_s <= hi
+
+    def test_divisible_needs_catalog(self):
+        system = generate_system(PAPER_DEFAULTS, seed=0)
+        with pytest.raises(ValueError, match="catalog"):
+            generate_tasks(system, PAPER_DEFAULTS.with_updates(divisible=True), seed=0)
+
+
+class TestDivisibleScenario:
+    def test_catalog_and_ownership_present(self, divisible_scenario):
+        assert divisible_scenario.catalog is not None
+        assert divisible_scenario.ownership is not None
+
+    def test_required_items_exist(self, divisible_scenario):
+        for task in divisible_scenario.tasks:
+            assert task.required_items <= divisible_scenario.catalog.item_ids
+
+    def test_alpha_beta_match_item_sizes(self, divisible_scenario):
+        catalog = divisible_scenario.catalog
+        ownership = divisible_scenario.ownership
+        for task in divisible_scenario.tasks:
+            owned = ownership.items_of(task.owner_device_id) & task.required_items
+            missing = task.required_items - owned
+            if task.external_source is not None:
+                assert task.local_bytes == pytest.approx(catalog.total_bytes(owned))
+                assert task.external_bytes == pytest.approx(
+                    catalog.total_bytes(missing)
+                )
+
+    def test_universe_property(self, divisible_scenario):
+        universe = divisible_scenario.universe
+        for task in divisible_scenario.tasks:
+            assert task.required_items <= universe
+
+    def test_scenario_determinism(self):
+        profile = PAPER_DEFAULTS.with_updates(
+            num_tasks=30, num_devices=8, num_stations=2, divisible=True,
+            num_data_items=40,
+        )
+        a = generate_scenario(profile, seed=9)
+        b = generate_scenario(profile, seed=9)
+        assert [t.task_id for t in a.tasks] == [t.task_id for t in b.tasks]
+        assert [t.local_bytes for t in a.tasks] == [t.local_bytes for t in b.tasks]

@@ -1,0 +1,101 @@
+"""Spatial and statistical properties of the generated workloads."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.online.arrivals import PoissonArrivals
+from repro.workload import PAPER_DEFAULTS, generate_scenario, generate_system
+
+
+class TestSpatialLayout:
+    def test_devices_placed_near_their_station(self):
+        system = generate_system(PAPER_DEFAULTS, seed=0, area_side_m=2000.0)
+        # Cell radius for a 2x2 station grid over 2000 m.
+        cell_radius = 2000.0 / (2 * math.ceil(math.sqrt(PAPER_DEFAULTS.num_stations)))
+        for device_id, device in system.devices.items():
+            station = system.station_of(device_id)
+            distance = math.hypot(
+                device.position[0] - station.position[0],
+                device.position[1] - station.position[1],
+            )
+            assert distance <= cell_radius + 1e-9
+
+    def test_stations_spread_over_area(self):
+        system = generate_system(PAPER_DEFAULTS, seed=0, area_side_m=2000.0)
+        positions = [s.position for s in system.stations.values()]
+        assert len(set(positions)) == len(positions)
+        for x, y in positions:
+            assert 0 <= x <= 2000 and 0 <= y <= 2000
+
+    def test_positions_differ_between_devices(self):
+        system = generate_system(PAPER_DEFAULTS, seed=1)
+        positions = [d.position for d in system.devices.values()]
+        assert len(set(positions)) == len(positions)
+
+
+class TestWorkloadStatistics:
+    def test_input_sizes_cover_the_band(self):
+        scenario = generate_scenario(
+            PAPER_DEFAULTS.with_updates(num_tasks=400), seed=0
+        )
+        sizes = np.array([t.input_bytes for t in scenario.tasks])
+        max_input = PAPER_DEFAULTS.max_input_bytes
+        assert sizes.min() >= 0.1 * max_input - 1e-6
+        assert sizes.max() <= max_input + 1e-6
+        # Uniform over [0.1, 1]·max → mean around 0.55·max.
+        assert 0.45 * max_input < sizes.mean() < 0.65 * max_input
+
+    def test_cross_cluster_share_near_probability(self):
+        scenario = generate_scenario(
+            PAPER_DEFAULTS.with_updates(num_tasks=600), seed=0
+        )
+        external = [t for t in scenario.tasks if t.has_external_data]
+        cross = sum(
+            1 for t in external
+            if not scenario.system.same_cluster(t.owner_device_id, t.external_source)
+        )
+        share = cross / len(external)
+        assert abs(share - PAPER_DEFAULTS.external_cross_cluster_prob) < 0.08
+
+    def test_wifi_share_near_probability(self):
+        system = generate_system(
+            PAPER_DEFAULTS.with_updates(num_devices=400, num_tasks=400), seed=0
+        )
+        wifi = sum(
+            1 for d in system.devices.values() if d.wireless.name == "Wi-Fi"
+        )
+        assert abs(wifi / 400 - PAPER_DEFAULTS.wifi_probability) < 0.08
+
+
+class TestArrivalStatistics:
+    def test_interarrival_mean_matches_rate(self):
+        system = generate_system(
+            PAPER_DEFAULTS.with_updates(num_devices=8, num_stations=2), seed=0
+        )
+        arrivals = PoissonArrivals(
+            system, PAPER_DEFAULTS.with_updates(num_devices=8, num_stations=2),
+            rate_per_s=2.0, seed=3,
+        ).generate(500.0)
+        times = [t.arrival_s for t in arrivals]
+        gaps = np.diff([0.0] + times)
+        # Exponential(2.0) gaps → mean 0.5 s.
+        assert abs(float(np.mean(gaps)) - 0.5) < 0.08
+
+    def test_owners_roughly_uniform(self):
+        system = generate_system(
+            PAPER_DEFAULTS.with_updates(num_devices=8, num_stations=2), seed=0
+        )
+        arrivals = PoissonArrivals(
+            system, PAPER_DEFAULTS.with_updates(num_devices=8, num_stations=2),
+            rate_per_s=2.0, seed=4,
+        ).generate(800.0)
+        counts = {}
+        for timed in arrivals:
+            counts[timed.task.owner_device_id] = (
+                counts.get(timed.task.owner_device_id, 0) + 1
+            )
+        expected = len(arrivals) / 8
+        for device_id in range(8):
+            assert counts.get(device_id, 0) > expected * 0.6
