@@ -1,0 +1,137 @@
+"""Benchmark the figure pipeline: seed-equivalent baseline vs optimised path.
+
+Times each figure sweep twice and writes ``BENCH_sweep.json`` at the repo
+root so the performance trajectory is tracked PR over PR:
+
+- **reference** — the seed-era code path: scalar per-task cost tables
+  (``costs_config(vectorized=False, cached=False)``), the original
+  generator/metric/solver implementations (``perf_config(reference=True)``)
+  and the in-process sequential sweep (``jobs=1``),
+- **optimized** — the current defaults: vectorised cost tables with the
+  per-scenario memo, the optimised generator/metric/solver paths, plus the
+  process-parallel sweep engine (``--jobs``, default 4).
+
+Both paths produce bit-identical series (asserted on every run), so the
+ratio is a pure wall-clock comparison.  Each side is timed ``--repeat``
+times and the fastest run is kept, which filters scheduler noise.  Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py            # figs 2–6a
+    PYTHONPATH=src python scripts/bench_perf.py --quick    # fig 2 only
+    PYTHONPATH=src python scripts/bench_perf.py --figures fig2a fig3
+"""
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core.costs import costs_config
+from repro.experiments.figures import ALL_FIGURES
+from repro.perf import perf_config
+
+#: fig6b runs ~20× longer than any other sweep; opt in with --figures.
+DEFAULT_FIGURES = (
+    "fig2a", "fig2b", "fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig6a",
+)
+QUICK_FIGURES = ("fig2a", "fig2b")
+
+
+def _time_figure(figure_id: str, seeds, jobs: int):
+    producer = ALL_FIGURES[figure_id]
+    start = time.perf_counter()
+    data = producer(seeds=seeds, jobs=jobs)
+    return time.perf_counter() - start, data
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="benchmark only the Fig. 2 sweeps (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--figures", nargs="+", choices=sorted(ALL_FIGURES), default=None,
+        help="explicit figure subset (overrides --quick)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[0],
+        help="scenario seeds per sweep point (1 seed keeps runs short)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4,
+        help="worker processes for the optimised path",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="timed runs per side; the fastest is reported",
+    )
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).parent.parent / "BENCH_sweep.json",
+    )
+    args = parser.parse_args()
+
+    if args.figures is not None:
+        figures = tuple(args.figures)
+    elif args.quick:
+        figures = QUICK_FIGURES
+    else:
+        figures = DEFAULT_FIGURES
+    seeds = tuple(args.seeds)
+
+    report = {
+        "config": {
+            "figures": list(figures),
+            "seeds": list(seeds),
+            "jobs": args.jobs,
+            "repeat": args.repeat,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "figures": {},
+    }
+    total_ref = total_opt = 0.0
+    for figure_id in figures:
+        ref_s = opt_s = float("inf")
+        ref_data = opt_data = None
+        for _ in range(max(1, args.repeat)):
+            with costs_config(vectorized=False, cached=False), perf_config(
+                reference=True
+            ):
+                elapsed, ref_data = _time_figure(figure_id, seeds, jobs=1)
+            ref_s = min(ref_s, elapsed)
+            elapsed, opt_data = _time_figure(figure_id, seeds, jobs=args.jobs)
+            opt_s = min(opt_s, elapsed)
+            if opt_data != ref_data:
+                raise SystemExit(
+                    f"{figure_id}: optimised series diverged from the reference"
+                )
+        total_ref += ref_s
+        total_opt += opt_s
+        report["figures"][figure_id] = {
+            "reference_s": round(ref_s, 3),
+            "optimized_s": round(opt_s, 3),
+            "speedup": round(ref_s / opt_s, 2),
+        }
+        print(
+            f"{figure_id}: reference {ref_s:7.2f}s  optimized {opt_s:7.2f}s  "
+            f"({ref_s / opt_s:.2f}x)",
+            flush=True,
+        )
+
+    report["total"] = {
+        "reference_s": round(total_ref, 3),
+        "optimized_s": round(total_opt, 3),
+        "speedup": round(total_ref / total_opt, 2),
+    }
+    print(
+        f"total: reference {total_ref:.2f}s  optimized {total_opt:.2f}s  "
+        f"({total_ref / total_opt:.2f}x)"
+    )
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,15 +11,18 @@ paper's cache-less pipeline.
 
 from repro.caching.cache import CacheStats, LFUCache, LRUCache, ResultCache
 from repro.caching.evaluator import CachingReport, simulate_with_cache
+from repro.caching.lp_cache import LPSolveCache, fingerprint_problem
 from repro.caching.workload import QueryCatalog, zipf_query_stream
 
 __all__ = [
     "CacheStats",
     "CachingReport",
     "LFUCache",
+    "LPSolveCache",
     "LRUCache",
     "QueryCatalog",
     "ResultCache",
+    "fingerprint_problem",
     "simulate_with_cache",
     "zipf_query_stream",
 ]

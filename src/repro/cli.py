@@ -42,11 +42,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true",
         help="also render an ASCII chart of the series",
     )
+    figure.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep (0 = all CPUs, 1 = in-process)",
+    )
 
     all_figures = sub.add_parser("all-figures", help="regenerate every figure")
     all_figures.add_argument(
         "--seeds", type=int, nargs="+", default=list(DEFAULT_SEEDS),
         help="scenario seeds to average over",
+    )
+    all_figures.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweeps (0 = all CPUs, 1 = in-process)",
     )
 
     demo = sub.add_parser("demo", help="run LP-HTA on one scenario and report")
@@ -124,14 +132,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table1":
         print(table1_text())
     elif args.command == "figure":
-        data = run_figure(args.figure_id, seeds=tuple(args.seeds))
+        data = run_figure(args.figure_id, seeds=tuple(args.seeds), jobs=args.jobs)
         print(data.format_table())
         if args.chart:
             print()
             print(data.render_ascii())
     elif args.command == "all-figures":
         for figure_id in sorted(ALL_FIGURES):
-            print(run_figure(figure_id, seeds=tuple(args.seeds)).format_table())
+            print(
+                run_figure(
+                    figure_id, seeds=tuple(args.seeds), jobs=args.jobs
+                ).format_table()
+            )
             print()
     elif args.command == "demo":
         _demo(args.tasks, args.seed)

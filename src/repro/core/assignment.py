@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro import perf
 from repro.core.costs import NUM_SUBSYSTEMS, ClusterCosts
 
 __all__ = ["Assignment", "AssignmentStats", "Subsystem"]
@@ -70,7 +71,9 @@ class Assignment:
 
     def __init__(self, costs: ClusterCosts, decisions: Iterable[Subsystem]) -> None:
         self.costs = costs
-        self.decisions: Tuple[Subsystem, ...] = tuple(Subsystem(d) for d in decisions)
+        self.decisions: Tuple[Subsystem, ...] = tuple(
+            d if type(d) is Subsystem else Subsystem(d) for d in decisions
+        )
         if len(self.decisions) != costs.num_tasks:
             raise ValueError(
                 f"{len(self.decisions)} decisions for {costs.num_tasks} tasks"
@@ -137,14 +140,40 @@ class Assignment:
             return None
         return float(self.costs.time_s[row, decision.column])
 
+    def _assigned_rows_cols(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached (rows, columns) index arrays of the assigned tasks.
+
+        Row order is preserved, so metrics built from these arrays see the
+        same value sequence as the per-row accessors.
+        """
+        cached = self.__dict__.get("_rows_cols")
+        if cached is None:
+            cols = np.fromiter(
+                (int(d) - 1 for d in self.decisions),
+                dtype=np.intp,
+                count=len(self.decisions),
+            )
+            rows = np.flatnonzero(cols >= 0)
+            cached = (rows, cols[rows])
+            self.__dict__["_rows_cols"] = cached
+        return cached
+
     def total_energy_j(self) -> float:
         """Total system energy :math:`\\sum E_{ijl} x_{ijl}` (the objective)."""
-        return sum(self.task_energy_j(row) for row in range(self.costs.num_tasks))
+        if perf.reference_mode():
+            return sum(self.task_energy_j(row) for row in range(self.costs.num_tasks))
+        rows, cols = self._assigned_rows_cols()
+        # Python sum over the row-ordered values: same sequential float
+        # accumulation as summing task_energy_j per row.
+        return float(sum(self.costs.energy_j[rows, cols].tolist()))
 
     def latencies_s(self) -> List[float]:
         """Latencies of the assigned (non-cancelled) tasks."""
-        values = (self.task_latency_s(row) for row in range(self.costs.num_tasks))
-        return [v for v in values if v is not None]
+        if perf.reference_mode():
+            values = (self.task_latency_s(row) for row in range(self.costs.num_tasks))
+            return [v for v in values if v is not None]
+        rows, cols = self._assigned_rows_cols()
+        return self.costs.time_s[rows, cols].tolist()
 
     def meets_deadline(self, row: int) -> bool:
         """Whether task ``row`` is assigned and finishes by its deadline."""
@@ -155,10 +184,17 @@ class Assignment:
         """Fraction of tasks cancelled or missing their deadline (Fig. 3)."""
         if self.costs.num_tasks == 0:
             return 0.0
-        unsatisfied = sum(
-            1 for row in range(self.costs.num_tasks) if not self.meets_deadline(row)
-        )
-        return unsatisfied / self.costs.num_tasks
+        if perf.reference_mode():
+            unsatisfied = sum(
+                1
+                for row in range(self.costs.num_tasks)
+                if not self.meets_deadline(row)
+            )
+            return unsatisfied / self.costs.num_tasks
+        rows, cols = self._assigned_rows_cols()
+        latencies = self.costs.time_s[rows, cols]
+        met = int(np.count_nonzero(latencies <= self.costs.deadline_s[rows]))
+        return (self.costs.num_tasks - met) / self.costs.num_tasks
 
     def device_loads(self) -> Dict[int, float]:
         """Resource load :math:`\\sum_j C_{ij} x_{ij1}` per device."""
@@ -197,14 +233,26 @@ class Assignment:
 
     def stats(self) -> AssignmentStats:
         """All aggregate metrics in one object."""
-        latencies = self.latencies_s()
+        if perf.reference_mode():
+            latencies = self.latencies_s()
+            return AssignmentStats(
+                total_energy_j=self.total_energy_j(),
+                mean_latency_s=float(np.mean(latencies)) if latencies else 0.0,
+                max_latency_s=float(np.max(latencies)) if latencies else 0.0,
+                unsatisfied_rate=self.unsatisfied_rate(),
+                cancelled=self.subsystem_counts()[Subsystem.CANCELLED],
+                per_subsystem=self.subsystem_counts(),
+            )
+        rows, cols = self._assigned_rows_cols()
+        latencies = self.costs.time_s[rows, cols]
+        counts = self.subsystem_counts()
         return AssignmentStats(
             total_energy_j=self.total_energy_j(),
-            mean_latency_s=float(np.mean(latencies)) if latencies else 0.0,
-            max_latency_s=float(np.max(latencies)) if latencies else 0.0,
+            mean_latency_s=float(np.mean(latencies)) if latencies.size else 0.0,
+            max_latency_s=float(np.max(latencies)) if latencies.size else 0.0,
             unsatisfied_rate=self.unsatisfied_rate(),
-            cancelled=self.subsystem_counts()[Subsystem.CANCELLED],
-            per_subsystem=self.subsystem_counts(),
+            cancelled=counts[Subsystem.CANCELLED],
+            per_subsystem=counts,
         )
 
     # ------------------------------------------------------------------

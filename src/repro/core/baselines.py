@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import perf
 from repro.core.assignment import Assignment, Subsystem
 from repro.core.costs import NUM_SUBSYSTEMS, ClusterCosts, cluster_costs
 from repro.core.task import Task
@@ -37,6 +38,7 @@ __all__ = [
 ]
 
 _DEVICE, _STATION, _CLOUD = 0, 1, 2
+_SUBSYSTEM_OF_COLUMN = (Subsystem.DEVICE, Subsystem.STATION, Subsystem.CLOUD)
 
 
 def all_to_cloud(system: MECSystem, tasks: Sequence[Task]) -> Assignment:
@@ -122,27 +124,62 @@ def hgos(system: MECSystem, tasks: Sequence[Task]) -> Assignment:
     gain = perceived.energy_j[:, _DEVICE] - np.min(
         perceived.energy_j[:, (_STATION, _CLOUD)], axis=1
     )
-    order = sorted(range(len(tasks)), key=lambda r: -gain[r])
+    if perf.reference_mode():
+        order = sorted(range(len(tasks)), key=lambda r: -gain[r])
 
-    decisions: List[Subsystem] = [Subsystem.CANCELLED] * len(tasks)
+        decisions: List[Subsystem] = [Subsystem.CANCELLED] * len(tasks)
+        for row in order:
+            task = tasks[row]
+            demand = float(costs.resource[row])
+            station_id = system.cluster_of(task.owner_device_id)
+            device_cap = system.device(task.owner_device_id).max_resource
+            station_cap = system.station(station_id).max_resource
+
+            candidates = []
+            if device_loads[task.owner_device_id] + demand <= device_cap:
+                candidates.append(_DEVICE)
+            if station_loads[station_id] + demand <= station_cap:
+                candidates.append(_STATION)
+            candidates.append(_CLOUD)  # the cloud always has room
+
+            best = min(candidates, key=lambda l: perceived.energy_j[row, l])
+            decisions[row] = Subsystem(best + 1)
+            if best == _DEVICE:
+                device_loads[task.owner_device_id] += demand
+            elif best == _STATION:
+                station_loads[station_id] += demand
+        return Assignment(costs, decisions)
+
+    # Optimised variant of the loop above: same greedy, same tie-breaks,
+    # same float comparisons — the per-row topology lookups and numpy
+    # scalar reads are just hoisted out of the sequential pass.
+    # (Stable argsort on -gain == the stable Python sort it replaces.)
+    order = np.argsort(-gain, kind="stable").tolist()
+    demands = costs.resource.astype(float).tolist()
+    owners = [task.owner_device_id for task in tasks]
+    stations = [system.cluster_of(owner) for owner in owners]
+    device_cap_of = {o: system.device(o).max_resource for o in set(owners)}
+    station_cap_of = {s: system.station(s).max_resource for s in set(stations)}
+    perceived_rows = perceived.energy_j.tolist()
+
+    decisions = [Subsystem.CANCELLED] * len(tasks)
     for row in order:
-        task = tasks[row]
-        demand = float(costs.resource[row])
-        station_id = system.cluster_of(task.owner_device_id)
-        device_cap = system.device(task.owner_device_id).max_resource
-        station_cap = system.station(station_id).max_resource
+        owner = owners[row]
+        demand = demands[row]
+        station_id = stations[row]
+        row_energy = perceived_rows[row]
 
         candidates = []
-        if device_loads[task.owner_device_id] + demand <= device_cap:
+        if device_loads[owner] + demand <= device_cap_of[owner]:
             candidates.append(_DEVICE)
-        if station_loads[station_id] + demand <= station_cap:
+        if station_loads[station_id] + demand <= station_cap_of[station_id]:
             candidates.append(_STATION)
         candidates.append(_CLOUD)  # the cloud always has room
 
-        best = min(candidates, key=lambda l: perceived.energy_j[row, l])
-        decisions[row] = Subsystem(best + 1)
+        best = min(candidates, key=row_energy.__getitem__)
+        decisions[row] = _SUBSYSTEM_OF_COLUMN[best]
         if best == _DEVICE:
-            device_loads[task.owner_device_id] += demand
+            device_loads[owner] += demand
         elif best == _STATION:
             station_loads[station_id] += demand
     return Assignment(costs, decisions)

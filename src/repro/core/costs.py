@@ -18,15 +18,24 @@ base stations, so no BS–BS hop appears there.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
 from repro.core.task import Task
 from repro.system.topology import MECSystem
+from repro.units import BITS_PER_BYTE
 
-__all__ = ["ClusterCosts", "TaskCosts", "cluster_costs", "task_costs"]
+__all__ = [
+    "ClusterCosts",
+    "TaskCosts",
+    "cluster_costs",
+    "costs_config",
+    "task_costs",
+]
 
 #: Number of candidate subsystems per task.
 NUM_SUBSYSTEMS = 3
@@ -99,7 +108,11 @@ def task_costs(system: MECSystem, task: Task) -> TaskCosts:
     # --- l = 1: run on the owning device -------------------------------
     cycles_device = params.cycles.cycles_on_device(total_input)
     t_c1 = cycles_device / owner.cpu_frequency_hz
-    e_c1 = params.kappa * cycles_device * owner.cpu_frequency_hz**2
+    # f·f rather than f**2: libm pow is not always correctly rounded, and
+    # the vectorised table must agree with this reference bit for bit.
+    e_c1 = params.kappa * cycles_device * (
+        owner.cpu_frequency_hz * owner.cpu_frequency_hz
+    )
     if task.has_external_data:
         # Retrieve ED: source uplink, (cross-cluster backhaul,) owner downlink.
         t_r1 = ext_upload_time + owner.wireless.download_time_s(beta) + bs_bs_time
@@ -188,19 +201,71 @@ class ClusterCosts:
         )
 
     def owner_rows(self) -> Dict[int, np.ndarray]:
-        """Row indices grouped by owning device id."""
-        groups: Dict[int, list] = {}
-        for row, task in enumerate(self.tasks):
-            groups.setdefault(task.owner_device_id, []).append(row)
-        return {owner: np.asarray(rows, dtype=int) for owner, rows in groups.items()}
+        """Row indices grouped by owning device id.
+
+        The grouping is computed once and cached (this accessor is called
+        per LP build); treat the returned mapping as read-only.
+        """
+        cached = self.__dict__.get("_owner_rows")
+        if cached is None:
+            groups: Dict[int, list] = {}
+            for row, task in enumerate(self.tasks):
+                groups.setdefault(task.owner_device_id, []).append(row)
+            cached = {
+                owner: np.asarray(rows, dtype=int) for owner, rows in groups.items()
+            }
+            # Frozen dataclass: memoise via __dict__ to bypass __setattr__.
+            self.__dict__["_owner_rows"] = cached
+        return cached
 
 
-def cluster_costs(system: MECSystem, tasks: Sequence[Task]) -> ClusterCosts:
-    """Price every task and pack the results into arrays.
+@dataclass
+class _CostsConfig:
+    """Module-wide defaults for :func:`cluster_costs` (see `costs_config`)."""
 
-    :param system: the MEC system.
-    :param tasks: tasks to price (typically all tasks of one cluster).
+    vectorized: bool = True
+    cached: bool = True
+
+
+_CONFIG = _CostsConfig()
+
+#: Per-system memo of priced tables.  Keyed weakly by the system (identity)
+#: and strongly by the task tuple (value equality), so tables are shared by
+#: every algorithm evaluating the same scenario and die with the scenario.
+_TABLE_CACHE: "WeakKeyDictionary[MECSystem, Dict[tuple, ClusterCosts]]" = (
+    WeakKeyDictionary()
+)
+
+#: Retained tables per system; old entries are evicted FIFO beyond this.
+_TABLE_CACHE_PER_SYSTEM = 64
+
+
+@contextmanager
+def costs_config(
+    *, vectorized: Optional[bool] = None, cached: Optional[bool] = None
+) -> Iterator[None]:
+    """Temporarily override the cost-table defaults.
+
+    ``costs_config(vectorized=False, cached=False)`` reproduces the original
+    per-task scalar pipeline — the reference mode `scripts/bench_perf.py`
+    times the optimised path against.
+
+    :param vectorized: use the batched NumPy evaluation (default True).
+    :param cached: memoise tables per (system, tasks) (default True).
     """
+    previous = (_CONFIG.vectorized, _CONFIG.cached)
+    if vectorized is not None:
+        _CONFIG.vectorized = vectorized
+    if cached is not None:
+        _CONFIG.cached = cached
+    try:
+        yield
+    finally:
+        _CONFIG.vectorized, _CONFIG.cached = previous
+
+
+def _cluster_costs_scalar(system: MECSystem, tasks: Tuple[Task, ...]) -> ClusterCosts:
+    """Reference implementation: one :func:`task_costs` call per row."""
     n = len(tasks)
     time_s = np.zeros((n, NUM_SUBSYSTEMS))
     energy_j = np.zeros((n, NUM_SUBSYSTEMS))
@@ -213,9 +278,181 @@ def cluster_costs(system: MECSystem, tasks: Sequence[Task]) -> ClusterCosts:
         resource[row] = task.resource_demand
         deadline[row] = task.deadline_s
     return ClusterCosts(
-        tasks=tuple(tasks),
+        tasks=tasks,
         time_s=time_s,
         energy_j=energy_j,
         resource=resource,
         deadline_s=deadline,
     )
+
+
+def _cluster_costs_vectorized(
+    system: MECSystem, tasks: Tuple[Task, ...]
+) -> ClusterCosts:
+    """Batched evaluation of the Section II formulas over task arrays.
+
+    Every arithmetic step mirrors :func:`task_costs` operation for
+    operation (same order, same associativity), so the resulting arrays are
+    bit-identical to the scalar reference — asserted by the test suite.
+    """
+    n = len(tasks)
+    params = system.parameters
+
+    # Per-device attribute table (tiny: one row per device).
+    device_info = {}
+    for device_id in system.devices:
+        device = system.device(device_id)
+        wireless = device.wireless
+        device_info[device_id] = (
+            wireless.upload_rate_bps,
+            wireless.download_rate_bps,
+            wireless.tx_power_w,
+            wireless.rx_power_w,
+            device.cpu_frequency_hz,
+            system.station_of(device_id).cpu_frequency_hz,
+            system.cluster_of(device_id),
+        )
+
+    alpha = np.empty(n)
+    beta = np.empty(n)
+    resource = np.empty(n)
+    deadline = np.empty(n)
+    own_up_rate = np.empty(n)
+    own_down_rate = np.empty(n)
+    own_tx = np.empty(n)
+    own_rx = np.empty(n)
+    own_freq = np.empty(n)
+    station_freq = np.empty(n)
+    src_up_rate = np.ones(n)
+    src_tx = np.zeros(n)
+    has_ext = np.zeros(n, dtype=bool)
+    cross = np.zeros(n, dtype=bool)
+
+    for row, task in enumerate(tasks):
+        info = device_info[task.owner_device_id]
+        alpha[row] = task.local_bytes
+        beta[row] = task.external_bytes
+        resource[row] = task.resource_demand
+        deadline[row] = task.deadline_s
+        (
+            own_up_rate[row],
+            own_down_rate[row],
+            own_tx[row],
+            own_rx[row],
+            own_freq[row],
+            station_freq[row],
+            owner_cluster,
+        ) = info
+        if task.has_external_data:
+            source = device_info[task.external_source]
+            has_ext[row] = True
+            src_up_rate[row] = source[0]
+            src_tx[row] = source[2]
+            cross[row] = source[6] != owner_cluster
+
+    total = alpha + beta
+    result_model = params.result_size
+    if result_model.is_constant:
+        result = np.full(n, float(result_model.constant_bytes))
+    else:
+        result = result_model.ratio * total
+
+    bits = BITS_PER_BYTE
+    # External-data retrieval legs (zero where the task is self-contained).
+    ext_up_t = np.where(has_ext, beta * bits / src_up_rate, 0.0)
+    ext_up_e = src_tx * ext_up_t
+    bs_bs = system.bs_bs_link
+    bs_bs_t = np.where(
+        cross, bs_bs.latency_s + beta * bits / bs_bs.bandwidth_bps, 0.0
+    )
+    bs_bs_e = np.where(cross, bs_bs.energy_per_byte_j * beta, 0.0)
+
+    cycles = params.cycles
+    # --- l = 1: run on the owning device -------------------------------
+    cycles_device = (cycles.cycles_per_byte * cycles.device_multiplier) * total
+    t_c1 = cycles_device / own_freq
+    e_c1 = params.kappa * cycles_device * (own_freq * own_freq)
+    own_down_beta_t = beta * bits / own_down_rate
+    t_r1 = np.where(has_ext, ext_up_t + own_down_beta_t + bs_bs_t, 0.0)
+    e_r1 = np.where(has_ext, ext_up_e + own_rx * own_down_beta_t + bs_bs_e, 0.0)
+
+    # --- l = 2: run on the owner's base station ------------------------
+    cycles_station = (cycles.cycles_per_byte * cycles.station_multiplier) * total
+    t_c2 = cycles_station / station_freq
+    own_up_alpha_t = alpha * bits / own_up_rate
+    own_up_alpha_e = own_tx * own_up_alpha_t
+    own_down_res_t = result * bits / own_down_rate
+    own_down_res_e = own_rx * own_down_res_t
+    t_r2 = np.maximum(ext_up_t + bs_bs_t, own_up_alpha_t) + own_down_res_t
+    e_r2 = ext_up_e + own_up_alpha_e + own_down_res_e + bs_bs_e
+
+    # --- l = 3: run on the remote cloud --------------------------------
+    cycles_cloud = (cycles.cycles_per_byte * cycles.cloud_multiplier) * total
+    t_c3 = cycles_cloud / system.cloud.cpu_frequency_hz
+    wan_payload = total + result
+    bs_cloud = system.bs_cloud_link
+    wan_t = np.where(
+        wan_payload == 0.0,
+        0.0,
+        bs_cloud.latency_s + wan_payload * bits / bs_cloud.bandwidth_bps,
+    )
+    t_r3 = np.maximum(ext_up_t, own_up_alpha_t) + own_down_res_t + wan_t
+    e_r3 = (
+        ext_up_e
+        + own_up_alpha_e
+        + own_down_res_e
+        + bs_cloud.energy_per_byte_j * wan_payload
+    )
+
+    time_s = np.column_stack((t_c1 + t_r1, t_c2 + t_r2, t_c3 + t_r3))
+    energy_j = np.column_stack((e_r1 + e_c1, e_r2 + 0.0, e_r3 + 0.0))
+    return ClusterCosts(
+        tasks=tasks,
+        time_s=time_s,
+        energy_j=energy_j,
+        resource=resource,
+        deadline_s=deadline,
+    )
+
+
+def cluster_costs(
+    system: MECSystem,
+    tasks: Sequence[Task],
+    *,
+    vectorized: Optional[bool] = None,
+    cached: Optional[bool] = None,
+) -> ClusterCosts:
+    """Price every task and pack the results into arrays.
+
+    By default the table is computed with the batched NumPy path and
+    memoised per (system, tasks): the figure pipeline prices each scenario
+    once instead of once per algorithm.  Both knobs can be overridden per
+    call or module-wide via :func:`costs_config`.
+
+    :param system: the MEC system.
+    :param tasks: tasks to price (typically all tasks of one cluster).
+    :param vectorized: override the batched-evaluation default.
+    :param cached: override the memoisation default.
+    """
+    use_vectorized = _CONFIG.vectorized if vectorized is None else vectorized
+    use_cache = _CONFIG.cached if cached is None else cached
+    task_tuple = tuple(tasks)
+
+    if use_cache:
+        per_system = _TABLE_CACHE.get(system)
+        if per_system is None:
+            per_system = {}
+            _TABLE_CACHE[system] = per_system
+        key = (task_tuple, use_vectorized)
+        hit = per_system.get(key)
+        if hit is not None:
+            return hit
+
+    compute = _cluster_costs_vectorized if use_vectorized else _cluster_costs_scalar
+    table = compute(system, task_tuple)
+
+    if use_cache:
+        while len(per_system) >= _TABLE_CACHE_PER_SYSTEM:
+            per_system.pop(next(iter(per_system)))
+        per_system[key] = table
+    return table

@@ -25,6 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import perf
 from repro.core.assignment import Assignment, Subsystem
 from repro.core.costs import NUM_SUBSYSTEMS, ClusterCosts, cluster_costs
 from repro.core.lp_builder import build_p2, build_p2_structured, reshape_solution
@@ -240,22 +241,42 @@ def lp_hta_cluster(
 
     # Step 3: round.
     chosen = _round(x_fractional, options)
-    rounded_energy = float(
-        sum(costs.energy_j[row, chosen[row]] for row in range(n))
-    )
 
-    # Step 4: deadline repair.
-    decisions: List[Subsystem] = [Subsystem.CANCELLED] * n
-    for row in range(n):
-        q = int(chosen[row])
-        if costs.time_s[row, q] <= costs.deadline_s[row]:
-            decisions[row] = Subsystem(q + 1)
-            continue
-        feasible = costs.feasible_subsystems(row)
-        if feasible:
-            best = max(feasible, key=lambda l: x_fractional[row, l])
-            decisions[row] = Subsystem(best + 1)
-        # else: stays CANCELLED ("cancel T_ij and inform users").
+    if perf.reference_mode():
+        rounded_energy = float(
+            sum(costs.energy_j[row, chosen[row]] for row in range(n))
+        )
+        # Step 4: deadline repair (seed implementation).
+        decisions: List[Subsystem] = [Subsystem.CANCELLED] * n
+        for row in range(n):
+            q = int(chosen[row])
+            if costs.time_s[row, q] <= costs.deadline_s[row]:
+                decisions[row] = Subsystem(q + 1)
+                continue
+            feasible = costs.feasible_subsystems(row)
+            if feasible:
+                best = max(feasible, key=lambda l: x_fractional[row, l])
+                decisions[row] = Subsystem(best + 1)
+            # else: stays CANCELLED ("cancel T_ij and inform users").
+    else:
+        cols = np.asarray(chosen, dtype=int)
+        rows_n = np.arange(n)
+        # Python sum over the row-ordered values keeps the sequential float
+        # accumulation of the original per-row generator.
+        rounded_energy = float(sum(costs.energy_j[rows_n, cols].tolist()))
+
+        # Step 4: deadline repair.
+        by_column = (Subsystem.DEVICE, Subsystem.STATION, Subsystem.CLOUD)
+        decisions = [Subsystem.CANCELLED] * n
+        rounded_ok = costs.time_s[rows_n, cols] <= costs.deadline_s
+        for row in np.flatnonzero(rounded_ok).tolist():
+            decisions[row] = by_column[cols[row]]
+        for row in np.flatnonzero(~rounded_ok).tolist():
+            feasible = costs.feasible_subsystems(row)
+            if feasible:
+                best = max(feasible, key=lambda l: x_fractional[row, l])
+                decisions[row] = by_column[best]
+            # else: stays CANCELLED ("cancel T_ij and inform users").
 
     deadline_ok = costs.time_s <= costs.deadline_s[:, None]
 

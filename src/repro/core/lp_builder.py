@@ -23,6 +23,8 @@ from typing import List, Mapping, Tuple
 
 import numpy as np
 
+from repro import perf
+
 from repro.core.costs import NUM_SUBSYSTEMS, ClusterCosts
 from repro.lp.problem import LinearProgram
 from repro.lp.structured import GroupedBoundedLP
@@ -65,19 +67,36 @@ def _deadline_bounds(
     """
     n_tasks = costs.num_tasks
     upper = np.ones(NUM_SUBSYSTEMS * n_tasks)
-    doomed: List[int] = []
-    for row in range(n_tasks):
-        deadline = costs.deadline_s[row]
-        if not costs.feasible_subsystems(row):
-            doomed.append(row)
-            continue  # bounds stay at 1; Step 4 cancels this task
-        if relax_deadline_bounds:
-            continue
-        for l in range(NUM_SUBSYSTEMS):
-            t = costs.time_s[row, l]
-            if t > 0:
-                upper[_flat(row, l)] = min(1.0, deadline / t)
-    return upper, tuple(doomed)
+    if perf.reference_mode():
+        doomed_list: List[int] = []
+        for row in range(n_tasks):
+            deadline_row = costs.deadline_s[row]
+            if not costs.feasible_subsystems(row):
+                doomed_list.append(row)
+                continue  # bounds stay at 1; Step 4 cancels this task
+            if relax_deadline_bounds:
+                continue
+            for l in range(NUM_SUBSYSTEMS):
+                t = costs.time_s[row, l]
+                if t > 0:
+                    upper[_flat(row, l)] = min(1.0, deadline_row / t)
+        return upper, tuple(doomed_list)
+    if n_tasks == 0:
+        return upper, ()
+    time_s = costs.time_s
+    deadline = costs.deadline_s
+    feasible = time_s <= deadline[:, None]
+    doomed_mask = ~feasible.any(axis=1)
+    doomed = tuple(int(row) for row in np.flatnonzero(doomed_mask))
+    if not relax_deadline_bounds:
+        # min(1.0, deadline / t) wherever t > 0; doomed rows stay at 1
+        # (Step 4 cancels them), exactly as the per-row loop computed.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            bounds = np.minimum(1.0, deadline[:, None] / time_s)
+        bounds = np.where(time_s > 0, bounds, 1.0)
+        bounds[doomed_mask] = 1.0
+        upper = bounds.reshape(-1)
+    return upper, doomed
 
 
 def build_p2(
@@ -181,6 +200,7 @@ def build_p2_structured(
     group_rhs = np.ones(n_tasks)
     upper, doomed = _deadline_bounds(costs, relax_deadline_bounds)
 
+    reference = perf.reference_mode()
     coupling_rows: List[np.ndarray] = []
     coupling_rhs: List[float] = []
     for device_id, rows in sorted(costs.owner_rows().items()):
@@ -188,14 +208,20 @@ def build_p2_structured(
         if not np.isfinite(cap):
             continue
         row_vec = np.zeros(n_vars)
-        for r in rows:
-            row_vec[_flat(r, 0)] = costs.resource[r]
+        if reference:
+            for r in rows:
+                row_vec[_flat(r, 0)] = costs.resource[r]
+        else:
+            row_vec[rows * NUM_SUBSYSTEMS] = costs.resource[rows]  # l = 0
         coupling_rows.append(row_vec)
         coupling_rhs.append(cap)
     if np.isfinite(station_cap):
         row_vec = np.zeros(n_vars)
-        for r in range(n_tasks):
-            row_vec[_flat(r, 1)] = costs.resource[r]
+        if reference:
+            for r in range(n_tasks):
+                row_vec[_flat(r, 1)] = costs.resource[r]
+        else:
+            row_vec[1::NUM_SUBSYSTEMS] = costs.resource  # l = 1 columns
         coupling_rows.append(row_vec)
         coupling_rhs.append(station_cap)
 

@@ -68,6 +68,28 @@ class Task:
         if self.external_source is not None and self.external_source == self.owner_device_id:
             raise ValueError("external data cannot come from the owner itself")
 
+    def __hash__(self) -> int:
+        # Same value the generated dataclass hash produces, memoised:
+        # the cost-table cache hashes whole task tuples on every lookup.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(
+                (
+                    self.owner_device_id,
+                    self.index,
+                    self.local_bytes,
+                    self.external_bytes,
+                    self.external_source,
+                    self.resource_demand,
+                    self.deadline_s,
+                    self.divisible,
+                    self.required_items,
+                    self.operation,
+                )
+            )
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     @property
     def task_id(self) -> tuple:
         """The (i, j) pair identifying this task."""

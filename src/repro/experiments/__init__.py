@@ -22,13 +22,27 @@ from repro.experiments.figures import (
 )
 from repro.experiments.breakdown import EnergyBreakdown, energy_breakdown
 from repro.experiments.grid import GridCell, pivot, run_grid
+from repro.experiments.parallel import (
+    EvaluatorSpec,
+    SweepCell,
+    as_spec,
+    dta_spec,
+    holistic_spec,
+    run_cells,
+)
 from repro.experiments.ratio_study import RatioStudy, run_ratio_study
 from repro.experiments.stats import Summary, bootstrap_ci, mean_ci, summarize
 from repro.experiments.tables import table1_rows, table1_text
 
 __all__ = [
     "EnergyBreakdown",
+    "EvaluatorSpec",
     "GridCell",
+    "SweepCell",
+    "as_spec",
+    "dta_spec",
+    "holistic_spec",
+    "run_cells",
     "energy_breakdown",
     "pivot",
     "run_grid",

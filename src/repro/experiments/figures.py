@@ -15,18 +15,21 @@ the workload.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.experiments.runner import (
-    AlgorithmResult,
-    evaluate_dta,
-    evaluate_holistic,
+from repro.experiments.parallel import (
+    EvaluatorSpec,
+    SweepCell,
+    dta_spec,
+    holistic_spec,
+    run_cells,
 )
+from repro.experiments.runner import AlgorithmResult
 from repro.experiments.series import SeriesData
 from repro.units import KB
-from repro.workload.generator import Scenario, generate_scenario
+from repro.workload.generator import Scenario
 from repro.workload.profiles import PAPER_DEFAULTS, WorkloadProfile
 
 __all__ = [
@@ -59,14 +62,11 @@ _DTA_REPLICATION = 6.0
 
 Evaluator = Callable[[Scenario], AlgorithmResult]
 
-
-def _holistic(name: str) -> Tuple[str, Evaluator]:
-    return name, lambda scenario: evaluate_holistic(scenario, name)
-
-
-def _dta(objective: str) -> Tuple[str, Evaluator]:
-    name = "DTA-Workload" if objective == "workload" else "DTA-Number"
-    return name, lambda scenario: evaluate_dta(scenario, objective)
+# Picklable evaluator descriptions (see repro.experiments.parallel): the
+# figure sweeps fan out over worker processes, so the evaluators must be
+# data, not closures.
+_holistic = holistic_spec
+_dta = dta_spec
 
 
 def _divisible(profile: WorkloadProfile) -> WorkloadProfile:
@@ -94,17 +94,33 @@ def _sweep(
     y_label: str,
     x_values: Sequence[Union[int, float, str]],
     profiles: Sequence[WorkloadProfile],
-    evaluators: Sequence[Tuple[str, Evaluator]],
+    evaluators: Sequence[EvaluatorSpec],
     metric: str,
     seeds: Sequence[int],
+    jobs: Optional[int] = 1,
 ) -> SeriesData:
     """Run every evaluator over every sweep point, averaging over seeds."""
-    series: Dict[str, List[float]] = {name: [] for name, _ in evaluators}
-    for profile in profiles:
-        scenarios = [generate_scenario(profile, seed=seed) for seed in seeds]
-        for name, evaluator in evaluators:
-            values = [getattr(evaluator(sc), metric) for sc in scenarios]
-            series[name].append(float(np.mean(values)))
+    specs = tuple(evaluators)
+    work = [
+        SweepCell(
+            index=index,
+            profile=profile,
+            seed=seed,
+            evaluators=specs,
+        )
+        for index, (profile, seed) in enumerate(
+            (profile, seed) for profile in profiles for seed in seeds
+        )
+    ]
+    per_cell = run_cells(work, jobs=jobs)
+
+    series: Dict[str, List[float]] = {spec.name: [] for spec in specs}
+    n_seeds = len(seeds)
+    for point_idx in range(len(profiles)):
+        rows = per_cell[point_idx * n_seeds : (point_idx + 1) * n_seeds]
+        for spec_idx, spec in enumerate(specs):
+            values = [getattr(row[spec_idx], metric) for row in rows]
+            series[spec.name].append(float(np.mean(values)))
     return SeriesData(
         figure_id=figure_id,
         title=title,
@@ -115,7 +131,9 @@ def _sweep(
     )
 
 
-def fig2a(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
+def fig2a(
+    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+) -> SeriesData:
     """Fig 2(a): energy vs number of tasks (LP-HTA, HGOS, AllToC, AllOffload)."""
     profiles = [
         PAPER_DEFAULTS.with_updates(num_tasks=n, max_input_bytes=3000 * KB)
@@ -126,11 +144,13 @@ def fig2a(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
         "number of tasks", "total energy (J)",
         TASK_SWEEP, profiles,
         [_holistic(n) for n in ("LP-HTA", "HGOS", "AllToC", "AllOffload")],
-        "total_energy_j", seeds,
+        "total_energy_j", seeds, jobs=jobs,
     )
 
 
-def fig2b(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
+def fig2b(
+    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+) -> SeriesData:
     """Fig 2(b): energy vs maximum input size, 100 tasks."""
     profiles = [
         PAPER_DEFAULTS.with_updates(num_tasks=100, max_input_bytes=kb * KB)
@@ -141,11 +161,13 @@ def fig2b(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
         "max input size (kB)", "total energy (J)",
         INPUT_SWEEP_KB, profiles,
         [_holistic(n) for n in ("LP-HTA", "HGOS", "AllToC", "AllOffload")],
-        "total_energy_j", seeds,
+        "total_energy_j", seeds, jobs=jobs,
     )
 
 
-def fig3(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
+def fig3(
+    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+) -> SeriesData:
     """Fig 3: unsatisfied-task rate vs number of tasks (no AllToC)."""
     profiles = [
         PAPER_DEFAULTS.with_updates(num_tasks=n, max_input_bytes=3000 * KB)
@@ -156,11 +178,13 @@ def fig3(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
         "number of tasks", "unsatisfied task rate",
         TASK_SWEEP, profiles,
         [_holistic(n) for n in ("LP-HTA", "HGOS", "AllOffload")],
-        "unsatisfied_rate", seeds,
+        "unsatisfied_rate", seeds, jobs=jobs,
     )
 
 
-def fig4a(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
+def fig4a(
+    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+) -> SeriesData:
     """Fig 4(a): average latency vs number of tasks."""
     profiles = [
         PAPER_DEFAULTS.with_updates(num_tasks=n, max_input_bytes=3000 * KB)
@@ -171,11 +195,13 @@ def fig4a(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
         "number of tasks", "average latency (s)",
         TASK_SWEEP, profiles,
         [_holistic(n) for n in ("LP-HTA", "HGOS", "AllToC", "AllOffload")],
-        "mean_latency_s", seeds,
+        "mean_latency_s", seeds, jobs=jobs,
     )
 
 
-def fig4b(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
+def fig4b(
+    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+) -> SeriesData:
     """Fig 4(b): average latency vs maximum input size, 100 tasks."""
     profiles = [
         PAPER_DEFAULTS.with_updates(num_tasks=100, max_input_bytes=kb * KB)
@@ -186,11 +212,13 @@ def fig4b(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
         "max input size (kB)", "average latency (s)",
         INPUT_SWEEP_KB, profiles,
         [_holistic(n) for n in ("LP-HTA", "HGOS", "AllToC", "AllOffload")],
-        "mean_latency_s", seeds,
+        "mean_latency_s", seeds, jobs=jobs,
     )
 
 
-def fig5a(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
+def fig5a(
+    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+) -> SeriesData:
     """Fig 5(a): energy vs number of tasks (LP-HTA, DTA-Workload, DTA-Number)."""
     profiles = [
         _divisible(
@@ -205,11 +233,13 @@ def fig5a(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
         "number of tasks", "total energy (J)",
         TASK_SWEEP, profiles,
         [_holistic("LP-HTA"), _dta("workload"), _dta("number")],
-        "total_energy_j", seeds,
+        "total_energy_j", seeds, jobs=jobs,
     )
 
 
-def fig5b(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
+def fig5b(
+    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+) -> SeriesData:
     """Fig 5(b): energy vs result size (0.4X … 0.05X, constant), 100 tasks."""
     labels: Tuple[str, ...] = ("0.4X", "0.2X", "0.1X", "0.05X", "const")
     base = PAPER_DEFAULTS.with_updates(num_tasks=100, max_input_bytes=3000 * KB)
@@ -225,11 +255,13 @@ def fig5b(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
         "result size", "total energy (J)",
         labels, profiles,
         [_holistic("LP-HTA"), _dta("workload"), _dta("number")],
-        "total_energy_j", seeds,
+        "total_energy_j", seeds, jobs=jobs,
     )
 
 
-def fig6a(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
+def fig6a(
+    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+) -> SeriesData:
     """Fig 6(a): processing time, DTA-Workload vs DTA-Number, 200 tasks."""
     sweep_kb = (1200, 1400, 1600, 1800, 2000)
     profiles = [
@@ -243,11 +275,13 @@ def fig6a(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
         "max input size (kB)", "processing time (s)",
         sweep_kb, profiles,
         [_dta("workload"), _dta("number")],
-        "processing_time_s", seeds,
+        "processing_time_s", seeds, jobs=jobs,
     )
 
 
-def fig6b(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
+def fig6b(
+    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+) -> SeriesData:
     """Fig 6(b): involved devices, DTA-Workload vs DTA-Number, 2000 kB."""
     sweep_tasks = (100, 300, 500, 700, 900)
     profiles = [
@@ -261,7 +295,7 @@ def fig6b(seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
         "number of tasks", "involved mobile devices",
         sweep_tasks, profiles,
         [_dta("workload"), _dta("number")],
-        "involved_devices", seeds,
+        "involved_devices", seeds, jobs=jobs,
     )
 
 
@@ -279,11 +313,16 @@ ALL_FIGURES: Mapping[str, Callable[..., SeriesData]] = {
 }
 
 
-def run_figure(figure_id: str, seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesData:
+def run_figure(
+    figure_id: str,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: Optional[int] = 1,
+) -> SeriesData:
     """Regenerate one figure's data by id.
 
     :param figure_id: a key of :data:`ALL_FIGURES`.
     :param seeds: scenario seeds to average over.
+    :param jobs: worker processes for the sweep (``1`` = in-process).
     """
     try:
         producer = ALL_FIGURES[figure_id]
@@ -291,4 +330,4 @@ def run_figure(figure_id: str, seeds: Sequence[int] = DEFAULT_SEEDS) -> SeriesDa
         raise ValueError(
             f"unknown figure {figure_id!r}; choose from {sorted(ALL_FIGURES)}"
         ) from None
-    return producer(seeds=seeds)
+    return producer(seeds=seeds, jobs=jobs)

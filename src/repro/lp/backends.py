@@ -8,12 +8,13 @@ the from-scratch implementations against an independent solver.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.lp.interior_point import IPMOptions, solve_interior_point
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult, LPStatus
 from repro.lp.simplex import SimplexOptions, solve_simplex
+from repro.lp.warmstart import IPMIterate, SimplexBasis
 
 __all__ = ["available_backends", "solve"]
 
@@ -50,10 +51,24 @@ def _solve_scipy(problem: LinearProgram) -> LPResult:
     )
 
 
-_BACKENDS: Dict[str, Callable[[LinearProgram], LPResult]] = {
-    "interior-point": lambda p: solve_interior_point(p, IPMOptions()),
-    "simplex": lambda p: solve_simplex(p, SimplexOptions()),
-    "scipy": _solve_scipy,
+def _solve_interior_point(
+    problem: LinearProgram, warm_start: Optional[object]
+) -> LPResult:
+    warm = warm_start if isinstance(warm_start, IPMIterate) else None
+    return solve_interior_point(problem, IPMOptions(), warm_start=warm)
+
+
+def _solve_simplex(
+    problem: LinearProgram, warm_start: Optional[object]
+) -> LPResult:
+    warm = warm_start if isinstance(warm_start, SimplexBasis) else None
+    return solve_simplex(problem, SimplexOptions(), warm_start=warm)
+
+
+_BACKENDS: Dict[str, Callable[[LinearProgram, Optional[object]], LPResult]] = {
+    "interior-point": _solve_interior_point,
+    "simplex": _solve_simplex,
+    "scipy": lambda p, warm_start: _solve_scipy(p),
 }
 
 
@@ -62,11 +77,24 @@ def available_backends() -> Tuple[str, ...]:
     return tuple(_BACKENDS)
 
 
-def solve(problem: LinearProgram, method: str = "interior-point") -> LPResult:
+def solve(
+    problem: LinearProgram,
+    method: str = "interior-point",
+    warm_start: Optional[object] = None,
+    cache: Optional["LPSolveCache"] = None,
+) -> LPResult:
     """Solve ``problem`` with the named backend.
 
     :param problem: the LP to solve.
     :param method: one of :func:`available_backends`.
+    :param warm_start: optional solver state from a previous
+        :class:`LPResult` (its ``warm_start`` attribute); silently ignored
+        by backends it does not fit (e.g. a simplex basis handed to the
+        interior-point method), so callers can thread the previous sweep
+        point's result through without dispatching on the backend.
+    :param cache: optional :class:`~repro.caching.lp_cache.LPSolveCache`;
+        bit-identical (problem, method) pairs return the stored result
+        without solving.
     :raises ValueError: on an unknown backend name.
     """
     try:
@@ -75,4 +103,17 @@ def solve(problem: LinearProgram, method: str = "interior-point") -> LPResult:
         raise ValueError(
             f"unknown LP backend {method!r}; choose from {available_backends()}"
         ) from None
-    return backend(problem)
+
+    key = None
+    if cache is not None:
+        from repro.caching.lp_cache import fingerprint_problem
+
+        key = fingerprint_problem(problem, method)
+        hit = cache.lookup(key)
+        if hit is not None:
+            return hit
+
+    result = backend(problem, warm_start)
+    if cache is not None and key is not None:
+        cache.insert(key, result)
+    return result

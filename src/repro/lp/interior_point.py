@@ -15,15 +15,21 @@ The solver works on :class:`~repro.lp.problem.StandardFormLP`
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 from scipy.linalg import LinAlgError, cho_factor, cho_solve
 
 from repro.lp.problem import LinearProgram, StandardFormLP
 from repro.lp.result import LPResult, LPStatus
+from repro.lp.warmstart import IPMIterate
 
 __all__ = ["IPMOptions", "solve_interior_point"]
+
+#: Floor applied to a warm-start iterate: a converged point sits on the
+#: boundary of the positive orthant, which the path-following scheme
+#: cannot start from, so clip it slightly inside.
+_WARM_FLOOR = 1e-6
 
 _BACKEND_NAME = "interior-point"
 
@@ -42,12 +48,17 @@ class IPMOptions:
         (the classic 0.9995 damping).
     :param divergence_threshold: treat the problem as infeasible/unbounded
         when iterates blow up beyond this magnitude.
+    :param fallback_tolerance: accept the best iterate seen at this looser
+        tolerance when the numerics break down before the strict target is
+        met (near-degenerate vertices can push μ below machine precision
+        between two iterations that each miss one criterion).
     """
 
     tolerance: float = 1e-9
     max_iterations: int = 200
     step_fraction: float = 0.9995
     divergence_threshold: float = 1e14
+    fallback_tolerance: float = 1e-6
 
 
 def _initial_point(
@@ -91,8 +102,26 @@ def _max_step(values: np.ndarray, directions: np.ndarray) -> float:
     return float(min(1.0, np.min(ratios)))
 
 
+def _warm_point(
+    warm_start: IPMIterate, m: int, n: int
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """A usable (x, y, s) from a previous iterate, or ``None``."""
+    x = np.asarray(warm_start.x, dtype=float)
+    y = np.asarray(warm_start.y, dtype=float)
+    s = np.asarray(warm_start.s, dtype=float)
+    if x.shape != (n,) or y.shape != (m,) or s.shape != (n,):
+        return None
+    if not (
+        np.all(np.isfinite(x)) and np.all(np.isfinite(y)) and np.all(np.isfinite(s))
+    ):
+        return None
+    return np.maximum(x, _WARM_FLOOR), y.copy(), np.maximum(s, _WARM_FLOOR)
+
+
 def _solve_standard_form(
-    lp: StandardFormLP, options: IPMOptions
+    lp: StandardFormLP,
+    options: IPMOptions,
+    warm_start: Optional[IPMIterate] = None,
 ) -> LPResult:
     """Run the predictor–corrector loop on a standard-form LP."""
     a, b, c = lp.a, lp.b, lp.c
@@ -113,9 +142,36 @@ def _solve_standard_form(
             return LPResult(LPStatus.UNBOUNDED, None, -np.inf, 0, _BACKEND_NAME)
         return LPResult(LPStatus.OPTIMAL, np.zeros(n), 0.0, 0, _BACKEND_NAME)
 
-    x, y, s = _initial_point(a, b, c)
+    start = None
+    if isinstance(warm_start, IPMIterate):
+        start = _warm_point(warm_start, m, n)
+    warmed = start is not None
+    x, y, s = start if warmed else _initial_point(a, b, c)
     norm_b = 1.0 + float(np.linalg.norm(b))
     norm_c = 1.0 + float(np.linalg.norm(c))
+
+    best_err = float("inf")
+    best: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+
+    def salvage(failure: LPResult) -> LPResult:
+        """Return the best iterate when it already met the loose target.
+
+        Pushing μ toward machine precision can blow up the Newton system
+        one iteration *after* an essentially-optimal point; losing that
+        point to a NUMERICAL_ERROR would misreport a solved problem.
+        """
+        if best is not None and best_err < options.fallback_tolerance:
+            bx, by, bs = best
+            return LPResult(
+                status=LPStatus.OPTIMAL,
+                x=bx,
+                objective=float(c @ bx),
+                iterations=failure.iterations,
+                backend=_BACKEND_NAME,
+                message="converged at reduced tolerance",
+                warm_start=IPMIterate(x=bx.copy(), y=by.copy(), s=bs.copy()),
+            )
+        return failure
 
     for iteration in range(1, options.max_iterations + 1):
         r_primal = a @ x - b
@@ -126,26 +182,32 @@ def _solve_standard_form(
         dual_err = float(np.linalg.norm(r_dual)) / norm_c
         gap = abs(float(c @ x) - float(b @ y)) / (1.0 + abs(float(c @ x)))
 
-        if max(primal_err, dual_err, gap) < options.tolerance:
+        err = max(primal_err, dual_err, gap)
+        if err < best_err:
+            best_err = err
+            best = (x.copy(), y.copy(), s.copy())
+        if err < options.tolerance:
             return LPResult(
                 status=LPStatus.OPTIMAL,
                 x=x,
                 objective=float(c @ x),
                 iterations=iteration - 1,
                 backend=_BACKEND_NAME,
+                message="warm-started" if warmed else "",
+                warm_start=IPMIterate(x=x.copy(), y=y.copy(), s=s.copy()),
             )
         if (
             float(np.max(np.abs(x))) > options.divergence_threshold
             or float(np.max(np.abs(y))) > options.divergence_threshold
         ):
-            return LPResult(
+            return salvage(LPResult(
                 status=LPStatus.NUMERICAL_ERROR,
                 x=None,
                 objective=float("nan"),
                 iterations=iteration,
                 backend=_BACKEND_NAME,
                 message="iterates diverged (problem may be infeasible or unbounded)",
-            )
+            ))
 
         # Diagonal of X S^{-1}, clipped: near a vertex some s_i underflows
         # and the raw ratio overflows, poisoning the normal matrix.
@@ -153,14 +215,14 @@ def _solve_standard_form(
             d = np.clip(x / np.maximum(s, 1e-300), 1e-12, 1e12)
         normal = (a * d) @ a.T
         if not np.all(np.isfinite(normal)):
-            return LPResult(
+            return salvage(LPResult(
                 status=LPStatus.NUMERICAL_ERROR,
                 x=None,
                 objective=float("nan"),
                 iterations=iteration,
                 backend=_BACKEND_NAME,
                 message="non-finite normal equations",
-            )
+            ))
         normal[np.diag_indices_from(normal)] += 1e-12 * (1.0 + np.trace(normal) / m)
         try:
             factor = cho_factor(normal)
@@ -169,14 +231,14 @@ def _solve_standard_form(
             try:
                 factor = cho_factor(normal)
             except (LinAlgError, ValueError):
-                return LPResult(
+                return salvage(LPResult(
                     status=LPStatus.NUMERICAL_ERROR,
                     x=None,
                     objective=float("nan"),
                     iterations=iteration,
                     backend=_BACKEND_NAME,
                     message="normal equations not positive definite",
-                )
+                ))
 
         def newton_direction(rxs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
             """Solve the KKT system for a given complementarity residual.
@@ -212,14 +274,14 @@ def _solve_standard_form(
             rxs = x * s + dx_aff * ds_aff - sigma * mu
             dx, dy, ds = newton_direction(rxs)
         except _NumericalBreakdown:
-            return LPResult(
+            return salvage(LPResult(
                 status=LPStatus.NUMERICAL_ERROR,
                 x=None,
                 objective=float("nan"),
                 iterations=iteration,
                 backend=_BACKEND_NAME,
                 message="Newton system degenerated (likely infeasible/unbounded)",
-            )
+            ))
 
         alpha_p = options.step_fraction * _max_step(x, dx)
         alpha_d = options.step_fraction * _max_step(s, ds)
@@ -228,28 +290,29 @@ def _solve_standard_form(
         s = s + alpha_d * ds
 
         if np.any(x <= 0) or np.any(s <= 0):
-            return LPResult(
+            return salvage(LPResult(
                 status=LPStatus.NUMERICAL_ERROR,
                 x=None,
                 objective=float("nan"),
                 iterations=iteration,
                 backend=_BACKEND_NAME,
                 message="iterate left the positive orthant",
-            )
+            ))
 
-    return LPResult(
+    return salvage(LPResult(
         status=LPStatus.ITERATION_LIMIT,
         x=None,
         objective=float("nan"),
         iterations=options.max_iterations,
         backend=_BACKEND_NAME,
         message="no convergence within the iteration cap",
-    )
+    ))
 
 
 def solve_interior_point(
     problem: Union[LinearProgram, StandardFormLP],
     options: IPMOptions = IPMOptions(),
+    warm_start: Optional[IPMIterate] = None,
 ) -> LPResult:
     """Solve an LP with the Mehrotra predictor–corrector method.
 
@@ -259,10 +322,12 @@ def solve_interior_point(
 
     :param problem: the LP to solve.
     :param options: solver tunables.
+    :param warm_start: optional converged iterate from a previous solve of
+        a similar problem; ignored when its shapes do not match.
     """
     if isinstance(problem, LinearProgram):
         standard = problem.to_standard_form()
-        result = _solve_standard_form(standard, options)
+        result = _solve_standard_form(standard, options, warm_start=warm_start)
         if result.status.ok:
             x = standard.extract_original(result.x)
             return LPResult(
@@ -272,6 +337,7 @@ def solve_interior_point(
                 iterations=result.iterations,
                 backend=result.backend,
                 message=result.message,
+                warm_start=result.warm_start,
             )
         return result
-    return _solve_standard_form(problem, options)
+    return _solve_standard_form(problem, options, warm_start=warm_start)

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.lp.problem import LinearProgram, StandardFormLP
 from repro.lp.result import LPResult, LPStatus
+from repro.lp.warmstart import SimplexBasis
 
 __all__ = ["SimplexOptions", "solve_simplex"]
 
@@ -41,11 +42,15 @@ class SimplexOptions:
 
 
 def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
-    """Gauss–Jordan pivot of ``tableau`` on (row, col), in place."""
+    """Gauss–Jordan pivot of ``tableau`` on (row, col), in place.
+
+    One rank-1 update instead of a Python loop over rows: zeroing the
+    pivot row's own factor makes the outer product a no-op there.
+    """
     tableau[row] /= tableau[row, col]
-    for other in range(tableau.shape[0]):
-        if other != row and tableau[other, col] != 0.0:
-            tableau[other] -= tableau[other, col] * tableau[row]
+    factors = tableau[:, col].copy()
+    factors[row] = 0.0
+    tableau -= np.outer(factors, tableau[row])
 
 
 def _run_simplex(
@@ -87,7 +92,51 @@ def _run_simplex(
     return "iteration_limit", max_iterations
 
 
-def _solve_standard_form(lp: StandardFormLP, options: SimplexOptions) -> LPResult:
+def _phase2_from_basis(
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    columns: Tuple[int, ...],
+) -> Optional[Tuple[np.ndarray, List[int]]]:
+    """Build a phase-2 tableau directly from a known basis, or ``None``.
+
+    Returns ``None`` when the basis is unusable for this problem — wrong
+    size, out-of-range columns, singular basis matrix, or no longer primal
+    feasible (the sweep moved the polytope from under it).
+    """
+    m, n = a.shape
+    if len(columns) != m or len(set(columns)) != m:
+        return None
+    if any(col < 0 or col >= n for col in columns):
+        return None
+    basis_matrix = a[:, list(columns)]
+    try:
+        binv = np.linalg.inv(basis_matrix)
+    except np.linalg.LinAlgError:
+        return None
+    rhs = binv @ b
+    if not np.all(np.isfinite(rhs)) or float(np.min(rhs, initial=0.0)) < -1e-7:
+        return None
+    body = binv @ a
+    if not np.all(np.isfinite(body)):
+        return None
+
+    phase2 = np.zeros((m + 1, n + 1))
+    phase2[:m, :n] = body
+    phase2[:m, -1] = rhs
+    phase2[-1, :n] = c
+    basis = list(columns)
+    for row, var in enumerate(basis):
+        if phase2[-1, var] != 0.0:
+            phase2[-1] -= phase2[-1, var] * phase2[row]
+    return phase2, basis
+
+
+def _solve_standard_form(
+    lp: StandardFormLP,
+    options: SimplexOptions,
+    warm_start: Optional[SimplexBasis] = None,
+) -> LPResult:
     """Two-phase simplex on a standard-form LP."""
     a = lp.a.copy()
     b = lp.b.copy()
@@ -110,6 +159,24 @@ def _solve_standard_form(lp: StandardFormLP, options: SimplexOptions) -> LPResul
     b[negative] *= -1.0
 
     cap = options.iteration_cap(m, n)
+
+    # ---- Warm start: re-use a previous optimal basis, skipping phase 1 -
+    if isinstance(warm_start, SimplexBasis):
+        warm = _phase2_from_basis(a, b, c, warm_start.columns)
+        if warm is not None:
+            phase2, basis = warm
+            verdict, iters = _run_simplex(
+                phase2, basis, n, options.tolerance, cap
+            )
+            if verdict == "optimal":
+                return _extract_optimal(phase2, basis, c, n, iters, warm=True)
+            if verdict == "unbounded":
+                # A feasible point plus an unbounded ray is a true verdict.
+                return LPResult(
+                    LPStatus.UNBOUNDED, None, float("-inf"), iters, _BACKEND_NAME,
+                    message="unbounded from warm-started basis",
+                )
+            # Pivot cap from the warm basis: retry cold below.
 
     # ---- Phase 1: minimise the sum of artificial variables -------------
     tableau = np.zeros((m + 1, n + m + 1))
@@ -172,6 +239,18 @@ def _solve_standard_form(lp: StandardFormLP, options: SimplexOptions) -> LPResul
             message="phase 2 hit the pivot cap",
         )
 
+    return _extract_optimal(phase2, basis, c, n, iterations)
+
+
+def _extract_optimal(
+    phase2: np.ndarray,
+    basis: List[int],
+    c: np.ndarray,
+    n: int,
+    iterations: int,
+    warm: bool = False,
+) -> LPResult:
+    """Read the optimal vertex off a solved phase-2 tableau."""
     x = np.zeros(n)
     for row, var in enumerate(basis):
         if var < n:
@@ -183,12 +262,15 @@ def _solve_standard_form(lp: StandardFormLP, options: SimplexOptions) -> LPResul
         objective=float(c @ x),
         iterations=iterations,
         backend=_BACKEND_NAME,
+        message="warm-started" if warm else "",
+        warm_start=SimplexBasis(columns=tuple(basis)),
     )
 
 
 def solve_simplex(
     problem: Union[LinearProgram, StandardFormLP],
     options: SimplexOptions = SimplexOptions(),
+    warm_start: Optional[SimplexBasis] = None,
 ) -> LPResult:
     """Solve an LP with the two-phase primal simplex method.
 
@@ -198,10 +280,14 @@ def solve_simplex(
 
     :param problem: the LP to solve.
     :param options: solver tunables.
+    :param warm_start: optional basis from a previous solve of a similar
+        problem (e.g. the ``warm_start`` of its :class:`LPResult`).  The
+        basis is validated and the solver falls back to the cold two-phase
+        path when it does not apply, so a stale basis is never unsafe.
     """
     if isinstance(problem, LinearProgram):
         standard = problem.to_standard_form()
-        result = _solve_standard_form(standard, options)
+        result = _solve_standard_form(standard, options, warm_start=warm_start)
         if result.status.ok:
             x = standard.extract_original(result.x)
             return LPResult(
@@ -211,6 +297,7 @@ def solve_simplex(
                 iterations=result.iterations,
                 backend=result.backend,
                 message=result.message,
+                warm_start=result.warm_start,
             )
         return result
-    return _solve_standard_form(problem, options)
+    return _solve_standard_form(problem, options, warm_start=warm_start)

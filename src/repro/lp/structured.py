@@ -24,11 +24,14 @@ The algorithm is the same Mehrotra predictor–corrector as
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import perf
+from repro.lp._structured_reference import solve_structured_reference
 from repro.lp.result import LPResult, LPStatus
 
 __all__ = ["GroupedBoundedLP", "StructuredIPMOptions", "solve_structured"]
@@ -165,19 +168,43 @@ def solve_structured(
     :param lp: the structured LP.
     :param options: solver tunables.
     """
+    if perf.reference_mode():
+        # Differential-testing / benchmarking hook: run the seed solver.
+        return solve_structured_reference(lp, options)
     n = lp.num_vars
     k = lp.num_coupling
     m_g = lp.num_groups
     c = lp.c
     r_mat = lp.coupling_a
     bounded = np.isfinite(lp.upper)
+    any_bounded = bool(np.any(bounded))
+    all_bounded = bool(np.all(bounded))
     u = lp.upper
+
+    # P2 instances built from real workloads bound every variable (the A1
+    # deadline caps), in which case masking by ``bounded`` is the identity:
+    # ``np.where(bounded, a, fill) == a`` and ``a[bounded] == a`` exactly.
+    def where_bounded(values: np.ndarray, fill) -> np.ndarray:
+        return values if all_bounded else np.where(bounded, values, fill)
+
+    def of_bounded(values: np.ndarray) -> np.ndarray:
+        return values if all_bounded else values[bounded]
+    # Flattened bucket indices batching the K per-row group_sums of the
+    # U-block into one bincount (bit-identical: bincount accumulates each
+    # bucket in element order, unchanged by the offset flattening).
+    u_block_offsets = (
+        (np.arange(k)[:, None] * m_g + lp.group_index[None, :]).ravel()
+        if k
+        else None
+    )
+    # Diagonal index of the K×K Schur complement, shared by every solve.
+    schur_diag = np.diag_indices(k) if k else None
 
     # ---- starting point -------------------------------------------------
     x = np.where(bounded, np.minimum(u * 0.5, 1.0), 1.0)
     x = np.maximum(x, 1e-3)
     s = np.ones(k)
-    w = np.where(bounded, u - x, 1.0)  # only meaningful where bounded
+    w = where_bounded(u - x, 1.0)  # only meaningful where bounded
     w = np.maximum(w, 1e-3)
     y_g = np.zeros(m_g)
     y_r = np.zeros(k)
@@ -191,178 +218,221 @@ def solve_structured(
 
     def complementarity() -> float:
         return (
-            float(x @ z) + float(s @ z_s) + float(w[bounded] @ v[bounded])
+            float(x @ z) + float(s @ z_s) + float(of_bounded(w) @ of_bounded(v))
         ) / num_comp
 
-    for iteration in range(1, options.max_iterations + 1):
-        # Residuals.
-        r_groups = lp.group_sums(x) - lp.group_rhs
-        r_coupling = (r_mat @ x + s - lp.coupling_b) if k else np.zeros(0)
-        r_upper = np.where(bounded, x + w - u, 0.0)
-        r_dual_x = (
-            (r_mat.T @ y_r if k else 0.0) + y_g[lp.group_index] + z - v - c
-        )
-        r_dual_s = y_r + z_s if k else np.zeros(0)
+    # Loop-invariant lookups, bound once (the loop body runs thousands of
+    # times on very small arrays, where attribute access is measurable).
+    group_sums = lp.group_sums
+    group_rhs = lp.group_rhs
+    group_index = lp.group_index
+    coupling_b = lp.coupling_b
+    tolerance = options.tolerance
+    step_fraction = options.step_fraction
 
-        mu = complementarity()
-        primal_err = (
-            float(np.linalg.norm(r_groups))
-            + float(np.linalg.norm(r_coupling))
-            + float(np.linalg.norm(r_upper))
-        ) / norm_b
-        dual_err = (
-            float(np.linalg.norm(r_dual_x)) + float(np.linalg.norm(r_dual_s))
-        ) / norm_c
-        if max(primal_err, dual_err, mu) < options.tolerance:
-            return LPResult(
-                status=LPStatus.OPTIMAL,
-                x=x.copy(),
-                objective=lp.objective(x),
-                iterations=iteration - 1,
-                backend=_BACKEND_NAME,
+    # One errstate for the whole solve: the scaling divisions may
+    # overflow/divide harmlessly (they are clipped right after), and
+    # toggling the FP-error state every iteration is measurable on
+    # small instances.  Settings only silence warnings; no numerics
+    # change.
+    with np.errstate(over="ignore", divide="ignore"):
+        for iteration in range(1, options.max_iterations + 1):
+            # Residuals.
+            r_groups = group_sums(x) - group_rhs
+            r_coupling = (r_mat @ x + s - coupling_b) if k else np.zeros(0)
+            r_upper = where_bounded(x + w - u, 0.0)
+            r_dual_x = (
+                (r_mat.T @ y_r if k else 0.0) + y_g[group_index] + z - v - c
             )
+            r_dual_s = y_r + z_s if k else np.zeros(0)
 
-        # Scaling diagonals (clip to keep the Schur system finite).
-        with np.errstate(over="ignore", divide="ignore"):
-            d_x = z / np.maximum(x, 1e-300) + np.where(
-                bounded, v / np.maximum(w, 1e-300), 0.0
-            )
-            d_s = z_s / np.maximum(s, 1e-300) if k else np.zeros(0)
-        theta_x = 1.0 / np.clip(d_x, 1e-12, 1e12)
-        theta_s = 1.0 / np.clip(d_s, 1e-12, 1e12) if k else np.zeros(0)
-
-        # Normal-equation blocks.
-        diag_g = np.maximum(lp.group_sums(theta_x), 1e-300)
-        if k:
-            rt = r_mat * theta_x  # (K, n) scaled rows
-            u_block = np.empty((m_g, k))
-            for col in range(k):
-                u_block[:, col] = lp.group_sums(rt[col])
-            s_block = rt @ r_mat.T + np.diag(theta_s)
-        else:
-            u_block = np.zeros((m_g, 0))
-            s_block = np.zeros((0, 0))
-
-        def solve_normal(rhs_g: np.ndarray, rhs_r: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-            """Solve [[D_g, U], [Uᵀ, S]] (dy_g, dy_r) = (rhs_g, rhs_r)."""
-            if k == 0:
-                return rhs_g / diag_g, np.zeros(0)
-            dg_inv_rhs = rhs_g / diag_g
-            schur = s_block - u_block.T @ (u_block / diag_g[:, None])
-            schur[np.diag_indices_from(schur)] += 1e-12 * (1.0 + np.trace(schur) / max(k, 1))
-            dy_r = np.linalg.solve(schur, rhs_r - u_block.T @ dg_inv_rhs)
-            dy_g = (rhs_g - u_block @ dy_r) / diag_g
-            return dy_g, dy_r
-
-        def newton(rxz: np.ndarray, rwv: np.ndarray, rsz: np.ndarray):
-            """One KKT solve for given complementarity residuals."""
-            # Collapse to the normal equations in (dy_g, dy_r).
-            g_x = r_dual_x - rxz / np.maximum(x, 1e-300)
-            if np.any(bounded):
-                g_x = g_x + np.where(
-                    bounded,
-                    rwv / np.maximum(w, 1e-300)
-                    - (v / np.maximum(w, 1e-300)) * r_upper,
-                    0.0,
+            mu = complementarity()
+            # sqrt(v @ v) is np.linalg.norm for real 1-D vectors, minus the
+            # dispatch overhead (same BLAS dot, same rounding).
+            primal_err = (
+                math.sqrt(float(r_groups @ r_groups))
+                + math.sqrt(float(r_coupling @ r_coupling))
+                + math.sqrt(float(r_upper @ r_upper))
+            ) / norm_b
+            dual_err = (
+                math.sqrt(float(r_dual_x @ r_dual_x))
+                + math.sqrt(float(r_dual_s @ r_dual_s))
+            ) / norm_c
+            if max(primal_err, dual_err, mu) < tolerance:
+                return LPResult(
+                    status=LPStatus.OPTIMAL,
+                    x=x.copy(),
+                    objective=lp.objective(x),
+                    iterations=iteration - 1,
+                    backend=_BACKEND_NAME,
                 )
-            # dx = theta_x (A'dy + g_x) form:
-            rhs_g = -r_groups - lp.group_sums(theta_x * g_x)
+
+            # Safe denominators, shared by the scaling matrix and both Newton
+            # solves this iteration (the iterate is fixed until the update).
+            x_safe = np.maximum(x, 1e-300)
+            w_safe = np.maximum(w, 1e-300)
+            s_safe = np.maximum(s, 1e-300) if k else np.zeros(0)
+
+            # Scaling diagonals (clip to keep the Schur system finite).
+            v_over_w = v / w_safe
+            d_x = z / x_safe + where_bounded(v_over_w, 0.0)
+            d_s = z_s / s_safe if k else np.zeros(0)
+            theta_x = 1.0 / np.clip(d_x, 1e-12, 1e12)
+            theta_s = 1.0 / np.clip(d_s, 1e-12, 1e12) if k else np.zeros(0)
+
+            # Normal-equation blocks.  Everything here is fixed for the two
+            # Newton solves of this iteration, so build it (including the Schur
+            # complement and the negated residuals) exactly once.
+            diag_g = np.maximum(group_sums(theta_x), 1e-300)
             if k:
-                g_s = r_dual_s - rsz / np.maximum(s, 1e-300)
-                rhs_r = -r_coupling - rt @ g_x - theta_s * g_s
+                rt = r_mat * theta_x  # (K, n) scaled rows
+                u_block = (
+                    np.bincount(
+                        u_block_offsets, weights=rt.ravel(), minlength=m_g * k
+                    )
+                    .reshape(k, m_g)
+                    .T
+                )
+                # rt @ r_mat.T + diag(theta_s) minus the Schur correction,
+                # accumulated in place (adding diag(theta_s) as a full matrix
+                # only normalised off-diagonal -0.0 to +0.0, which compares
+                # equal everywhere downstream).
+                schur = rt @ r_mat.T
+                schur[schur_diag] += theta_s
+                schur -= u_block.T @ (u_block / diag_g[:, None])
+                schur[schur_diag] += 1e-12 * (1.0 + schur.trace() / max(k, 1))
             else:
-                rhs_r = np.zeros(0)
-            dy_g, dy_r = solve_normal(rhs_g, rhs_r)
-            at_dy = dy_g[lp.group_index] + (r_mat.T @ dy_r if k else 0.0)
-            dx = theta_x * (at_dy + g_x)
-            dz = -(rxz + z * dx) / np.maximum(x, 1e-300)
-            dw = np.where(bounded, -r_upper - dx, 0.0)
-            dv = np.where(
-                bounded, -(rwv + v * dw) / np.maximum(w, 1e-300), 0.0
-            )
-            if k:
-                ds = theta_s * (dy_r + g_s)
-                dz_s = -(rsz + z_s * ds) / np.maximum(s, 1e-300)
+                u_block = np.zeros((m_g, 0))
+            neg_r_groups = -r_groups
+            neg_r_coupling = -r_coupling
+            vw_r_upper = v_over_w * r_upper if any_bounded else None
+
+            def solve_normal(rhs_g: np.ndarray, rhs_r: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+                """Solve [[D_g, U], [Uᵀ, S]] (dy_g, dy_r) = (rhs_g, rhs_r)."""
+                if k == 0:
+                    return rhs_g / diag_g, np.zeros(0)
+                dg_inv_rhs = rhs_g / diag_g
+                dy_r = np.linalg.solve(schur, rhs_r - u_block.T @ dg_inv_rhs)
+                dy_g = (rhs_g - u_block @ dy_r) / diag_g
+                return dy_g, dy_r
+
+            def newton(rxz: np.ndarray, rwv: np.ndarray, rsz: np.ndarray):
+                """One KKT solve for given complementarity residuals."""
+                # Collapse to the normal equations in (dy_g, dy_r).
+                g_x = r_dual_x - rxz / x_safe
+                if any_bounded:
+                    g_x = g_x + where_bounded(rwv / w_safe - vw_r_upper, 0.0)
+                # dx = theta_x (A'dy + g_x) form:
+                rhs_g = neg_r_groups - group_sums(theta_x * g_x)
+                if k:
+                    g_s = r_dual_s - rsz / s_safe
+                    rhs_r = neg_r_coupling - rt @ g_x - theta_s * g_s
+                else:
+                    rhs_r = np.zeros(0)
+                dy_g, dy_r = solve_normal(rhs_g, rhs_r)
+                at_dy = dy_g[group_index] + (r_mat.T @ dy_r if k else 0.0)
+                dx = theta_x * (at_dy + g_x)
+                dz = -(rxz + z * dx) / x_safe
+                dw = where_bounded(-r_upper - dx, 0.0)
+                dv = where_bounded(-(rwv + v * dw) / w_safe, 0.0)
+                if k:
+                    ds = theta_s * (dy_r + g_s)
+                    dz_s = -(rsz + z_s * ds) / s_safe
+                else:
+                    ds = np.zeros(0)
+                    dz_s = np.zeros(0)
+                return dx, ds, dw, dy_g, dy_r, dz, dz_s, dv
+
+            def max_step(values: np.ndarray, deltas: np.ndarray) -> float:
+                negative = deltas < 0
+                blocked = values[negative]
+                if not blocked.size:
+                    return 1.0
+                return float(min(1.0, (-blocked / deltas[negative]).min()))
+
+            # The boundary step is a min over every blocking component, so the
+            # three families can be ratio-tested in one fused call (the min over
+            # the concatenation equals the min of the per-family minima).  The
+            # iterate is frozen until the update, so its concatenation is shared
+            # by the predictor and corrector ratio tests.
+            primal_vals = np.concatenate((x, s, of_bounded(w)))
+            dual_vals = np.concatenate((z, z_s, of_bounded(v)))
+
+            def primal_step(dx: np.ndarray, ds: np.ndarray, dw: np.ndarray) -> float:
+                return max_step(primal_vals, np.concatenate((dx, ds, of_bounded(dw))))
+
+            def dual_step(dz: np.ndarray, dz_s: np.ndarray, dv: np.ndarray) -> float:
+                return max_step(dual_vals, np.concatenate((dz, dz_s, of_bounded(dv))))
+
+            # Predictor.
+            rxz_aff = x * z
+            rwv_aff = where_bounded(w * v, 0.0)
+            rsz_aff = s * z_s if k else np.zeros(0)
+            aff = newton(rxz_aff, rwv_aff, rsz_aff)
+            dx_a, ds_a, dw_a, _, _, dz_a, dzs_a, dv_a = aff
+            alpha_p = primal_step(dx_a, ds_a, dw_a)
+            alpha_d = dual_step(dz_a, dzs_a, dv_a)
+            mu_aff = (
+                float((x + alpha_p * dx_a) @ (z + alpha_d * dz_a))
+                + (float((s + alpha_p * ds_a) @ (z_s + alpha_d * dzs_a)) if k else 0.0)
+                + float(
+                    (of_bounded(w) + alpha_p * of_bounded(dw_a))
+                    @ (of_bounded(v) + alpha_d * of_bounded(dv_a))
+                )
+            ) / num_comp
+            sigma = (mu_aff / mu) ** 3 if mu > 0 else 0.0
+
+            # Corrector.  The predictor residuals are exactly x*z, masked w*v and
+            # s*z_s, so reuse them instead of recomputing the products.
+            sigma_mu = sigma * mu
+            rxz = rxz_aff + dx_a * dz_a - sigma_mu
+            rwv = where_bounded(rwv_aff + dw_a * dv_a - sigma_mu, 0.0)
+            rsz = (rsz_aff + ds_a * dzs_a - sigma_mu) if k else np.zeros(0)
+            dx, ds, dw, dy_g, dy_r, dz, dz_s, dv = newton(rxz, rwv, rsz)
+
+            alpha_p = step_fraction * primal_step(dx, ds, dw)
+            alpha_d = step_fraction * dual_step(dz, dz_s, dv)
+            # The step arrays are dead after the update, so scale them in place
+            # and accumulate: same float ops as `x = x + alpha_p * dx` without
+            # the temporaries.
+            dx *= alpha_p
+            x += dx
+            ds *= alpha_p
+            s += ds
+            dy_g *= alpha_d
+            y_g += dy_g
+            dy_r *= alpha_d
+            y_r += dy_r
+            dz *= alpha_d
+            z += dz
+            dz_s *= alpha_d
+            z_s += dz_s
+            if all_bounded:
+                dw *= alpha_p
+                w += dw
+                dv *= alpha_d
+                v += dv
             else:
-                ds = np.zeros(0)
-                dz_s = np.zeros(0)
-            return dx, ds, dw, dy_g, dy_r, dz, dz_s, dv
+                w = np.where(bounded, w + alpha_p * dw, w)
+                v = np.where(bounded, v + alpha_d * dv, v)
 
-        def max_step(values: np.ndarray, deltas: np.ndarray, mask=None) -> float:
-            if mask is not None:
-                values = values[mask]
-                deltas = deltas[mask]
-            negative = deltas < 0
-            if not np.any(negative):
-                return 1.0
-            return float(min(1.0, np.min(-values[negative] / deltas[negative])))
+            # min() <= 0 matches any(v <= 0) here: iterates are never NaN before
+            # this check (steps are finite multiples of finite directions).
+            if x.min() <= 0 or z.min() <= 0 or (k and (s.min() <= 0 or z_s.min() <= 0)):
+                return LPResult(
+                    status=LPStatus.NUMERICAL_ERROR,
+                    x=None,
+                    objective=float("nan"),
+                    iterations=iteration,
+                    backend=_BACKEND_NAME,
+                    message="iterate left the positive orthant",
+                )
 
-        # Predictor.
-        rxz_aff = x * z
-        rwv_aff = np.where(bounded, w * v, 0.0)
-        rsz_aff = s * z_s if k else np.zeros(0)
-        aff = newton(rxz_aff, rwv_aff, rsz_aff)
-        dx_a, ds_a, dw_a, _, _, dz_a, dzs_a, dv_a = aff
-        alpha_p = min(
-            max_step(x, dx_a),
-            max_step(s, ds_a) if k else 1.0,
-            max_step(w, dw_a, bounded),
+        return LPResult(
+            status=LPStatus.ITERATION_LIMIT,
+            x=None,
+            objective=float("nan"),
+            iterations=options.max_iterations,
+            backend=_BACKEND_NAME,
+            message="no convergence within the iteration cap",
         )
-        alpha_d = min(
-            max_step(z, dz_a),
-            max_step(z_s, dzs_a) if k else 1.0,
-            max_step(v, dv_a, bounded),
-        )
-        mu_aff = (
-            float((x + alpha_p * dx_a) @ (z + alpha_d * dz_a))
-            + (float((s + alpha_p * ds_a) @ (z_s + alpha_d * dzs_a)) if k else 0.0)
-            + float(
-                (w[bounded] + alpha_p * dw_a[bounded])
-                @ (v[bounded] + alpha_d * dv_a[bounded])
-            )
-        ) / num_comp
-        sigma = (mu_aff / mu) ** 3 if mu > 0 else 0.0
-
-        # Corrector.
-        rxz = x * z + dx_a * dz_a - sigma * mu
-        rwv = np.where(bounded, w * v + dw_a * dv_a - sigma * mu, 0.0)
-        rsz = (s * z_s + ds_a * dzs_a - sigma * mu) if k else np.zeros(0)
-        dx, ds, dw, dy_g, dy_r, dz, dz_s, dv = newton(rxz, rwv, rsz)
-
-        alpha_p = options.step_fraction * min(
-            max_step(x, dx),
-            max_step(s, ds) if k else 1.0,
-            max_step(w, dw, bounded),
-        )
-        alpha_d = options.step_fraction * min(
-            max_step(z, dz),
-            max_step(z_s, dz_s) if k else 1.0,
-            max_step(v, dv, bounded),
-        )
-        x = x + alpha_p * dx
-        s = s + alpha_p * ds
-        w = np.where(bounded, w + alpha_p * dw, w)
-        y_g = y_g + alpha_d * dy_g
-        y_r = y_r + alpha_d * dy_r
-        z = z + alpha_d * dz
-        z_s = z_s + alpha_d * dz_s
-        v = np.where(bounded, v + alpha_d * dv, v)
-
-        if np.any(x <= 0) or np.any(z <= 0) or (k and (np.any(s <= 0) or np.any(z_s <= 0))):
-            return LPResult(
-                status=LPStatus.NUMERICAL_ERROR,
-                x=None,
-                objective=float("nan"),
-                iterations=iteration,
-                backend=_BACKEND_NAME,
-                message="iterate left the positive orthant",
-            )
-
-    return LPResult(
-        status=LPStatus.ITERATION_LIMIT,
-        x=None,
-        objective=float("nan"),
-        iterations=options.max_iterations,
-        backend=_BACKEND_NAME,
-        message="no convergence within the iteration cap",
-    )

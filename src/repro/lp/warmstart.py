@@ -1,0 +1,50 @@
+"""Warm-start payloads carried between related LP solves.
+
+Sweep points in the figure pipeline differ only in a few profile fields,
+so consecutive relaxations are near-identical.  A solver that starts from
+the previous point's solution state typically needs far fewer iterations:
+
+- the **simplex** re-uses the previous optimal *basis* — phase 1 is
+  skipped entirely when the old basis is still primal feasible,
+- the **interior-point** method starts from the previous *iterate*
+  (clipped back into the strictly positive orthant).
+
+Both payloads are advisory: a solver validates its warm start and falls
+back to the cold path when the shapes do not match or the basis has gone
+stale, so passing the "wrong" warm start can cost time but never
+correctness.  Solvers return the payload for the *next* solve in
+:attr:`repro.lp.result.LPResult.warm_start`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["IPMIterate", "SimplexBasis"]
+
+
+@dataclass(frozen=True)
+class SimplexBasis:
+    """An optimal simplex basis, as standard-form column indices.
+
+    :param columns: one basic column per constraint row, in row order.
+    """
+
+    columns: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class IPMIterate:
+    """A converged primal–dual point ``(x, y, s)`` in standard form.
+
+    :param x: primal iterate (strictly positive at convergence).
+    :param y: dual iterate for the equality constraints.
+    :param s: dual slack iterate.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    s: np.ndarray

@@ -1,0 +1,51 @@
+"""Session-wide performance mode: optimised (default) vs reference.
+
+The perf work in this repository keeps the original implementations around
+as *reference paths*: the scalar cost pipeline (``costs_config``), the
+per-task candidate filtering in the workload generator, the per-row metric
+loops on :class:`~repro.core.assignment.Assignment`, and the seed version
+of the structured LP solver.  They serve two purposes:
+
+- differential tests assert the optimised paths are *bit-identical* to the
+  reference paths, and
+- ``scripts/bench_perf.py`` times the optimised pipeline against the
+  reference pipeline, so the reported speedup measures this work rather
+  than whatever machine the benchmark happens to run on.
+
+``perf_config(reference=True)`` flips every such dispatch at once (the
+cost-table flags live in :func:`repro.core.costs.costs_config` and are
+toggled separately, since they predate this switch and are independently
+useful).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["perf_config", "reference_mode"]
+
+_REFERENCE = False
+
+
+def reference_mode() -> bool:
+    """Whether the original (pre-optimisation) code paths are selected."""
+    return _REFERENCE
+
+
+@contextmanager
+def perf_config(*, reference: Optional[bool] = None) -> Iterator[None]:
+    """Temporarily select the reference or optimised code paths.
+
+    :param reference: ``True`` routes the generator, assignment metrics and
+        structured solver through their original implementations.  Results
+        are identical either way; only speed differs.
+    """
+    global _REFERENCE
+    previous = _REFERENCE
+    if reference is not None:
+        _REFERENCE = reference
+    try:
+        yield
+    finally:
+        _REFERENCE = previous

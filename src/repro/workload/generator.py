@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import perf
 from repro.core.task import Task
 from repro.data.items import DataCatalog
 from repro.data.ownership import OwnershipMap
@@ -147,14 +148,92 @@ def _tasks_per_device(num_tasks: int, num_devices: int) -> List[int]:
     return [base + (1 if device < extra else 0) for device in range(num_devices)]
 
 
+class _SourceCandidates:
+    """Per-scenario candidate lists for :func:`_pick_external_source`.
+
+    The candidate sets depend only on the (static) topology, not on the
+    task being generated, so they are built once per scenario instead of
+    re-filtered per task.  Device iteration order is preserved exactly, so
+    ``rng.choice`` sees the same lists — and draws the same sources — as
+    the per-task filtering did.
+    """
+
+    def __init__(self, system: MECSystem) -> None:
+        self._system = system
+        self._cross: dict = {}
+        self._same: dict = {}
+        self._members: dict = {}
+        self._fallback: dict = {}
+
+    def _cluster_members(self, cluster: int) -> list:
+        members = self._members.get(cluster)
+        if members is None:
+            members = [
+                d
+                for d in self._system.devices
+                if self._system.cluster_of(d) == cluster
+            ]
+            self._members[cluster] = members
+        return members
+
+    def cross_cluster(self, owner_cluster: int) -> list:
+        candidates = self._cross.get(owner_cluster)
+        if candidates is None:
+            candidates = [
+                d
+                for d in self._system.devices
+                if self._system.cluster_of(d) != owner_cluster
+            ]
+            self._cross[owner_cluster] = candidates
+        return candidates
+
+    def same_cluster(self, owner_id: int, owner_cluster: int) -> list:
+        candidates = self._same.get(owner_id)
+        if candidates is None:
+            # Filtering the memoised cluster membership by owner keeps the
+            # device order of the one-pass filter it replaces.
+            candidates = [
+                d for d in self._cluster_members(owner_cluster) if d != owner_id
+            ]
+            self._same[owner_id] = candidates
+        return candidates
+
+    def any_other(self, owner_id: int) -> list:
+        candidates = self._fallback.get(owner_id)
+        if candidates is None:
+            candidates = [d for d in self._system.devices if d != owner_id]
+            self._fallback[owner_id] = candidates
+        return candidates
+
+
 def _pick_external_source(
     system: MECSystem,
     owner_id: int,
     cross_cluster: bool,
     rng: np.random.Generator,
+    pool: Optional[_SourceCandidates] = None,
 ) -> Optional[int]:
-    """A device (≠ owner) to hold the task's external data, or None."""
+    """A device (≠ owner) to hold the task's external data, or None.
+
+    With a candidate ``pool`` the per-task filtering is skipped and the
+    uniform draw goes through ``rng.integers`` over the cached list —
+    ``lst[rng.integers(0, len(lst))]`` consumes the bit stream exactly like
+    ``rng.choice(lst)``, so both paths pick the same source.  The
+    ``pool=None`` path is the reference implementation the equivalence
+    tests compare against.
+    """
     owner_cluster = system.cluster_of(owner_id)
+    if pool is not None:
+        if cross_cluster:
+            candidates = pool.cross_cluster(owner_cluster)
+        else:
+            candidates = pool.same_cluster(owner_id, owner_cluster)
+        if not candidates:
+            candidates = pool.any_other(owner_id)
+        if not candidates:
+            return None
+        return candidates[int(rng.integers(0, len(candidates)))]
+
     if cross_cluster:
         candidates = [
             d for d in system.devices if system.cluster_of(d) != owner_cluster
@@ -172,12 +251,47 @@ def _pick_external_source(
     return int(rng.choice(candidates))
 
 
+_EMPTY_ITEMS = frozenset()
+
+
+def _fast_holistic_task(
+    owner_id: int,
+    index: int,
+    alpha: float,
+    beta: float,
+    source: Optional[int],
+    demand: float,
+    deadline_s: float,
+) -> Task:
+    """Build a holistic :class:`Task` without re-running ``__post_init__``.
+
+    The generator's draws satisfy every Task invariant by construction
+    (non-negative sizes, positive deadline, source set iff beta > 0), so the
+    hot path skips the dataclass ``__init__``.  Field values are exactly the
+    ones the constructor would store — equality and hashing are unchanged.
+    """
+    task = object.__new__(Task)
+    set_field = object.__setattr__
+    set_field(task, "owner_device_id", owner_id)
+    set_field(task, "index", index)
+    set_field(task, "local_bytes", alpha)
+    set_field(task, "external_bytes", beta)
+    set_field(task, "external_source", source)
+    set_field(task, "resource_demand", demand)
+    set_field(task, "deadline_s", deadline_s)
+    set_field(task, "divisible", False)
+    set_field(task, "required_items", _EMPTY_ITEMS)
+    set_field(task, "operation", "generic")
+    return task
+
+
 def _holistic_task(
     system: MECSystem,
     profile: WorkloadProfile,
     owner_id: int,
     index: int,
     rng: np.random.Generator,
+    pool: Optional[_SourceCandidates] = None,
 ) -> Task:
     """One holistic task with paper-distribution sizes."""
     total = float(
@@ -189,9 +303,19 @@ def _holistic_task(
     source = None
     if beta > 0:
         cross = rng.uniform() < profile.external_cross_cluster_prob
-        source = _pick_external_source(system, owner_id, cross, rng)
+        source = _pick_external_source(system, owner_id, cross, rng, pool)
         if source is None:
             alpha, beta = total, 0.0
+    if pool is not None:
+        return _fast_holistic_task(
+            owner_id,
+            index,
+            alpha,
+            beta,
+            source,
+            total * profile.resource_demand_per_byte,
+            float(rng.uniform(*profile.deadline_range_s)),
+        )
     return Task(
         owner_device_id=owner_id,
         index=index,
@@ -269,6 +393,7 @@ def generate_tasks(
     rng = np.random.default_rng(seed + 1)
     tasks: List[Task] = []
     counts = _tasks_per_device(profile.num_tasks, profile.num_devices)
+    sources = None if perf.reference_mode() else _SourceCandidates(system)
     for owner_id, count in enumerate(counts):
         for index in range(count):
             if profile.divisible:
@@ -276,7 +401,7 @@ def generate_tasks(
                     system, profile, catalog, ownership, owner_id, index, rng
                 )
             else:
-                task = _holistic_task(system, profile, owner_id, index, rng)
+                task = _holistic_task(system, profile, owner_id, index, rng, sources)
             tasks.append(task)
     return tasks
 

@@ -1,0 +1,112 @@
+"""The keyed LP solve cache: fingerprints, LRU behaviour, dispatcher wiring."""
+
+import numpy as np
+import pytest
+
+from repro.caching.lp_cache import LPSolveCache, fingerprint_problem
+from repro.lp import LinearProgram, LPStatus, solve
+from repro.lp.result import LPResult
+
+
+@pytest.fixture
+def lp():
+    return LinearProgram(
+        c=np.array([-1.0, -2.0]),
+        a_ub=np.array([[1.0, 1.0]]),
+        b_ub=np.array([4.0]),
+        upper_bounds=np.array([3.0, 3.0]),
+    )
+
+
+def _result(tag: float) -> LPResult:
+    return LPResult(
+        status=LPStatus.OPTIMAL, x=np.array([tag]), objective=tag,
+        iterations=1, backend="test",
+    )
+
+
+def test_fingerprint_is_deterministic(lp):
+    assert fingerprint_problem(lp, "simplex") == fingerprint_problem(lp, "simplex")
+
+
+def test_fingerprint_separates_backends_and_problems(lp):
+    other = LinearProgram(
+        c=np.array([-1.0, -2.0 + 1e-12]),
+        a_ub=np.array([[1.0, 1.0]]),
+        b_ub=np.array([4.0]),
+        upper_bounds=np.array([3.0, 3.0]),
+    )
+    key = fingerprint_problem(lp, "simplex")
+    assert key != fingerprint_problem(lp, "interior-point")
+    assert key != fingerprint_problem(other, "simplex")
+
+
+def test_fingerprint_distinguishes_absent_blocks():
+    with_eq = LinearProgram(
+        c=np.array([1.0]), a_eq=np.array([[1.0]]), b_eq=np.array([0.5]),
+        upper_bounds=np.array([1.0]),
+    )
+    without = LinearProgram(c=np.array([1.0]), upper_bounds=np.array([1.0]))
+    assert fingerprint_problem(with_eq, "simplex") != fingerprint_problem(
+        without, "simplex"
+    )
+
+
+def test_cache_hit_returns_stored_result():
+    cache = LPSolveCache()
+    cache.insert("k", _result(1.0))
+    assert cache.lookup("k").objective == 1.0
+    assert cache.lookup("missing") is None
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_cache_evicts_least_recently_used():
+    cache = LPSolveCache(capacity=2)
+    cache.insert("a", _result(1.0))
+    cache.insert("b", _result(2.0))
+    cache.lookup("a")  # refresh a: b becomes the eviction candidate
+    cache.insert("c", _result(3.0))
+    assert cache.lookup("b") is None
+    assert cache.lookup("a") is not None
+    assert cache.lookup("c") is not None
+    assert cache.stats.evictions == 1
+
+
+def test_cache_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError, match="capacity"):
+        LPSolveCache(capacity=0)
+
+
+def test_clear_keeps_stats():
+    cache = LPSolveCache()
+    cache.insert("a", _result(1.0))
+    cache.lookup("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats.hits == 1
+
+
+def test_solve_uses_cache_across_identical_problems(lp):
+    cache = LPSolveCache()
+    first = solve(lp, "simplex", cache=cache)
+    second = solve(lp, "simplex", cache=cache)
+    assert second is first  # a hit returns the stored, immutable result
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+    rebuilt = LinearProgram(
+        c=lp.c.copy(), a_ub=lp.a_ub.copy(), b_ub=lp.b_ub.copy(),
+        upper_bounds=lp.upper_bounds.copy(),
+    )
+    third = solve(rebuilt, "simplex", cache=cache)
+    assert third is first  # fingerprint keys on values, not identity
+    assert cache.stats.hits == 2
+
+
+def test_cache_separates_backends(lp):
+    cache = LPSolveCache()
+    simplex = solve(lp, "simplex", cache=cache)
+    ipm = solve(lp, "interior-point", cache=cache)
+    assert simplex.backend != ipm.backend
+    assert len(cache) == 2

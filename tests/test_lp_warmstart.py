@@ -1,0 +1,85 @@
+"""Warm-started LP solves: same optimum, fewer iterations, safe fallback."""
+
+import numpy as np
+import pytest
+
+from repro.lp import LinearProgram, LPStatus, solve
+from repro.lp.interior_point import IPMOptions, solve_interior_point
+from repro.lp.simplex import SimplexOptions, solve_simplex
+from repro.lp.warmstart import IPMIterate, SimplexBasis
+
+
+@pytest.fixture
+def lp():
+    return LinearProgram(
+        c=np.array([-1.0, -2.0, 0.5]),
+        a_ub=np.array([[1.0, 1.0, 1.0], [2.0, 0.5, 1.0]]),
+        b_ub=np.array([4.0, 5.0]),
+        upper_bounds=np.array([3.0, 3.0, 3.0]),
+    )
+
+
+@pytest.fixture
+def nearby_lp():
+    """The same polytope with a slightly perturbed objective."""
+    return LinearProgram(
+        c=np.array([-1.0, -2.05, 0.5]),
+        a_ub=np.array([[1.0, 1.0, 1.0], [2.0, 0.5, 1.0]]),
+        b_ub=np.array([4.0, 5.0]),
+        upper_bounds=np.array([3.0, 3.0, 3.0]),
+    )
+
+
+def test_solvers_return_warm_start_payloads(lp):
+    simplex = solve_simplex(lp, SimplexOptions())
+    assert isinstance(simplex.warm_start, SimplexBasis)
+    ipm = solve_interior_point(lp, IPMOptions())
+    assert isinstance(ipm.warm_start, IPMIterate)
+
+
+def test_simplex_warm_start_reuses_basis(lp):
+    cold = solve_simplex(lp, SimplexOptions())
+    warm = solve_simplex(lp, SimplexOptions(), warm_start=cold.warm_start)
+    assert warm.status is LPStatus.OPTIMAL
+    assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+    np.testing.assert_allclose(warm.x, cold.x, atol=1e-9)
+    assert warm.iterations <= cold.iterations
+    assert warm.message == "warm-started"
+
+
+def test_simplex_warm_start_on_nearby_problem(lp, nearby_lp):
+    cold = solve_simplex(nearby_lp, SimplexOptions())
+    basis = solve_simplex(lp, SimplexOptions()).warm_start
+    warm = solve_simplex(nearby_lp, SimplexOptions(), warm_start=basis)
+    assert warm.status is LPStatus.OPTIMAL
+    assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+
+
+def test_ipm_warm_start_converges_faster(lp):
+    cold = solve_interior_point(lp, IPMOptions())
+    warm = solve_interior_point(lp, IPMOptions(), warm_start=cold.warm_start)
+    assert warm.status is LPStatus.OPTIMAL
+    assert warm.objective == pytest.approx(cold.objective, abs=1e-6)
+    assert warm.iterations <= cold.iterations
+
+
+def test_mismatched_warm_start_is_ignored(lp):
+    stale_basis = SimplexBasis(columns=(0, 99))
+    result = solve_simplex(lp, SimplexOptions(), warm_start=stale_basis)
+    assert result.status is LPStatus.OPTIMAL
+
+    stale_iterate = IPMIterate(
+        x=np.ones(2), y=np.zeros(1), s=np.ones(2)
+    )
+    result = solve_interior_point(lp, IPMOptions(), warm_start=stale_iterate)
+    assert result.status is LPStatus.OPTIMAL
+
+
+def test_backend_dispatcher_threads_warm_start(lp):
+    cold = solve(lp, "simplex")
+    warm = solve(lp, "simplex", warm_start=cold.warm_start)
+    assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+    assert warm.message == "warm-started"
+    # A payload of the wrong flavour is silently dropped, not an error.
+    cross = solve(lp, "interior-point", warm_start=cold.warm_start)
+    assert cross.status is LPStatus.OPTIMAL

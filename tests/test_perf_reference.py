@@ -1,0 +1,73 @@
+"""The seed-reference paths behind ``perf_config`` must match the
+optimised defaults bit for bit — they exist for differential testing and
+honest benchmark baselines, not as a second implementation."""
+
+import numpy as np
+
+from repro import perf
+from repro.core.baselines import hgos
+from repro.core.costs import cluster_costs, costs_config
+from repro.core.hta import lp_hta
+from repro.experiments.runner import evaluate_holistic
+from repro.perf import perf_config
+from repro.workload.generator import generate_scenario
+from repro.workload.profiles import PAPER_DEFAULTS
+
+_PROFILE = PAPER_DEFAULTS.with_updates(num_tasks=20)
+
+
+def _reference():
+    return perf_config(reference=True)
+
+
+def test_perf_config_restores_mode():
+    assert not perf.reference_mode()
+    with _reference():
+        assert perf.reference_mode()
+        with perf_config(reference=False):
+            assert not perf.reference_mode()
+        assert perf.reference_mode()
+    assert not perf.reference_mode()
+
+
+def test_generator_reference_matches_optimized():
+    optimized = generate_scenario(_PROFILE, seed=5)
+    with _reference():
+        reference = generate_scenario(_PROFILE, seed=5)
+    assert optimized.tasks == reference.tasks
+
+
+def test_lp_hta_reference_matches_optimized():
+    scenario = generate_scenario(_PROFILE, seed=2)
+    optimized = lp_hta(scenario.system, scenario.tasks)
+    with _reference(), costs_config(vectorized=False, cached=False):
+        reference = lp_hta(scenario.system, scenario.tasks)
+    assert optimized.assignment.decisions == reference.assignment.decisions
+    assert optimized.assignment.stats() == reference.assignment.stats()
+
+
+def test_hgos_reference_matches_optimized():
+    scenario = generate_scenario(_PROFILE, seed=4)
+    optimized = hgos(scenario.system, scenario.tasks)
+    with _reference(), costs_config(vectorized=False, cached=False):
+        reference = hgos(scenario.system, scenario.tasks)
+    assert optimized.decisions == reference.decisions
+
+
+def test_assignment_metrics_reference_matches_optimized():
+    scenario = generate_scenario(_PROFILE, seed=1)
+    optimized = evaluate_holistic(scenario, "LP-HTA")
+    with _reference(), costs_config(vectorized=False, cached=False):
+        reference = evaluate_holistic(scenario, "LP-HTA")
+    # AlgorithmResult compares by exact float equality.
+    assert optimized == reference
+
+
+def test_cost_tables_reference_matches_optimized():
+    scenario = generate_scenario(_PROFILE, seed=3)
+    with costs_config(cached=False):
+        optimized = cluster_costs(scenario.system, scenario.tasks)
+    with _reference(), costs_config(vectorized=False, cached=False):
+        reference = cluster_costs(scenario.system, scenario.tasks)
+    np.testing.assert_array_equal(optimized.time_s, reference.time_s)
+    np.testing.assert_array_equal(optimized.energy_j, reference.energy_j)

@@ -141,7 +141,11 @@ class TestPreservesOptimum:
 
         raw = solve(lp, "scipy")
         result = presolve(lp)
-        assert not result.infeasible
+        if result.infeasible:
+            # All variables pinned to zero can leave an unsatisfiable
+            # inequality row; presolve proving it must agree with the solver.
+            assert not raw.status.ok
+            return
         if result.fully_solved:
             full = restore(result, None)
         else:
