@@ -176,7 +176,7 @@ def test_dvfs_saving(benchmark, scenario):
     print(
         f"\nDVFS: {result.nominal_energy_j:.1f} J -> "
         f"{result.scaled_energy_j:.1f} J ({result.saving_fraction:.1%} saved "
-        f"on the locally-run share)"
+        "on the locally-run share)"
     )
     assert result.scaled_energy_j <= result.nominal_energy_j + 1e-9
     # Deadlines leave slack in this scenario: real savings must appear.

@@ -5,7 +5,6 @@ bench pins down its per-solve cost against the generic dense IPM and the
 simplex on the same P2 instance.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.costs import cluster_costs

@@ -20,8 +20,19 @@ Quickstart::
     scenario = generate_scenario(PAPER_DEFAULTS, seed=0)
     report = lp_hta(scenario.system, list(scenario.tasks))
     print(report.assignment.stats())
+
+Algorithm dispatch goes through :mod:`repro.registry` (one entry per
+algorithm: display name, capability flags, evaluate/assign factories) and
+run configuration through an explicit, immutable
+:class:`~repro.context.RunContext` (:mod:`repro.context`)::
+
+    from repro import RunContext, registry, use_context
+
+    result = registry.run("LP-HTA", scenario, RunContext(reference=True))
 """
 
+from repro import registry
+from repro.context import RunContext, Telemetry, current_context, use_context
 from repro.core import (
     Assignment,
     HTAReport,
@@ -76,10 +87,12 @@ __all__ = [
     "MECSystem",
     "MobileDevice",
     "PAPER_DEFAULTS",
+    "RunContext",
     "Scenario",
     "Subsystem",
     "SystemParameters",
     "Task",
+    "Telemetry",
     "WIFI",
     "WirelessProfile",
     "WorkloadProfile",
@@ -88,12 +101,15 @@ __all__ = [
     "branch_and_bound_hta",
     "brute_force_hta",
     "cluster_costs",
+    "current_context",
     "dta_number",
     "dta_workload",
     "generate_scenario",
     "hgos",
     "lp_hta",
     "rearrange_tasks",
+    "registry",
     "run_dta",
     "task_costs",
+    "use_context",
 ]

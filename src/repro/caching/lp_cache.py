@@ -22,12 +22,14 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.caching.cache import CacheStats
+from repro.context import Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.lp.problem import LinearProgram
     from repro.lp.result import LPResult
+    from repro.lp.structured import GroupedBoundedLP
 
-__all__ = ["LPSolveCache", "fingerprint_problem"]
+__all__ = ["LPSolveCache", "fingerprint_grouped", "fingerprint_problem"]
 
 
 def _update(digest: "hashlib._Hash", label: bytes, array: Optional[np.ndarray]) -> None:
@@ -58,17 +60,43 @@ def fingerprint_problem(problem: "LinearProgram", method: str) -> str:
     return digest.hexdigest()
 
 
+def fingerprint_grouped(lp: "GroupedBoundedLP", method: str) -> str:
+    """The :func:`fingerprint_problem` analogue for the P2-shaped form.
+
+    Covers the objective, the group partition, both coupling blocks and
+    the bounds — everything :class:`~repro.lp.structured.GroupedBoundedLP`
+    is defined by — so the structured IPM path can share the same cache as
+    the generic dispatcher.
+    """
+    digest = hashlib.sha256()
+    digest.update(method.encode())
+    _update(digest, b"c", lp.c)
+    _update(digest, b"gi", lp.group_index)
+    _update(digest, b"gr", lp.group_rhs)
+    _update(digest, b"ca", lp.coupling_a)
+    _update(digest, b"cb", lp.coupling_b)
+    _update(digest, b"ub", lp.upper)
+    return digest.hexdigest()
+
+
 class LPSolveCache:
     """LRU cache of LP results keyed by problem fingerprint.
 
     :param capacity: maximum number of stored results (> 0).
+    :param telemetry: optional :class:`~repro.context.Telemetry` sink;
+        every lookup is counted there as a hit or miss, so caches created
+        by a :class:`~repro.context.RunContext` report into the same
+        counters as the solves themselves.
     """
 
-    def __init__(self, capacity: int = 128) -> None:
+    def __init__(
+        self, capacity: int = 128, telemetry: Optional[Telemetry] = None
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self.stats = CacheStats()
+        self.telemetry = telemetry
         self._entries: "OrderedDict[str, LPResult]" = OrderedDict()
 
     def __len__(self) -> int:
@@ -77,6 +105,8 @@ class LPSolveCache:
     def lookup(self, key: str) -> Optional["LPResult"]:
         """The cached result for ``key``, or ``None`` (counts hit/miss)."""
         result = self._entries.get(key)
+        if self.telemetry is not None:
+            self.telemetry.record_cache(result is not None)
         if result is None:
             self.stats.misses += 1
             return None

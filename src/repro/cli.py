@@ -6,6 +6,11 @@ Usage::
     mecrepro figure fig2a --seeds 0 1 2
     mecrepro all-figures --seeds 0
     mecrepro demo --tasks 200 --seed 1
+
+Algorithm and policy choices come from :mod:`repro.registry`, so the CLI
+always lists exactly what is registered.  ``--stats`` prints the run's LP
+telemetry (solves, wall time, cache hits, warm-start reuse) collected on
+the active :class:`~repro.context.RunContext`.
 """
 
 from __future__ import annotations
@@ -14,10 +19,34 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.context import RunContext, current_context, use_context
 from repro.experiments.figures import ALL_FIGURES, DEFAULT_SEEDS, run_figure
 from repro.experiments.tables import table1_text
+from repro.online.scheduler import POLICIES
 
 __all__ = ["main"]
+
+
+def _jobs(value: str) -> int:
+    """Argparse type for ``--jobs``: non-negative int (0 = all CPUs)."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"jobs must be an integer, got {value!r}")
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _add_jobs_and_stats(parser: argparse.ArgumentParser, what: str) -> None:
+    parser.add_argument(
+        "--jobs", type=_jobs, default=1,
+        help=f"worker processes for the {what} (0 = all CPUs, 1 = in-process)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print LP solve telemetry (solves, wall time, cache hits) at the end",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -42,24 +71,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true",
         help="also render an ASCII chart of the series",
     )
-    figure.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for the sweep (0 = all CPUs, 1 = in-process)",
-    )
+    _add_jobs_and_stats(figure, "sweep")
 
     all_figures = sub.add_parser("all-figures", help="regenerate every figure")
     all_figures.add_argument(
         "--seeds", type=int, nargs="+", default=list(DEFAULT_SEEDS),
         help="scenario seeds to average over",
     )
-    all_figures.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for the sweeps (0 = all CPUs, 1 = in-process)",
-    )
+    _add_jobs_and_stats(all_figures, "sweeps")
 
-    demo = sub.add_parser("demo", help="run LP-HTA on one scenario and report")
+    demo = sub.add_parser("demo", help="run every figure algorithm on one scenario")
     demo.add_argument("--tasks", type=int, default=200)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--stats", action="store_true",
+        help="print LP solve telemetry (solves, wall time, cache hits) at the end",
+    )
 
     ratio = sub.add_parser(
         "ratio-study",
@@ -73,9 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
     online = sub.add_parser(
         "online", help="epoch-scheduled Poisson arrivals, optionally mobile"
     )
-    online.add_argument(
-        "--policy", choices=("lp-hta", "hgos", "game", "cloud"), default="lp-hta"
-    )
+    online.add_argument("--policy", choices=POLICIES, default=POLICIES[0])
     online.add_argument("--rate", type=float, default=0.5, help="arrivals/second")
     online.add_argument("--horizon", type=float, default=600.0, help="seconds")
     online.add_argument("--epoch", type=float, default=60.0, help="epoch length, s")
@@ -84,13 +109,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="devices move (random waypoint); audits quasi-static drift",
     )
     online.add_argument("--seed", type=int, default=0)
+    online.add_argument(
+        "--stats", action="store_true",
+        help="print LP solve telemetry (solves, wall time, cache hits) at the end",
+    )
     return parser
 
 
 def _demo(tasks: int, seed: int) -> None:
+    from repro import registry
     from repro.core import LPHTAOptions, lp_hta
-    from repro.core.baselines import all_offload, all_to_cloud, hgos
     from repro.experiments.breakdown import energy_breakdown
+    from repro.registry import LP_HTA
     from repro.workload import PAPER_DEFAULTS, generate_scenario
 
     scenario = generate_scenario(PAPER_DEFAULTS.with_updates(num_tasks=tasks), seed)
@@ -98,21 +128,19 @@ def _demo(tasks: int, seed: int) -> None:
     report = lp_hta(scenario.system, list(scenario.tasks), LPHTAOptions())
     stats = report.assignment.stats()
     print(
-        f"LP-HTA      energy={stats.total_energy_j:10.1f} J  "
+        f"{LP_HTA:11s} energy={stats.total_energy_j:10.1f} J  "
         f"latency={stats.mean_latency_s:5.2f} s  "
         f"unsatisfied={stats.unsatisfied_rate:6.3f}  "
         f"(ratio bound ≤ {report.ratio_bound_theorem2:.2f})"
     )
-    for name, algorithm in (
-        ("HGOS", hgos),
-        ("AllToC", all_to_cloud),
-        ("AllOffload", all_offload),
-    ):
-        stats = algorithm(scenario.system, list(scenario.tasks)).stats()
+    for algorithm in registry.algorithms(holistic=True, in_figures=True):
+        if algorithm.name == LP_HTA:
+            continue
+        result = registry.run(algorithm.name, scenario)
         print(
-            f"{name:11s} energy={stats.total_energy_j:10.1f} J  "
-            f"latency={stats.mean_latency_s:5.2f} s  "
-            f"unsatisfied={stats.unsatisfied_rate:6.3f}"
+            f"{result.name:11s} energy={result.total_energy_j:10.1f} J  "
+            f"latency={result.mean_latency_s:5.2f} s  "
+            f"unsatisfied={result.unsatisfied_rate:6.3f}"
         )
     print("\nLP-HTA energy breakdown:")
     breakdown = energy_breakdown(
@@ -129,6 +157,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     :returns: process exit code.
     """
     args = _build_parser().parse_args(argv)
+    # One fresh context per invocation: telemetry counts exactly this run.
+    context = RunContext()
+    with use_context(context):
+        _dispatch(args)
+    if getattr(args, "stats", False):
+        print()
+        print(context.telemetry.summary())
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> None:
     if args.command == "table1":
         print(table1_text())
     elif args.command == "figure":
@@ -160,10 +199,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"  Theorem 2 violations {study.bound_violations}")
     elif args.command == "online":
         _online(args)
-    return 0
 
 
-def _online(args) -> None:
+def _online(args: argparse.Namespace) -> None:
     from repro.mobility import RandomWaypointModel
     from repro.online import OnlineOptions, PoissonArrivals, simulate_online
     from repro.workload import PAPER_DEFAULTS, generate_system
@@ -184,6 +222,7 @@ def _online(args) -> None:
         system, arrivals,
         OnlineOptions(epoch_length_s=args.epoch, policy=args.policy),
         mobility=mobility,
+        context=current_context(),
     )
     print(
         f"{report.policy}: {report.total_tasks} tasks over "

@@ -1,0 +1,261 @@
+"""Explicit run configuration: :class:`RunContext` and its activation stack.
+
+Before this module existed, selecting code paths meant mutating process
+globals (``repro.perf._REFERENCE``, the module-wide cost-table flags in
+:mod:`repro.core.costs`).  That worked for in-process runs and fork-started
+workers, which inherit the parent's memory, but it silently *dropped* the
+flags under a spawn start method, and it gave every entry point its own
+ad-hoc wiring.  A :class:`RunContext` replaces all of that with one
+immutable value:
+
+- **perf mode** — ``reference=True`` routes the generator, assignment
+  metrics, HGOS, the structured LP solver and (with the cost flags below)
+  the cost tables through their seed-era implementations, for differential
+  tests and honest benchmark baselines;
+- **cost-table flags** — ``vectorized_costs`` / ``cached_costs``, the knobs
+  previously owned by :func:`repro.core.costs.costs_config`;
+- **LP settings** — default backend, fallback chain, warm-start toggle and
+  the capacity of the per-context LP solve cache;
+- **seeds** — the RNG seed handed to randomized algorithm variants.
+
+The active context is tracked with :mod:`contextvars`, so activation nests
+and is safe under threads.  ``perf_config`` and ``costs_config`` remain as
+thin shims that activate a modified copy of the current context, keeping
+every pre-existing call site working.
+
+Each context also carries a mutable :class:`Telemetry` sink (excluded from
+equality/hash/pickling): every LP solve records wall time, iteration count,
+cache hit/miss and warm-start reuse there, so the CLI, the figure sweeps,
+the DES replay and the online scheduler all report the same counters.
+Worker processes start from zeroed counters (pickling a context resets its
+telemetry) and :func:`repro.experiments.parallel.run_cells` merges their
+counts back into the submitting context.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import dataclasses
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.caching.lp_cache import LPSolveCache
+
+__all__ = [
+    "RunContext",
+    "Telemetry",
+    "current_context",
+    "use_context",
+]
+
+
+class Telemetry:
+    """Aggregated per-solve counters attached to a :class:`RunContext`.
+
+    One record per LP solve; the counters are additive so worker snapshots
+    merge losslessly into the parent's sink.
+    """
+
+    __slots__ = (
+        "solves",
+        "solve_wall_s",
+        "lp_iterations",
+        "cache_hits",
+        "cache_misses",
+        "warm_start_reuses",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.solves = 0
+        self.solve_wall_s = 0.0
+        self.lp_iterations = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.warm_start_reuses = 0
+
+    def record_solve(
+        self,
+        *,
+        wall_time_s: float,
+        iterations: int,
+        cache_hit: bool = False,
+        warm_start: bool = False,
+    ) -> None:
+        """Record one LP solve (or solve-cache hit).
+
+        :param wall_time_s: wall-clock time of the solve (lookup time for
+            cache hits).
+        :param iterations: solver iterations (zero for cache hits).
+        :param cache_hit: the result came out of an LP solve cache.
+        :param warm_start: a previous iterate/basis seeded the solver.
+        """
+        self.solves += 1
+        self.solve_wall_s += wall_time_s
+        self.lp_iterations += iterations
+        if warm_start:
+            self.warm_start_reuses += 1
+
+    def record_cache(self, hit: bool) -> None:
+        """Count one LP solve-cache lookup."""
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    def merge(self, other: "Telemetry") -> None:
+        """Fold another sink's counters into this one (worker hand-back)."""
+        self.solves += other.solves
+        self.solve_wall_s += other.solve_wall_s
+        self.lp_iterations += other.lp_iterations
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.warm_start_reuses += other.warm_start_reuses
+
+    def as_dict(self) -> Dict[str, float]:
+        """The counters as a plain dict (stable keys, for reports/tests)."""
+        return {
+            "solves": self.solves,
+            "solve_wall_s": self.solve_wall_s,
+            "lp_iterations": self.lp_iterations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "warm_start_reuses": self.warm_start_reuses,
+        }
+
+    def summary(self) -> str:
+        """A compact human-readable report (the CLI's ``--stats`` output)."""
+        lookups = self.cache_hits + self.cache_misses
+        lines = [
+            f"LP solves          {self.solves}",
+            f"solve wall time    {self.solve_wall_s:.3f} s",
+            f"LP iterations      {self.lp_iterations}",
+            f"warm-start reuses  {self.warm_start_reuses}",
+        ]
+        if lookups:
+            lines.append(
+                f"solve cache        {self.cache_hits}/{lookups} hits "
+                f"({self.cache_hits / lookups:.0%})"
+            )
+        else:
+            lines.append("solve cache        not used")
+        return "\n".join(lines)
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for name in self.__slots__:
+            setattr(self, name, state[name])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"Telemetry({inner})"
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Immutable description of *how* to run an algorithm.
+
+    :param reference: select the seed-reference implementations (original
+        generator/metric/HGOS/structured-solver paths).  Results are
+        bit-identical either way; only speed differs.
+    :param vectorized_costs: batched NumPy cost tables (the optimised
+        default) vs the scalar per-task reference pipeline.
+    :param cached_costs: memoise cost tables per (system, tasks).
+    :param lp_backend: default Step-1 backend for LP-HTA.
+    :param lp_fallback_backends: tried in order when the primary backend
+        fails numerically.
+    :param lp_warm_start: allow solvers to be seeded from a previous
+        result's iterate/basis.
+    :param lp_cache_capacity: capacity of the per-context LP solve cache;
+        ``0`` (default) disables the cache.
+    :param seed: RNG seed handed to randomized algorithm variants.
+    """
+
+    reference: bool = False
+    vectorized_costs: bool = True
+    cached_costs: bool = True
+    lp_backend: str = "structured"
+    lp_fallback_backends: Tuple[str, ...] = ("interior-point", "scipy")
+    lp_warm_start: bool = True
+    lp_cache_capacity: int = 0
+    seed: int = 0
+    telemetry: Telemetry = field(
+        default_factory=Telemetry, compare=False, repr=False
+    )
+
+    def replace(self, **changes: Any) -> "RunContext":
+        """A copy with ``changes`` applied.
+
+        The telemetry sink is shared with the original unless explicitly
+        replaced, so derived contexts keep reporting into the same counters.
+        """
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def lp_cache(self) -> Optional["LPSolveCache"]:
+        """The per-context LP solve cache (``None`` when capacity is 0).
+
+        Created lazily and memoised on the instance, so every solve under
+        this context shares one cache; a copy made via :meth:`replace`
+        builds its own.
+        """
+        if self.lp_cache_capacity <= 0:
+            return None
+        cache = self.__dict__.get("_lp_cache")
+        if cache is None:
+            from repro.caching.lp_cache import LPSolveCache
+
+            cache = LPSolveCache(self.lp_cache_capacity, telemetry=self.telemetry)
+            # Frozen dataclass: memoise via __dict__ to bypass __setattr__.
+            self.__dict__["_lp_cache"] = cache
+        return cache
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Contexts cross process boundaries inside sweep cells.  The worker
+        # must start from zeroed counters (its deltas are merged back by the
+        # parent) and must not drag a solve cache across the wire.
+        state = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+        }
+        state["telemetry"] = Telemetry()
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
+
+#: Fallback context when nothing was activated: the optimised defaults.
+_DEFAULT = RunContext()
+
+_ACTIVE: "contextvars.ContextVar[RunContext]" = contextvars.ContextVar(
+    "repro_run_context"
+)
+
+
+def current_context() -> RunContext:
+    """The innermost active :class:`RunContext` (defaults when none is)."""
+    return _ACTIVE.get(_DEFAULT)
+
+
+@contextmanager
+def use_context(context: RunContext) -> Iterator[RunContext]:
+    """Activate ``context`` for the duration of the ``with`` block.
+
+    Activations nest; leaving the block restores the previous context.
+
+    :param context: the context to activate.
+    """
+    token = _ACTIVE.set(context)
+    try:
+        yield context
+    finally:
+        _ACTIVE.reset(token)

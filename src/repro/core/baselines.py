@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro import perf
+from repro.context import RunContext, current_context
 from repro.core.assignment import Assignment, Subsystem
 from repro.core.costs import NUM_SUBSYSTEMS, ClusterCosts, cluster_costs
 from repro.core.task import Task
@@ -101,7 +101,11 @@ def _data_blind_costs(system: MECSystem, tasks: Sequence[Task]) -> ClusterCosts:
     return cluster_costs(system, blind_tasks)
 
 
-def hgos(system: MECSystem, tasks: Sequence[Task]) -> Assignment:
+def hgos(
+    system: MECSystem,
+    tasks: Sequence[Task],
+    context: Optional[RunContext] = None,
+) -> Assignment:
     """HGOS: reconstructed Heuristic Greedy Offloading Scheme of [12].
 
     Processes tasks in decreasing order of perceived offloading gain and
@@ -112,7 +116,9 @@ def hgos(system: MECSystem, tasks: Sequence[Task]) -> Assignment:
 
     :param system: the MEC system.
     :param tasks: tasks to assign.
+    :param context: run configuration; defaults to the active context.
     """
+    context = context if context is not None else current_context()
     costs = cluster_costs(system, tasks)
     perceived = _data_blind_costs(system, tasks)
 
@@ -124,7 +130,7 @@ def hgos(system: MECSystem, tasks: Sequence[Task]) -> Assignment:
     gain = perceived.energy_j[:, _DEVICE] - np.min(
         perceived.energy_j[:, (_STATION, _CLOUD)], axis=1
     )
-    if perf.reference_mode():
+    if context.reference:
         order = sorted(range(len(tasks)), key=lambda r: -gain[r])
 
         decisions: List[Subsystem] = [Subsystem.CANCELLED] * len(tasks)

@@ -25,6 +25,7 @@ from weakref import WeakKeyDictionary
 
 import numpy as np
 
+from repro.context import current_context, use_context
 from repro.core.task import Task
 from repro.system.topology import MECSystem
 from repro.units import BITS_PER_BYTE
@@ -219,16 +220,6 @@ class ClusterCosts:
         return cached
 
 
-@dataclass
-class _CostsConfig:
-    """Module-wide defaults for :func:`cluster_costs` (see `costs_config`)."""
-
-    vectorized: bool = True
-    cached: bool = True
-
-
-_CONFIG = _CostsConfig()
-
 #: Per-system memo of priced tables.  Keyed weakly by the system (identity)
 #: and strongly by the task tuple (value equality), so tables are shared by
 #: every algorithm evaluating the same scenario and die with the scenario.
@@ -250,18 +241,24 @@ def costs_config(
     per-task scalar pipeline — the reference mode `scripts/bench_perf.py`
     times the optimised path against.
 
+    A shim over the context stack: activates a copy of the current
+    :class:`~repro.context.RunContext` with the cost flags replaced, so the
+    setting travels with explicitly passed contexts (and into spawn
+    workers) instead of living in a process global.
+
     :param vectorized: use the batched NumPy evaluation (default True).
     :param cached: memoise tables per (system, tasks) (default True).
     """
-    previous = (_CONFIG.vectorized, _CONFIG.cached)
+    context = current_context()
+    changes = {}
     if vectorized is not None:
-        _CONFIG.vectorized = vectorized
+        changes["vectorized_costs"] = vectorized
     if cached is not None:
-        _CONFIG.cached = cached
-    try:
+        changes["cached_costs"] = cached
+    if changes:
+        context = context.replace(**changes)
+    with use_context(context):
         yield
-    finally:
-        _CONFIG.vectorized, _CONFIG.cached = previous
 
 
 def _cluster_costs_scalar(system: MECSystem, tasks: Tuple[Task, ...]) -> ClusterCosts:
@@ -434,8 +431,9 @@ def cluster_costs(
     :param vectorized: override the batched-evaluation default.
     :param cached: override the memoisation default.
     """
-    use_vectorized = _CONFIG.vectorized if vectorized is None else vectorized
-    use_cache = _CONFIG.cached if cached is None else cached
+    context = current_context()
+    use_vectorized = context.vectorized_costs if vectorized is None else vectorized
+    use_cache = context.cached_costs if cached is None else cached
     task_tuple = tuple(tasks)
 
     if use_cache:

@@ -20,12 +20,13 @@ the rounded energy, the migration growth Δ, and the two ratio bounds
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import perf
+from repro.context import RunContext, current_context
 from repro.core.assignment import Assignment, Subsystem
 from repro.core.costs import NUM_SUBSYSTEMS, ClusterCosts, cluster_costs
 from repro.core.lp_builder import build_p2, build_p2_structured, reshape_solution
@@ -143,11 +144,21 @@ class HTAReport:
         return self.assignment.total_energy_j() / lp_opt
 
 
+def _options_from_context(context: RunContext) -> LPHTAOptions:
+    """The LP-HTA tunables implied by a run context."""
+    return LPHTAOptions(
+        backend=context.lp_backend,
+        fallback_backends=context.lp_fallback_backends,
+        seed=context.seed,
+    )
+
+
 def _solve_p2(
     costs: ClusterCosts,
     device_caps: Mapping[int, float],
     station_cap: float,
     options: LPHTAOptions,
+    context: RunContext,
 ) -> LPResult:
     """Step 1: solve P2 with backend fallback and a relaxation fallback.
 
@@ -164,11 +175,31 @@ def _solve_p2(
         generic_build = None
         for backend in (options.backend, *options.fallback_backends):
             if backend == "structured":
-                result = solve_structured(
-                    build_p2_structured(
-                        costs, device_caps, station_cap,
-                        relax_deadline_bounds=relax,
-                    ).lp
+                start = time.perf_counter()
+                grouped = build_p2_structured(
+                    costs, device_caps, station_cap,
+                    relax_deadline_bounds=relax,
+                ).lp
+                cache = context.lp_cache
+                key = None
+                if cache is not None:
+                    from repro.caching.lp_cache import fingerprint_grouped
+
+                    key = fingerprint_grouped(grouped, backend)
+                    hit = cache.lookup(key)
+                    if hit is not None:
+                        context.telemetry.record_solve(
+                            wall_time_s=time.perf_counter() - start,
+                            iterations=0,
+                            cache_hit=True,
+                        )
+                        return hit
+                result = solve_structured(grouped)
+                if cache is not None and key is not None and result.status.ok:
+                    cache.insert(key, result)
+                context.telemetry.record_solve(
+                    wall_time_s=time.perf_counter() - start,
+                    iterations=result.iterations,
                 )
             else:
                 if generic_build is None:
@@ -176,7 +207,7 @@ def _solve_p2(
                         costs, device_caps, station_cap,
                         relax_deadline_bounds=relax,
                     )
-                result = lp_solve(generic_build.lp, backend)
+                result = lp_solve(generic_build.lp, backend, context=context)
             if result.status.ok:
                 return result
             last = result
@@ -213,18 +244,25 @@ def lp_hta_cluster(
     costs: ClusterCosts,
     device_caps: Mapping[int, float],
     station_cap: float,
-    options: LPHTAOptions = LPHTAOptions(),
+    options: Optional[LPHTAOptions] = None,
     station_id: int = 0,
+    context: Optional[RunContext] = None,
 ) -> Tuple[List[Subsystem], ClusterReport]:
     """Run the six LP-HTA steps on one cluster's cost table.
 
     :param costs: priced tasks of the cluster.
     :param device_caps: :math:`max_i` per device id.
     :param station_cap: :math:`max_S`.
-    :param options: algorithm tunables.
+    :param options: algorithm tunables; defaults to the context's LP
+        settings.
     :param station_id: cluster label for the report.
+    :param context: run configuration (perf mode, LP defaults, telemetry);
+        defaults to the active context.
     :returns: per-row decisions plus the cluster report.
     """
+    context = context if context is not None else current_context()
+    if options is None:
+        options = _options_from_context(context)
     n = costs.num_tasks
     if n == 0:
         report = ClusterReport(
@@ -236,13 +274,13 @@ def lp_hta_cluster(
         return [], report
 
     # Steps 1–2: solve P2 and reshape into X.
-    lp_result = _solve_p2(costs, device_caps, station_cap, options)
+    lp_result = _solve_p2(costs, device_caps, station_cap, options, context)
     x_fractional = reshape_solution(lp_result.require_ok(), n)
 
     # Step 3: round.
     chosen = _round(x_fractional, options)
 
-    if perf.reference_mode():
+    if context.reference:
         rounded_energy = float(
             sum(costs.energy_j[row, chosen[row]] for row in range(n))
         )
@@ -370,7 +408,8 @@ def lp_hta_cluster(
 def lp_hta(
     system: MECSystem,
     tasks: Sequence[Task],
-    options: LPHTAOptions = LPHTAOptions(),
+    options: Optional[LPHTAOptions] = None,
+    context: Optional[RunContext] = None,
 ) -> HTAReport:
     """Run LP-HTA over a whole MEC system (each cluster independently).
 
@@ -380,8 +419,14 @@ def lp_hta(
 
     :param system: the MEC system.
     :param tasks: the holistic tasks to assign.
-    :param options: algorithm tunables.
+    :param options: algorithm tunables; defaults to the context's LP
+        settings (explicit options win, field for field).
+    :param context: run configuration (perf mode, LP defaults, telemetry);
+        defaults to the active context.
     """
+    context = context if context is not None else current_context()
+    if options is None:
+        options = _options_from_context(context)
     costs = cluster_costs(system, tasks)
     by_cluster: Dict[int, List[int]] = {}
     for row, task in enumerate(tasks):
@@ -404,7 +449,8 @@ def lp_hta(
         }
         station_cap = system.station(station_id).max_resource
         sub_decisions, report = lp_hta_cluster(
-            sub_costs, device_caps, station_cap, options, station_id=station_id
+            sub_costs, device_caps, station_cap, options,
+            station_id=station_id, context=context,
         )
         for local_row, decision in zip(rows, sub_decisions):
             decisions[local_row] = decision

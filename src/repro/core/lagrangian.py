@@ -33,7 +33,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.assignment import Assignment, Subsystem
-from repro.core.costs import NUM_SUBSYSTEMS, ClusterCosts, cluster_costs
+from repro.core.costs import ClusterCosts, cluster_costs
 from repro.core.task import Task
 from repro.system.topology import MECSystem
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.context import RunContext
 from repro.core.assignment import Assignment, Subsystem
 from repro.core.task import Task
 from repro.des.kernel import EventSimulator
@@ -22,7 +23,7 @@ from repro.system.topology import MECSystem
 
 OutageWindows = Sequence[Tuple[float, float]]
 
-__all__ = ["RealizedMetrics", "replay_assignment"]
+__all__ = ["RealizedMetrics", "replay_algorithm", "replay_assignment"]
 
 
 @dataclass(frozen=True)
@@ -305,3 +306,44 @@ def replay_assignment(
         events_processed=replay.sim.events_processed,
         mean_queueing_delay_s=mean_wait,
     )
+
+
+def replay_algorithm(
+    system: MECSystem,
+    tasks: Sequence[Task],
+    algorithm: str,
+    contention: bool = False,
+    backhaul_outages: OutageWindows = (),
+    wan_outages: OutageWindows = (),
+    context: Optional[RunContext] = None,
+) -> Tuple[Assignment, RealizedMetrics]:
+    """Plan with a registered algorithm, then replay its assignment.
+
+    The algorithm is resolved through :mod:`repro.registry` (display name
+    or alias, case-insensitive), so the DES shares the exact planner code
+    every other entry point uses.
+
+    :param system: the MEC system.
+    :param tasks: the tasks to plan and replay.
+    :param algorithm: registry name of an assignment-producing algorithm
+        (e.g. ``"LP-HTA"``, ``"HGOS"``, ``"cloud"``).
+    :param contention: FIFO-share radios/CPUs during the replay.
+    :param backhaul_outages: injected BS–BS outage windows.
+    :param wan_outages: injected BS–cloud outage windows.
+    :param context: run configuration for the planning step; defaults to
+        the active context.
+    :returns: the planned assignment and its realized metrics.
+    :raises ValueError: for unknown names or evaluation-only algorithms.
+    """
+    from repro import registry
+
+    assignment = registry.resolve_assignment(algorithm, system, tasks, context)
+    metrics = replay_assignment(
+        system,
+        tasks,
+        assignment,
+        contention=contention,
+        backhaul_outages=backhaul_outages,
+        wan_outages=wan_outages,
+    )
+    return assignment, metrics

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Literal, Optional, Sequence, Tuple
 
+from repro.context import RunContext
 from repro.core.assignment import Assignment, Subsystem
 from repro.core.hta import HTAReport, LPHTAOptions, lp_hta
 from repro.core.task import Task
@@ -180,16 +181,19 @@ def evaluate_plan(
     system: MECSystem,
     plan: RearrangedPlan,
     catalog: DataCatalog,
-    options: LPHTAOptions = LPHTAOptions(),
+    options: Optional[LPHTAOptions] = None,
+    context: Optional[RunContext] = None,
 ) -> DTAOutcome:
     """Schedule a rearranged plan with LP-HTA and price the whole pipeline.
 
     :param system: the MEC system.
     :param plan: the rearranged sub-tasks.
     :param catalog: item sizes (for final-result sizing).
-    :param options: LP-HTA tunables for the sub-task schedule.
+    :param options: LP-HTA tunables for the sub-task schedule; defaults to
+        the context's LP settings.
+    :param context: run configuration threaded through to LP-HTA.
     """
-    hta_report = lp_hta(system, list(plan.subtasks), options)
+    hta_report = lp_hta(system, list(plan.subtasks), options, context=context)
     assignment = hta_report.assignment
 
     execution_energy = assignment.total_energy_j()
@@ -218,8 +222,9 @@ def run_dta(
     ownership: OwnershipMap,
     catalog: DataCatalog,
     objective: Literal["workload", "number"] = "workload",
-    options: LPHTAOptions = LPHTAOptions(),
+    options: Optional[LPHTAOptions] = None,
     universe: Optional[frozenset] = None,
+    context: Optional[RunContext] = None,
 ) -> DTAOutcome:
     """End-to-end divisible-task assignment: divide, rearrange, schedule, price.
 
@@ -229,9 +234,11 @@ def run_dta(
     :param catalog: item sizes.
     :param objective: ``"workload"`` for DTA-Workload (Section IV-A) or
         ``"number"`` for DTA-Number (Section IV-B).
-    :param options: LP-HTA tunables for the sub-task schedule.
+    :param options: LP-HTA tunables for the sub-task schedule; defaults to
+        the context's LP settings.
     :param universe: override for D (defaults to the union of the tasks'
         required items).
+    :param context: run configuration threaded through to LP-HTA.
     """
     if universe is None:
         required = set()
@@ -245,4 +252,4 @@ def run_dta(
     else:
         raise ValueError(f"unknown DTA objective {objective!r}")
     plan = rearrange_tasks(tasks, coverage, catalog)
-    return evaluate_plan(system, plan, catalog, options)
+    return evaluate_plan(system, plan, catalog, options, context=context)

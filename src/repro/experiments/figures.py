@@ -27,6 +27,12 @@ from repro.experiments.parallel import (
     run_cells,
 )
 from repro.experiments.runner import AlgorithmResult
+from repro.registry import (
+    ALL_OFFLOAD,
+    ALL_TO_CLOUD,
+    HGOS_NAME,
+    LP_HTA,
+)
 from repro.experiments.series import SeriesData
 from repro.units import KB
 from repro.workload.generator import Scenario
@@ -143,7 +149,7 @@ def fig2a(
         "fig2a", "Energy cost vs number of tasks",
         "number of tasks", "total energy (J)",
         TASK_SWEEP, profiles,
-        [_holistic(n) for n in ("LP-HTA", "HGOS", "AllToC", "AllOffload")],
+        [_holistic(n) for n in (LP_HTA, HGOS_NAME, ALL_TO_CLOUD, ALL_OFFLOAD)],
         "total_energy_j", seeds, jobs=jobs,
     )
 
@@ -160,7 +166,7 @@ def fig2b(
         "fig2b", "Energy cost vs maximum input size",
         "max input size (kB)", "total energy (J)",
         INPUT_SWEEP_KB, profiles,
-        [_holistic(n) for n in ("LP-HTA", "HGOS", "AllToC", "AllOffload")],
+        [_holistic(n) for n in (LP_HTA, HGOS_NAME, ALL_TO_CLOUD, ALL_OFFLOAD)],
         "total_energy_j", seeds, jobs=jobs,
     )
 
@@ -177,7 +183,7 @@ def fig3(
         "fig3", "Unsatisfied task rate vs number of tasks",
         "number of tasks", "unsatisfied task rate",
         TASK_SWEEP, profiles,
-        [_holistic(n) for n in ("LP-HTA", "HGOS", "AllOffload")],
+        [_holistic(n) for n in (LP_HTA, HGOS_NAME, ALL_OFFLOAD)],
         "unsatisfied_rate", seeds, jobs=jobs,
     )
 
@@ -194,7 +200,7 @@ def fig4a(
         "fig4a", "Average latency vs number of tasks",
         "number of tasks", "average latency (s)",
         TASK_SWEEP, profiles,
-        [_holistic(n) for n in ("LP-HTA", "HGOS", "AllToC", "AllOffload")],
+        [_holistic(n) for n in (LP_HTA, HGOS_NAME, ALL_TO_CLOUD, ALL_OFFLOAD)],
         "mean_latency_s", seeds, jobs=jobs,
     )
 
@@ -211,7 +217,7 @@ def fig4b(
         "fig4b", "Average latency vs maximum input size",
         "max input size (kB)", "average latency (s)",
         INPUT_SWEEP_KB, profiles,
-        [_holistic(n) for n in ("LP-HTA", "HGOS", "AllToC", "AllOffload")],
+        [_holistic(n) for n in (LP_HTA, HGOS_NAME, ALL_TO_CLOUD, ALL_OFFLOAD)],
         "mean_latency_s", seeds, jobs=jobs,
     )
 
@@ -232,7 +238,7 @@ def fig5a(
         "fig5a", "Energy cost vs number of tasks (divisible tasks)",
         "number of tasks", "total energy (J)",
         TASK_SWEEP, profiles,
-        [_holistic("LP-HTA"), _dta("workload"), _dta("number")],
+        [_holistic(LP_HTA), _dta("workload"), _dta("number")],
         "total_energy_j", seeds, jobs=jobs,
     )
 
@@ -254,7 +260,7 @@ def fig5b(
         "fig5b", "Energy cost vs result size (divisible tasks)",
         "result size", "total energy (J)",
         labels, profiles,
-        [_holistic("LP-HTA"), _dta("workload"), _dta("number")],
+        [_holistic(LP_HTA), _dta("workload"), _dta("number")],
         "total_energy_j", seeds, jobs=jobs,
     )
 

@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.context import RunContext
 from repro.experiments.parallel import SweepCell, as_spec, run_cells
 from repro.experiments.runner import AlgorithmResult
 from repro.workload.generator import Scenario
@@ -60,6 +61,7 @@ def run_grid(
     evaluators: Mapping[str, Evaluator],
     seeds: Sequence[int] = (0,),
     jobs: Optional[int] = 1,
+    context: Optional[RunContext] = None,
 ) -> List[GridCell]:
     """Evaluate every grid point with every evaluator.
 
@@ -70,6 +72,9 @@ def run_grid(
     :param jobs: worker processes for the (point × seed) fan-out; ``1``
         runs in-process, ``None``/``0`` use every CPU.  Results are
         bit-identical to the sequential path for the same seeds.
+    :param context: run configuration stamped onto every cell; ``None``
+        lets :func:`~repro.experiments.parallel.run_cells` stamp the
+        caller's active context instead.
     :raises ValueError: for empty axes, evaluators or unknown fields.
     """
     if not axes:
@@ -93,7 +98,8 @@ def run_grid(
         for seed in seeds:
             work.append(
                 SweepCell(
-                    index=len(work), profile=profile, seed=seed, evaluators=specs
+                    index=len(work), profile=profile, seed=seed,
+                    evaluators=specs, context=context,
                 )
             )
     per_cell = run_cells(work, jobs=jobs)

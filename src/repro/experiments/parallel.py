@@ -9,9 +9,13 @@ Three properties make the parallel path safe to substitute for the
 sequential one:
 
 - **Picklable work descriptors.**  A :class:`SweepCell` carries only the
-  (frozen) workload profile, the seed and :class:`EvaluatorSpec` values —
-  never a live scenario or a closure — so cells cross process boundaries
-  cheaply.  Each worker regenerates its scenario from ``(profile, seed)``.
+  (frozen) workload profile, the seed, :class:`EvaluatorSpec` values and
+  an explicit :class:`~repro.context.RunContext` — never a live scenario
+  or a closure — so cells cross process boundaries cheaply.  Each worker
+  regenerates its scenario from ``(profile, seed)`` *under the cell's
+  context*, which is why spawn-started workers behave identically to
+  fork-started ones: the run configuration travels inside the pickle
+  instead of relying on inherited process globals.
 - **Deterministic per-cell seeding.**  Scenario generation is a pure
   function of ``(profile, seed)``, and every evaluator is deterministic,
   so a cell's results do not depend on which process runs it or in what
@@ -22,6 +26,10 @@ sequential one:
 
 ``jobs=1`` runs the cells in-process with no executor, no pickling
 requirement and no subprocess overhead; it is the default everywhere.
+
+Worker telemetry (solve counts, wall time, cache hits) is returned next
+to each cell's results and merged into the submitting context's sink, so
+``--stats`` summaries cover parallel runs too.
 """
 
 from __future__ import annotations
@@ -29,11 +37,13 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import multiprocessing
 
+from repro import registry
+from repro.context import RunContext, Telemetry, current_context, use_context
 from repro.experiments.runner import (
     AlgorithmResult,
     evaluate_dta,
@@ -63,31 +73,39 @@ class EvaluatorSpec:
         (``target`` is any ``Scenario -> AlgorithmResult`` callable; it
         must itself pickle for ``jobs > 1``).
     :param target: the dispatch payload for ``kind``.
+    :param context: explicit run configuration for this evaluator; when
+        ``None`` (the default) the ambient context applies — in workers
+        that is the enclosing :class:`SweepCell`'s context.
     """
 
     name: str
     kind: str
     target: Any
+    context: Optional[RunContext] = None
 
     def __call__(self, scenario: Scenario) -> AlgorithmResult:
+        context = self.context if self.context is not None else current_context()
         if self.kind == "holistic":
-            return evaluate_holistic(scenario, self.target)
+            return evaluate_holistic(scenario, self.target, context)
         if self.kind == "dta":
-            return evaluate_dta(scenario, self.target)
+            return evaluate_dta(scenario, self.target, context)
         if self.kind == "callable":
-            return self.target(scenario)
+            with use_context(context):
+                return self.target(scenario)
         raise ValueError(f"unknown evaluator kind {self.kind!r}")
 
 
-def holistic_spec(name: str) -> EvaluatorSpec:
+def holistic_spec(
+    name: str, context: Optional[RunContext] = None
+) -> EvaluatorSpec:
     """Spec for a holistic algorithm by registry name (e.g. ``"LP-HTA"``)."""
-    return EvaluatorSpec(name=name, kind="holistic", target=name)
+    return EvaluatorSpec(name=name, kind="holistic", target=name, context=context)
 
 
-def dta_spec(objective: str) -> EvaluatorSpec:
+def dta_spec(objective: str, context: Optional[RunContext] = None) -> EvaluatorSpec:
     """Spec for a DTA run by objective (``"workload"`` or ``"number"``)."""
-    name = "DTA-Workload" if objective == "workload" else "DTA-Number"
-    return EvaluatorSpec(name=name, kind="dta", target=objective)
+    name = registry.get(objective).name
+    return EvaluatorSpec(name=name, kind="dta", target=objective, context=context)
 
 
 def as_spec(name: str, evaluator: Callable[[Scenario], AlgorithmResult]) -> EvaluatorSpec:
@@ -106,18 +124,45 @@ class SweepCell:
     :param profile: workload profile to generate the scenario from.
     :param seed: scenario seed.
     :param evaluators: evaluators to run, in order.
+    :param context: run configuration the cell executes under.  ``None``
+        means "whatever is active where the cell runs"; :func:`run_cells`
+        stamps its caller's context onto unbound cells before dispatch so
+        worker processes — fork *or* spawn — see the submitter's exact
+        configuration.
     """
 
     index: int
     profile: WorkloadProfile
     seed: int
     evaluators: Tuple[EvaluatorSpec, ...]
+    context: Optional[RunContext] = None
 
 
 def _evaluate_cell(cell: SweepCell) -> Tuple[AlgorithmResult, ...]:
-    """Worker entry point: regenerate the scenario, run every evaluator."""
-    scenario = generate_scenario(cell.profile, seed=cell.seed)
-    return tuple(spec(scenario) for spec in cell.evaluators)
+    """Worker entry point: regenerate the scenario, run every evaluator.
+
+    The cell's context (when bound) is activated around both scenario
+    generation and evaluation, so reference/optimised routing and LP
+    settings are taken from the cell, never from process globals.
+    """
+    context = cell.context if cell.context is not None else current_context()
+    with use_context(context):
+        scenario = generate_scenario(cell.profile, seed=cell.seed)
+        return tuple(spec(scenario) for spec in cell.evaluators)
+
+
+def _evaluate_cell_with_telemetry(
+    cell: SweepCell,
+) -> Tuple[Tuple[AlgorithmResult, ...], Telemetry]:
+    """Pool entry point: cell results plus the telemetry they generated.
+
+    Unpickled contexts start with zeroed telemetry (see
+    :meth:`~repro.context.RunContext.__getstate__`), so the returned sink
+    holds exactly this cell's deltas for the parent to merge.
+    """
+    results = _evaluate_cell(cell)
+    context = cell.context if cell.context is not None else current_context()
+    return results, context.telemetry
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -132,28 +177,44 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def _bind_context(cell: SweepCell, context: RunContext) -> SweepCell:
+    """Stamp ``context`` onto a cell that does not carry one already."""
+    if cell.context is not None:
+        return cell
+    return dataclass_replace(cell, context=context)
+
+
 def run_cells(
     cells: Sequence[SweepCell],
     jobs: Optional[int] = 1,
+    start_method: Optional[str] = None,
 ) -> List[Tuple[AlgorithmResult, ...]]:
     """Evaluate every cell, in-process or across a worker pool.
 
     :param cells: the work descriptors.
     :param jobs: worker processes; ``1`` (default) runs in-process,
         ``None`` or ``0`` use every CPU.
+    :param start_method: multiprocessing start method for ``jobs > 1``
+        (``"fork"``, ``"spawn"``, ...).  ``None`` prefers ``fork`` where
+        available (cheap start-up, no re-import of numpy/scipy) and falls
+        back to the platform default.  Results are identical either way
+        because cells carry their :class:`~repro.context.RunContext`
+        explicitly.
     :returns: per-cell evaluator results, in ``cells`` order.
     :raises ValueError: when ``jobs > 1`` and a cell does not pickle
         (e.g. a lambda evaluator was wrapped via :func:`as_spec`).
     """
     jobs = resolve_jobs(jobs)
-    if jobs == 1 or len(cells) <= 1:
-        return [_evaluate_cell(cell) for cell in cells]
+    ambient = current_context()
+    bound = [_bind_context(cell, ambient) for cell in cells]
+    if jobs == 1 or len(bound) <= 1:
+        return [_evaluate_cell(cell) for cell in bound]
 
     # Validated for every jobs > 1 request — even ones that end up running
     # in-process below — so picklability problems surface on every machine,
     # not just multi-core ones.
     try:
-        pickle.dumps(tuple(cells))
+        pickle.dumps(tuple(bound))
     except Exception as exc:  # pickle raises a zoo of types
         raise ValueError(
             "cells are not picklable, so they cannot be shipped to worker "
@@ -164,17 +225,27 @@ def run_cells(
     # Never run more workers than cells, and never oversubscribe the
     # machine: extra processes on a smaller box only add scheduler churn.
     # A one-worker pool would serialise anyway, so skip the pool entirely.
-    workers = min(jobs, len(cells), os.cpu_count() or jobs)
+    workers = min(jobs, len(bound), os.cpu_count() or jobs)
     if workers <= 1:
-        return [_evaluate_cell(cell) for cell in cells]
+        return [_evaluate_cell(cell) for cell in bound]
 
-    # fork keeps worker start-up cheap (no re-import of numpy/scipy); fall
-    # back to the platform default where fork is unavailable.
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        ctx = multiprocessing.get_context()
+    if start_method is not None:
+        mp_context = multiprocessing.get_context(start_method)
+    else:
+        # fork keeps worker start-up cheap (no re-import of numpy/scipy);
+        # fall back to the platform default where fork is unavailable.
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            mp_context = multiprocessing.get_context()
 
-    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+    with ProcessPoolExecutor(max_workers=workers, mp_context=mp_context) as pool:
         # Executor.map preserves submission order.
-        return list(pool.map(_evaluate_cell, cells))
+        outcomes = list(pool.map(_evaluate_cell_with_telemetry, bound))
+    results: List[Tuple[AlgorithmResult, ...]] = []
+    for cell_results, telemetry in outcomes:
+        # Fold each worker's solve/cache counters back into the caller's
+        # sink, so --stats covers parallel runs.
+        ambient.telemetry.merge(telemetry)
+        results.append(cell_results)
+    return results

@@ -1,13 +1,20 @@
-"""Scenario evaluation: run each algorithm and collect the paper's metrics."""
+"""Scenario evaluation: run each algorithm and collect the paper's metrics.
+
+A thin compatibility layer over :mod:`repro.registry` — the registry is
+the single source of algorithm names and dispatch; this module keeps the
+original figure-harness entry points (:data:`HOLISTIC_ALGORITHMS`,
+:func:`evaluate_holistic`, :func:`evaluate_dta`) and the
+:class:`~repro.registry.AlgorithmResult` import path working.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Mapping
+from types import MappingProxyType
+from typing import Callable, Mapping, Optional
 
-from repro.core.baselines import all_offload, all_to_cloud, hgos
-from repro.core.hta import LPHTAOptions, lp_hta
-from repro.dta.accounting import run_dta
+from repro import registry
+from repro.context import RunContext
+from repro.registry import AlgorithmResult
 from repro.workload.generator import Scenario
 
 __all__ = [
@@ -18,104 +25,57 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class AlgorithmResult:
-    """The metrics Section V plots, for one algorithm on one scenario.
+def _runner(name: str) -> Callable[[Scenario], AlgorithmResult]:
+    def run(scenario: "Scenario") -> AlgorithmResult:
+        return registry.run(name, scenario)
 
-    :param name: algorithm name as used in the figures.
-    :param total_energy_j: total system energy (Figs 2, 5).
-    :param mean_latency_s: average task latency (Fig 4).
-    :param unsatisfied_rate: deadline-miss/cancel fraction (Fig 3).
-    :param processing_time_s: parallel makespan (Fig 6a; holistic
-        algorithms report their max task latency).
-    :param involved_devices: devices executing tasks (Fig 6b).
-    """
-
-    name: str
-    total_energy_j: float
-    mean_latency_s: float
-    unsatisfied_rate: float
-    processing_time_s: float
-    involved_devices: int
-
-
-def _from_assignment(name: str, assignment) -> AlgorithmResult:
-    stats = assignment.stats()
-    return AlgorithmResult(
-        name=name,
-        total_energy_j=stats.total_energy_j,
-        mean_latency_s=stats.mean_latency_s,
-        unsatisfied_rate=stats.unsatisfied_rate,
-        processing_time_s=stats.max_latency_s,
-        involved_devices=assignment.involved_devices(),
-    )
-
-
-def _run_lp_hta(scenario: Scenario) -> AlgorithmResult:
-    report = lp_hta(scenario.system, list(scenario.tasks), LPHTAOptions())
-    return _from_assignment("LP-HTA", report.assignment)
-
-
-def _run_hgos(scenario: Scenario) -> AlgorithmResult:
-    return _from_assignment("HGOS", hgos(scenario.system, list(scenario.tasks)))
-
-
-def _run_all_to_cloud(scenario: Scenario) -> AlgorithmResult:
-    return _from_assignment("AllToC", all_to_cloud(scenario.system, list(scenario.tasks)))
-
-
-def _run_all_offload(scenario: Scenario) -> AlgorithmResult:
-    return _from_assignment(
-        "AllOffload", all_offload(scenario.system, list(scenario.tasks))
-    )
+    return run
 
 
 #: The Section V-B competitors, keyed by their figure-legend names.
-HOLISTIC_ALGORITHMS: Mapping[str, Callable[[Scenario], AlgorithmResult]] = {
-    "LP-HTA": _run_lp_hta,
-    "HGOS": _run_hgos,
-    "AllToC": _run_all_to_cloud,
-    "AllOffload": _run_all_offload,
-}
+HOLISTIC_ALGORITHMS: Mapping[str, Callable[["Scenario"], AlgorithmResult]] = (
+    MappingProxyType(
+        {
+            name: _runner(name)
+            for name in registry.names(holistic=True, in_figures=True)
+        }
+    )
+)
 
 
-def evaluate_holistic(scenario: Scenario, algorithm: str) -> AlgorithmResult:
+def evaluate_holistic(
+    scenario: "Scenario",
+    algorithm: str,
+    context: Optional[RunContext] = None,
+) -> AlgorithmResult:
     """Run one holistic algorithm by its figure-legend name.
 
     :param scenario: the generated scenario.
     :param algorithm: a key of :data:`HOLISTIC_ALGORITHMS`.
+    :param context: run configuration; defaults to the active context.
     """
-    try:
-        runner = HOLISTIC_ALGORITHMS[algorithm]
-    except KeyError:
+    if registry.get(algorithm).name not in HOLISTIC_ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(HOLISTIC_ALGORITHMS)}"
-        ) from None
-    return runner(scenario)
+        )
+    return registry.run(algorithm, scenario, context)
 
 
-def evaluate_dta(scenario: Scenario, objective: str) -> AlgorithmResult:
+def evaluate_dta(
+    scenario: "Scenario",
+    objective: str,
+    context: Optional[RunContext] = None,
+) -> AlgorithmResult:
     """Run DTA-Workload or DTA-Number on a divisible scenario.
 
     :param scenario: a scenario generated with ``divisible=True``.
-    :param objective: ``"workload"`` or ``"number"``.
+    :param objective: ``"workload"`` or ``"number"`` (the registry aliases
+        of the two DTA entries).
+    :param context: run configuration; defaults to the active context.
     """
-    if scenario.catalog is None or scenario.ownership is None:
-        raise ValueError("DTA needs a divisible scenario (catalog + ownership)")
-    outcome = run_dta(
-        scenario.system,
-        list(scenario.tasks),
-        scenario.ownership,
-        scenario.catalog,
-        objective=objective,  # type: ignore[arg-type]
-    )
-    stats = outcome.assignment.stats()
-    name = "DTA-Workload" if objective == "workload" else "DTA-Number"
-    return AlgorithmResult(
-        name=name,
-        total_energy_j=outcome.total_energy_j,
-        mean_latency_s=stats.mean_latency_s,
-        unsatisfied_rate=stats.unsatisfied_rate,
-        processing_time_s=outcome.processing_time_s,
-        involved_devices=outcome.involved_devices,
-    )
+    if objective not in registry.DTA_OBJECTIVES.values():
+        raise ValueError(
+            f"unknown DTA objective {objective!r}; "
+            f"choose from {sorted(registry.DTA_OBJECTIVES.values())}"
+        )
+    return registry.run(objective, scenario, context)

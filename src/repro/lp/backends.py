@@ -8,8 +8,10 @@ the from-scratch implementations against an independent solver.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.context import RunContext, current_context
 from repro.lp.interior_point import IPMOptions, solve_interior_point
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult, LPStatus
@@ -82,6 +84,7 @@ def solve(
     method: str = "interior-point",
     warm_start: Optional[object] = None,
     cache: Optional["LPSolveCache"] = None,
+    context: Optional[RunContext] = None,
 ) -> LPResult:
     """Solve ``problem`` with the named backend.
 
@@ -91,10 +94,15 @@ def solve(
         :class:`LPResult` (its ``warm_start`` attribute); silently ignored
         by backends it does not fit (e.g. a simplex basis handed to the
         interior-point method), so callers can thread the previous sweep
-        point's result through without dispatching on the backend.
+        point's result through without dispatching on the backend.  Ignored
+        entirely when the context disables warm starts.
     :param cache: optional :class:`~repro.caching.lp_cache.LPSolveCache`;
         bit-identical (problem, method) pairs return the stored result
-        without solving.
+        without solving.  Defaults to the context's own solve cache (off
+        unless ``lp_cache_capacity`` is set).
+    :param context: run configuration and telemetry sink; defaults to the
+        active :func:`~repro.context.current_context`.  Every call records
+        one solve (wall time, iterations, cache hit, warm-start reuse).
     :raises ValueError: on an unknown backend name.
     """
     try:
@@ -104,6 +112,13 @@ def solve(
             f"unknown LP backend {method!r}; choose from {available_backends()}"
         ) from None
 
+    ctx = context if context is not None else current_context()
+    if not ctx.lp_warm_start:
+        warm_start = None
+    if cache is None:
+        cache = ctx.lp_cache
+
+    start = time.perf_counter()
     key = None
     if cache is not None:
         from repro.caching.lp_cache import fingerprint_problem
@@ -111,9 +126,19 @@ def solve(
         key = fingerprint_problem(problem, method)
         hit = cache.lookup(key)
         if hit is not None:
+            ctx.telemetry.record_solve(
+                wall_time_s=time.perf_counter() - start,
+                iterations=0,
+                cache_hit=True,
+            )
             return hit
 
     result = backend(problem, warm_start)
     if cache is not None and key is not None:
         cache.insert(key, result)
+    ctx.telemetry.record_solve(
+        wall_time_s=time.perf_counter() - start,
+        iterations=result.iterations,
+        warm_start=warm_start is not None,
+    )
     return result

@@ -16,7 +16,7 @@ to the original variable space, so ``solve(presolve(lp))`` is a drop-in for
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -12,6 +12,7 @@ association but *realized* under the association at their completion.
 
 from repro.online.arrivals import PoissonArrivals, TimedTask
 from repro.online.scheduler import (
+    POLICIES,
     EpochRecord,
     OnlineOptions,
     OnlineReport,
@@ -22,6 +23,7 @@ __all__ = [
     "EpochRecord",
     "OnlineOptions",
     "OnlineReport",
+    "POLICIES",
     "PoissonArrivals",
     "TimedTask",
     "simulate_online",

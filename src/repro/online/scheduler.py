@@ -12,22 +12,30 @@ extra deadline misses the drift caused.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import registry
+from repro.context import RunContext, current_context
 from repro.core.assignment import Assignment, Subsystem
-from repro.core.baselines import all_to_cloud, hgos
 from repro.core.costs import cluster_costs
-from repro.core.game import best_response_offloading
-from repro.core.hta import LPHTAOptions, lp_hta
 from repro.core.task import Task
 from repro.mobility.handover import attachment_at
 from repro.mobility.waypoint import RandomWaypointModel
 from repro.online.arrivals import TimedTask
 from repro.system.topology import MECSystem
 
-__all__ = ["EpochRecord", "OnlineOptions", "OnlineReport", "simulate_online"]
+__all__ = [
+    "EpochRecord",
+    "OnlineOptions",
+    "OnlineReport",
+    "POLICIES",
+    "simulate_online",
+]
 
-_POLICIES = ("lp-hta", "hgos", "game", "cloud")
+#: Accepted policy keys — registry lookups: lower-cased display names
+#: ("lp-hta", "hgos", "game") or registered aliases ("cloud" → AllToC).
+POLICIES = ("lp-hta", "hgos", "game", "cloud")
+_POLICIES = POLICIES
 
 
 @dataclass(frozen=True)
@@ -132,14 +140,13 @@ def _rebuild(system: MECSystem, attachment: Dict[int, int]) -> MECSystem:
     )
 
 
-def _run_policy(policy: str, system: MECSystem, tasks: Sequence[Task]) -> Assignment:
-    if policy == "lp-hta":
-        return lp_hta(system, list(tasks), LPHTAOptions()).assignment
-    if policy == "hgos":
-        return hgos(system, list(tasks))
-    if policy == "game":
-        return best_response_offloading(system, list(tasks)).assignment
-    return all_to_cloud(system, list(tasks))
+def _run_policy(
+    policy: str,
+    system: MECSystem,
+    tasks: Sequence[Task],
+    context: RunContext,
+) -> Assignment:
+    return registry.resolve_assignment(policy, system, list(tasks), context)
 
 
 def _reprice(
@@ -154,6 +161,7 @@ def simulate_online(
     arrivals: Sequence[TimedTask],
     options: OnlineOptions = OnlineOptions(),
     mobility: Optional[RandomWaypointModel] = None,
+    context: Optional[RunContext] = None,
 ) -> OnlineReport:
     """Run the epoch scheduler over a stream of arrivals.
 
@@ -162,8 +170,11 @@ def simulate_online(
     :param arrivals: timed tasks, in any order.
     :param options: scheduler tunables.
     :param mobility: optional mobility model driving the association.
+    :param context: run configuration for every epoch's policy run;
+        defaults to the active context.
     :returns: per-epoch and aggregate metrics.
     """
+    context = context if context is not None else current_context()
     if mobility is not None:
         station_positions = {
             sid: station.position
@@ -207,7 +218,7 @@ def simulate_online(
                 if plan_attachment[device_id] != drift_attachment[device_id]
             )
 
-        assignment = _run_policy(options.policy, plan_system, batch)
+        assignment = _run_policy(options.policy, plan_system, batch, context)
         planned_energy = assignment.total_energy_j()
         planned_unsat = assignment.unsatisfied_rate()
 

@@ -1,4 +1,4 @@
-"""Session-wide performance mode: optimised (default) vs reference.
+"""Performance mode: optimised (default) vs reference, now context-backed.
 
 The perf work in this repository keeps the original implementations around
 as *reference paths*: the scalar cost pipeline (``costs_config``), the
@@ -12,10 +12,12 @@ of the structured LP solver.  They serve two purposes:
   reference pipeline, so the reported speedup measures this work rather
   than whatever machine the benchmark happens to run on.
 
-``perf_config(reference=True)`` flips every such dispatch at once (the
-cost-table flags live in :func:`repro.core.costs.costs_config` and are
-toggled separately, since they predate this switch and are independently
-useful).
+The mode used to live in a module global, which fork workers inherited but
+spawn workers silently dropped.  It is now the ``reference`` field of the
+active :class:`~repro.context.RunContext`; this module remains as a thin
+shim so every existing ``perf_config(...)`` / ``reference_mode()`` call
+keeps working.  New code should prefer passing a ``RunContext`` explicitly
+(see :mod:`repro.registry`).
 """
 
 from __future__ import annotations
@@ -23,29 +25,29 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
-__all__ = ["perf_config", "reference_mode"]
+from repro.context import current_context, use_context
 
-_REFERENCE = False
+__all__ = ["perf_config", "reference_mode"]
 
 
 def reference_mode() -> bool:
     """Whether the original (pre-optimisation) code paths are selected."""
-    return _REFERENCE
+    return current_context().reference
 
 
 @contextmanager
 def perf_config(*, reference: Optional[bool] = None) -> Iterator[None]:
     """Temporarily select the reference or optimised code paths.
 
+    A shim over the context stack: activates a copy of the current
+    :class:`~repro.context.RunContext` with ``reference`` replaced.
+
     :param reference: ``True`` routes the generator, assignment metrics and
         structured solver through their original implementations.  Results
         are identical either way; only speed differs.
     """
-    global _REFERENCE
-    previous = _REFERENCE
+    context = current_context()
     if reference is not None:
-        _REFERENCE = reference
-    try:
+        context = context.replace(reference=reference)
+    with use_context(context):
         yield
-    finally:
-        _REFERENCE = previous

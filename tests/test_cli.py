@@ -55,3 +55,34 @@ def test_ratio_study_command(capsys):
     assert main(["ratio-study", "--instances", "4"]) == 0
     out = capsys.readouterr().out
     assert "Theorem 2 violations" in out
+
+
+def test_negative_jobs_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["figure", "fig2b", "--seeds", "0", "--jobs", "-3"])
+    assert "jobs must be >= 0" in capsys.readouterr().err
+
+
+def test_non_integer_jobs_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["figure", "fig2b", "--seeds", "0", "--jobs", "two"])
+    assert "jobs must be an integer" in capsys.readouterr().err
+
+
+def test_figure_stats_flag(capsys):
+    assert main(["figure", "fig2b", "--seeds", "0", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "LP solves" in out
+    assert "solve wall time" in out
+
+
+def test_demo_stats_flag(capsys):
+    assert main(["demo", "--tasks", "20", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "LP solves" in out
+
+
+def test_online_stats_flag(capsys):
+    assert main(["online", "--rate", "0.3", "--horizon", "60", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "LP solves" in out

@@ -88,3 +88,30 @@ class TestValidation:
         assignment = Assignment(costs, [Subsystem.DEVICE])
         with pytest.raises(ValueError, match="correspond"):
             replay_assignment(two_cluster_system, [], assignment)
+
+
+class TestReplayAlgorithm:
+    """The registry-resolved plan-then-replay entry point."""
+
+    def test_matches_manual_pipeline(self, small_scenario):
+        from repro.des.replay import replay_algorithm
+
+        tasks = list(small_scenario.tasks)
+        assignment, metrics = replay_algorithm(
+            small_scenario.system, tasks, "LP-HTA"
+        )
+        report = lp_hta(small_scenario.system, tasks)
+        assert assignment.decisions == report.assignment.decisions
+        manual = replay_assignment(
+            small_scenario.system, tasks, report.assignment
+        )
+        assert metrics == manual
+
+    def test_aliases_and_unknown_names(self, small_scenario):
+        from repro.des.replay import replay_algorithm
+
+        tasks = list(small_scenario.tasks)
+        _, metrics = replay_algorithm(small_scenario.system, tasks, "cloud")
+        assert metrics.total_energy_j > 0
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            replay_algorithm(small_scenario.system, tasks, "SGD")

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments import figures
-from repro.units import KB
 
 
 class TestSweepRanges:

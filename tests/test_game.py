@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.assignment import Subsystem
-from repro.core.costs import cluster_costs
 from repro.core.game import GameOptions, best_response_offloading
 from repro.core.hta import lp_hta
 from repro.workload import PAPER_DEFAULTS, generate_scenario

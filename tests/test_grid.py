@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.grid import GridCell, pivot, run_grid
+from repro.experiments.grid import pivot, run_grid
 from repro.experiments.runner import evaluate_holistic
 from repro.workload import PAPER_DEFAULTS
 

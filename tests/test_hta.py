@@ -1,6 +1,5 @@
 """LP-HTA: the six-step algorithm and its reports."""
 
-import numpy as np
 import pytest
 
 from repro.core.assignment import Subsystem

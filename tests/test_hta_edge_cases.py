@@ -1,16 +1,15 @@
 """LP-HTA edge cases and regression tests."""
 
-import numpy as np
 import pytest
 
 from repro.core.assignment import Subsystem
 from repro.core.costs import cluster_costs
-from repro.core.hta import LPHTAOptions, lp_hta, lp_hta_cluster
+from repro.core.hta import lp_hta, lp_hta_cluster
 from repro.core.lp_builder import build_p2, build_p2_structured
 from repro.core.task import Task
 from repro.lp.backends import solve
 from repro.lp.result import LPStatus
-from repro.units import KB, gigahertz
+from repro.units import KB
 from repro.workload import PAPER_DEFAULTS, generate_scenario
 
 

@@ -1,6 +1,5 @@
 """Property-based tests of the Section II cost model (hypothesis)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.costs import task_costs

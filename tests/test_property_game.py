@@ -1,10 +1,9 @@
 """Property-based tests of the offloading game (hypothesis)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.assignment import Subsystem
-from repro.core.game import GameOptions, best_response_offloading
+from repro.core.game import best_response_offloading
 from repro.workload import PAPER_DEFAULTS, generate_scenario
 
 

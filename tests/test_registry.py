@@ -1,0 +1,167 @@
+"""The algorithm registry: lookup, flags, and end-to-end evaluation."""
+
+import math
+
+import pytest
+
+from repro import registry
+from repro.context import RunContext
+from repro.core.assignment import Assignment
+from repro.registry import (
+    ALL_OFFLOAD,
+    ALL_TO_CLOUD,
+    BNB_EXACT,
+    DTA_NUMBER,
+    DTA_WORKLOAD,
+    HGOS_NAME,
+    LP_HTA,
+    AlgorithmResult,
+)
+from repro.workload.generator import generate_scenario
+from repro.workload.profiles import PAPER_DEFAULTS
+
+#: Tiny Table-I-parameterised scenarios, kept small so BnB-Exact's search
+#: stays tractable.
+_TINY = PAPER_DEFAULTS.with_updates(num_tasks=8, num_devices=4, num_stations=2)
+_TINY_DIVISIBLE = _TINY.with_updates(
+    num_tasks=6, divisible=True, num_data_items=12,
+    deadline_range_s=(2.0, 10.0),
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_scenario():
+    return generate_scenario(_TINY, seed=0)
+
+
+@pytest.fixture(scope="module")
+def tiny_divisible_scenario():
+    return generate_scenario(_TINY_DIVISIBLE, seed=0)
+
+
+class TestLookup:
+    def test_canonical_names(self):
+        assert registry.get(LP_HTA).name == LP_HTA
+        assert registry.get("LP-HTA").name == "LP-HTA"
+
+    def test_lookup_is_case_insensitive(self):
+        assert registry.get("lp-hta").name == LP_HTA
+        assert registry.get("ALLTOC").name == ALL_TO_CLOUD
+        assert registry.get(" hgos ").name == HGOS_NAME
+
+    def test_aliases_resolve(self):
+        assert registry.get("cloud").name == ALL_TO_CLOUD
+        assert registry.get("workload").name == DTA_WORKLOAD
+        assert registry.get("number").name == DTA_NUMBER
+
+    def test_unknown_name_lists_valid_names(self):
+        with pytest.raises(ValueError, match="unknown algorithm") as err:
+            registry.get("SGD")
+        for name in registry.names():
+            assert name in str(err.value)
+
+    def test_duplicate_registration_rejected(self):
+        existing = registry.get(LP_HTA)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(existing)
+
+
+class TestFlags:
+    def test_figure_competitor_set(self):
+        assert registry.names(holistic=True, in_figures=True) == (
+            LP_HTA,
+            HGOS_NAME,
+            ALL_TO_CLOUD,
+            ALL_OFFLOAD,
+        )
+
+    def test_divisible_set(self):
+        assert registry.names(divisible=True) == (DTA_WORKLOAD, DTA_NUMBER)
+
+    def test_exact_set(self):
+        assert registry.names(exact=True) == (BNB_EXACT,)
+
+    def test_assignable_filter(self):
+        assignable = registry.names(assignable=True)
+        assert LP_HTA in assignable
+        assert DTA_WORKLOAD not in assignable
+
+    def test_lp_hta_is_not_a_baseline(self):
+        assert not registry.get(LP_HTA).baseline
+        assert registry.get(HGOS_NAME).baseline
+
+
+class TestEndToEnd:
+    """Every registered algorithm runs on a tiny scenario with finite metrics."""
+
+    @pytest.mark.parametrize("name", registry.names(holistic=True))
+    def test_holistic_algorithms_produce_finite_metrics(self, name, tiny_scenario):
+        result = registry.run(name, tiny_scenario, RunContext())
+        assert isinstance(result, AlgorithmResult)
+        assert result.name == name
+        assert math.isfinite(result.total_energy_j)
+        assert result.total_energy_j > 0
+        assert math.isfinite(result.mean_latency_s)
+        assert 0.0 <= result.unsatisfied_rate <= 1.0
+        assert math.isfinite(result.processing_time_s)
+        assert 0 <= result.involved_devices <= len(tiny_scenario.system.devices)
+
+    @pytest.mark.parametrize("name", registry.names(divisible=True))
+    def test_divisible_algorithms_produce_finite_metrics(
+        self, name, tiny_divisible_scenario
+    ):
+        result = registry.run(name, tiny_divisible_scenario, RunContext())
+        assert result.name == name
+        assert math.isfinite(result.total_energy_j)
+        assert result.total_energy_j > 0
+        assert result.involved_devices >= 1
+
+    @pytest.mark.parametrize("name", registry.names(divisible=True))
+    def test_divisible_algorithms_reject_holistic_scenarios(
+        self, name, tiny_scenario
+    ):
+        with pytest.raises(ValueError, match="divisible"):
+            registry.run(name, tiny_scenario)
+
+    def test_resolve_assignment_returns_assignment(self, tiny_scenario):
+        assignment = registry.resolve_assignment(
+            LP_HTA, tiny_scenario.system, list(tiny_scenario.tasks)
+        )
+        assert isinstance(assignment, Assignment)
+        assert assignment.costs.num_tasks == len(tiny_scenario.tasks)
+
+    def test_resolve_assignment_rejects_evaluation_only(self, tiny_scenario):
+        with pytest.raises(ValueError, match="does not produce"):
+            registry.resolve_assignment(
+                DTA_WORKLOAD, tiny_scenario.system, list(tiny_scenario.tasks)
+            )
+
+    def test_exact_is_no_worse_than_lp_hta(self, tiny_scenario):
+        tasks = list(tiny_scenario.tasks)
+        exact = registry.resolve_assignment(
+            BNB_EXACT, tiny_scenario.system, tasks
+        )
+        approx = registry.resolve_assignment(LP_HTA, tiny_scenario.system, tasks)
+        assert exact.total_energy_j() <= approx.total_energy_j() + 1e-9
+
+    def test_random_uses_context_seed(self, tiny_scenario):
+        tasks = list(tiny_scenario.tasks)
+        a = registry.resolve_assignment(
+            "Random", tiny_scenario.system, tasks, RunContext(seed=1)
+        )
+        b = registry.resolve_assignment(
+            "Random", tiny_scenario.system, tasks, RunContext(seed=1)
+        )
+        c = registry.resolve_assignment(
+            "Random", tiny_scenario.system, tasks, RunContext(seed=2)
+        )
+        assert a.decisions == b.decisions
+        assert a.decisions != c.decisions
+
+    def test_reference_context_is_bit_identical(self, tiny_scenario):
+        for name in registry.names(holistic=True, in_figures=True):
+            optimized = registry.run(name, tiny_scenario, RunContext())
+            reference = registry.run(
+                name, tiny_scenario, RunContext(reference=True)
+            )
+            assert optimized == reference

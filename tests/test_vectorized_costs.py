@@ -69,12 +69,16 @@ def test_cache_disabled_recomputes():
 
 
 def test_costs_config_restores_previous_settings():
-    from repro.core.costs import _CONFIG
+    from repro.context import current_context
 
-    before = (_CONFIG.vectorized, _CONFIG.cached)
+    def flags():
+        context = current_context()
+        return (context.vectorized_costs, context.cached_costs)
+
+    before = flags()
     with costs_config(vectorized=False, cached=False):
-        assert (_CONFIG.vectorized, _CONFIG.cached) == (False, False)
-    assert (_CONFIG.vectorized, _CONFIG.cached) == before
+        assert flags() == (False, False)
+    assert flags() == before
 
 
 def test_owner_rows_is_cached():

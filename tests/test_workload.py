@@ -1,6 +1,5 @@
 """Workload profiles and scenario generation."""
 
-import numpy as np
 import pytest
 
 from repro.units import KB
@@ -10,7 +9,7 @@ from repro.workload.generator import (
     generate_system,
     generate_tasks,
 )
-from repro.workload.profiles import PAPER_DEFAULTS, WorkloadProfile
+from repro.workload.profiles import PAPER_DEFAULTS
 
 
 class TestProfile:

@@ -3,7 +3,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.online.arrivals import PoissonArrivals
 from repro.workload import PAPER_DEFAULTS, generate_scenario, generate_system
