@@ -22,6 +22,7 @@ from typing import List, Optional
 from repro.context import RunContext, current_context, use_context
 from repro.experiments.figures import ALL_FIGURES, DEFAULT_SEEDS, run_figure
 from repro.experiments.tables import table1_text
+from repro.faults import RECOVERY_POLICIES
 from repro.online.scheduler import POLICIES
 
 __all__ = ["main"]
@@ -113,6 +114,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print LP solve telemetry (solves, wall time, cache hits) at the end",
     )
+
+    resilience = sub.add_parser(
+        "resilience",
+        help="sweep failure intensity: recovery policies vs fail-stop baseline",
+    )
+    resilience.add_argument(
+        "--intensities", type=float, nargs="+", default=None,
+        help="outage arrival rates (1/s) to sweep",
+    )
+    resilience.add_argument(
+        "--policies", choices=RECOVERY_POLICIES, nargs="+",
+        default=list(RECOVERY_POLICIES),
+        help="recovery policies to compare",
+    )
+    resilience.add_argument(
+        "--seeds", type=int, nargs="+", default=[0],
+        help="scenario/fault seeds to average over",
+    )
+    resilience.add_argument(
+        "--policy", choices=POLICIES, default=POLICIES[0],
+        help="planning policy run every epoch",
+    )
+    resilience.add_argument(
+        "--start-method", choices=("fork", "spawn"), default=None,
+        help="multiprocessing start method for --jobs > 1",
+    )
+    resilience.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the canonical recovery-event trace JSON here "
+        "(bit-identical across start methods for a fixed seed)",
+    )
+    resilience.add_argument(
+        "--chart", action="store_true",
+        help="also render ASCII charts of the two series",
+    )
+    _add_jobs_and_stats(resilience, "sweep")
     return parser
 
 
@@ -199,6 +236,8 @@ def _dispatch(args: argparse.Namespace) -> None:
         print(f"  Theorem 2 violations {study.bound_violations}")
     elif args.command == "online":
         _online(args)
+    elif args.command == "resilience":
+        _resilience(args)
 
 
 def _online(args: argparse.Namespace) -> None:
@@ -234,6 +273,39 @@ def _online(args: argparse.Namespace) -> None:
     print(f"  realized miss rate {report.mean_realized_unsatisfied:.3f}")
     if mobility is not None:
         print(f"  handovers {sum(e.handovers for e in report.epochs)}")
+
+
+def _resilience(args: argparse.Namespace) -> None:
+    from repro.experiments.resilience import DEFAULT_INTENSITIES, resilience_sweep
+
+    intensities = (
+        tuple(args.intensities)
+        if args.intensities is not None
+        else DEFAULT_INTENSITIES
+    )
+    study = resilience_sweep(
+        intensities=intensities,
+        policies=tuple(args.policies),
+        seeds=tuple(args.seeds),
+        policy=args.policy,
+        jobs=args.jobs,
+        start_method=args.start_method,
+    )
+    energy = study.energy_series()
+    miss = study.miss_series()
+    print(energy.format_table())
+    print()
+    print(miss.format_table())
+    if args.chart:
+        print()
+        print(energy.render_ascii())
+        print()
+        print(miss.render_ascii())
+    if args.trace_out is not None:
+        with open(args.trace_out, "w") as handle:
+            handle.write(study.trace_json())
+            handle.write("\n")
+        print(f"\nrecovery-event trace written to {args.trace_out}")
 
 
 if __name__ == "__main__":

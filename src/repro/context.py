@@ -65,6 +65,12 @@ class Telemetry:
         "cache_hits",
         "cache_misses",
         "warm_start_reuses",
+        "faults_detected",
+        "retries",
+        "degradations",
+        "reassignments",
+        "tasks_dropped",
+        "tasks_recovered",
     )
 
     def __init__(self) -> None:
@@ -78,6 +84,12 @@ class Telemetry:
         self.cache_hits = 0
         self.cache_misses = 0
         self.warm_start_reuses = 0
+        self.faults_detected = 0
+        self.retries = 0
+        self.degradations = 0
+        self.reassignments = 0
+        self.tasks_dropped = 0
+        self.tasks_recovered = 0
 
     def record_solve(
         self,
@@ -108,14 +120,29 @@ class Telemetry:
         else:
             self.cache_misses += 1
 
+    def record_recovery(self, action: str, recovered: bool) -> None:
+        """Record one fault-recovery event (see :mod:`repro.faults`).
+
+        :param action: the recovery action taken — ``"drop"``, ``"none"``,
+            ``"retry"``, ``"degrade"`` or ``"reassign"``.
+        :param recovered: whether the task still met its deadline.
+        """
+        self.faults_detected += 1
+        if action == "retry":
+            self.retries += 1
+        elif action == "degrade":
+            self.degradations += 1
+        elif action == "reassign":
+            self.reassignments += 1
+        elif action == "drop":
+            self.tasks_dropped += 1
+        if recovered:
+            self.tasks_recovered += 1
+
     def merge(self, other: "Telemetry") -> None:
         """Fold another sink's counters into this one (worker hand-back)."""
-        self.solves += other.solves
-        self.solve_wall_s += other.solve_wall_s
-        self.lp_iterations += other.lp_iterations
-        self.cache_hits += other.cache_hits
-        self.cache_misses += other.cache_misses
-        self.warm_start_reuses += other.warm_start_reuses
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def as_dict(self) -> Dict[str, float]:
         """The counters as a plain dict (stable keys, for reports/tests)."""
@@ -126,6 +153,12 @@ class Telemetry:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "warm_start_reuses": self.warm_start_reuses,
+            "faults_detected": self.faults_detected,
+            "retries": self.retries,
+            "degradations": self.degradations,
+            "reassignments": self.reassignments,
+            "tasks_dropped": self.tasks_dropped,
+            "tasks_recovered": self.tasks_recovered,
         }
 
     def summary(self) -> str:
@@ -144,6 +177,15 @@ class Telemetry:
             )
         else:
             lines.append("solve cache        not used")
+        if self.faults_detected:
+            lines.append(f"faults detected    {self.faults_detected}")
+            lines.append(
+                "recovery           "
+                f"{self.retries} retries, {self.degradations} degradations, "
+                f"{self.reassignments} reassignments, "
+                f"{self.tasks_dropped} drops"
+            )
+            lines.append(f"tasks recovered    {self.tasks_recovered}")
         return "\n".join(lines)
 
     def __getstate__(self) -> Dict[str, Any]:

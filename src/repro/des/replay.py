@@ -62,6 +62,7 @@ class _Replay:
         self.system = system
         self.assignment = assignment
         self.contention = contention
+        self.start_times: Dict[int, float] = {}
         self.sim = EventSimulator()
         self.uplink = {
             d: FIFOResource(f"uplink[{d}]", shared=contention) for d in system.devices
@@ -150,8 +151,11 @@ class _Replay:
 
     # -- per-task wiring ---------------------------------------------------
 
-    def launch(self, row: int, task: Task, decision: Subsystem) -> None:
-        """Schedule all stages of one task, starting at time zero."""
+    def launch(
+        self, row: int, task: Task, decision: Subsystem, start: float = 0.0
+    ) -> None:
+        """Schedule all stages of one task, starting at ``start``."""
+        self.start_times[row] = start
         params = self.system.parameters
         owner = self.system.device(task.owner_device_id)
         station = self.system.station_of(task.owner_device_id)
@@ -192,7 +196,7 @@ class _Replay:
                     params.cycles.cycles_on_device(total) / owner.cpu_frequency_hz,
                 )
             )
-            self._chain(0.0, stages, record)
+            self._chain(start, stages, record)
 
         elif decision is Subsystem.STATION:
             ext_branch = list(ext_stages)
@@ -218,7 +222,7 @@ class _Replay:
                 ]
                 self._chain(joined, tail, record)
 
-            self._join([(0.0, ext_branch), (0.0, local_branch)], after_join)
+            self._join([(start, ext_branch), (start, local_branch)], after_join)
 
         elif decision is Subsystem.CLOUD:
             local_branch = [
@@ -243,7 +247,7 @@ class _Replay:
                 ]
                 self._chain(joined, tail, record)
 
-            self._join([(0.0, ext_stages), (0.0, local_branch)], after_join)
+            self._join([(start, ext_stages), (start, local_branch)], after_join)
 
         else:  # pragma: no cover - launch() is only called for assigned tasks
             raise ValueError(f"cannot replay decision {decision}")
@@ -266,6 +270,7 @@ def replay_assignment(
     contention: bool = False,
     backhaul_outages: OutageWindows = (),
     wan_outages: OutageWindows = (),
+    start_times: Optional[Sequence[float]] = None,
 ) -> RealizedMetrics:
     """Replay an assignment on the event simulator and measure it.
 
@@ -277,22 +282,35 @@ def replay_assignment(
     :param backhaul_outages: injected BS–BS link outage windows
         (start, end) in seconds — cross-cluster transfers defer past them.
     :param wan_outages: injected BS–cloud link outage windows.
+    :param start_times: per-row launch time (seconds, same clock as the
+        outage windows); defaults to launching everything at 0.  Latencies
+        are always measured from the row's launch, so staggered starts
+        still report per-task completion times.
     :returns: realized metrics; in dedicated mode with no outages,
         ``latencies_s`` equals the analytic :math:`t_{ijl}` per task.
     """
     if len(tasks) != assignment.costs.num_tasks:
         raise ValueError("tasks and assignment rows must correspond")
+    if start_times is not None and len(start_times) != len(tasks):
+        raise ValueError("start_times and tasks must correspond")
     replay = _Replay(system, assignment, contention, backhaul_outages, wan_outages)
     for row, task in enumerate(tasks):
         decision = assignment.decisions[row]
         if decision is Subsystem.CANCELLED:
             continue
-        replay.launch(row, task, decision)
+        start = float(start_times[row]) if start_times is not None else 0.0
+        if start < 0:
+            raise ValueError("start_times must be non-negative")
+        replay.launch(row, task, decision, start=start)
     makespan = replay.sim.run()
 
     latencies: List[Optional[float]] = []
     for row in range(len(tasks)):
-        latencies.append(replay.finish_times.get(row))
+        finish = replay.finish_times.get(row)
+        if finish is None:
+            latencies.append(None)
+        else:
+            latencies.append(finish - replay.start_times.get(row, 0.0))
 
     waits: List[float] = []
     for resource in replay.all_resources():
@@ -316,6 +334,7 @@ def replay_algorithm(
     backhaul_outages: OutageWindows = (),
     wan_outages: OutageWindows = (),
     context: Optional[RunContext] = None,
+    start_times: Optional[Sequence[float]] = None,
 ) -> Tuple[Assignment, RealizedMetrics]:
     """Plan with a registered algorithm, then replay its assignment.
 
@@ -332,6 +351,7 @@ def replay_algorithm(
     :param wan_outages: injected BS–cloud outage windows.
     :param context: run configuration for the planning step; defaults to
         the active context.
+    :param start_times: per-row launch times for the replay step.
     :returns: the planned assignment and its realized metrics.
     :raises ValueError: for unknown names or evaluation-only algorithms.
     """
@@ -345,5 +365,6 @@ def replay_algorithm(
         contention=contention,
         backhaul_outages=backhaul_outages,
         wan_outages=wan_outages,
+        start_times=start_times,
     )
     return assignment, metrics

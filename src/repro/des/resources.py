@@ -16,7 +16,34 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
-__all__ = ["FIFOResource", "FaultyResource"]
+__all__ = ["FIFOResource", "FaultyResource", "normalise_windows"]
+
+
+def normalise_windows(
+    windows: Sequence[Tuple[float, float]],
+) -> Tuple[Tuple[float, float], ...]:
+    """Sort outage windows and merge overlapping or adjacent ones.
+
+    Stochastic fault plans routinely sample overlapping windows (two
+    Poisson outage arrivals whose repairs overlap), so the canonical form
+    accepted everywhere is the sorted union: disjoint windows separated by
+    strictly positive gaps.
+
+    :param windows: (start, end) pairs, in any order, possibly overlapping.
+    :returns: the merged windows, sorted by start time.
+    :raises ValueError: if any window is empty or inverted (start >= end).
+    """
+    for start, end in windows:
+        if start >= end:
+            raise ValueError(f"outage window ({start}, {end}) is empty")
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(windows):
+        if merged and start <= merged[-1][1]:
+            last_start, last_end = merged[-1]
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return tuple(merged)
 
 
 @dataclass
@@ -79,32 +106,27 @@ class FIFOResource:
 class FaultyResource(FIFOResource):
     """A FIFO resource with injected outage windows.
 
-    :param outages: disjoint (start, end) windows when the facility is
-        down.  A request whose service would overlap a window is pushed to
-        the window's end and retried (so a single request may be deferred
-        past several consecutive outages).
+    :param outages: (start, end) windows when the facility is down, in any
+        order; overlapping or adjacent windows are merged on construction
+        (stochastic fault plans routinely produce overlaps).  A request
+        whose service would overlap a window is pushed to the window's end
+        and retried (so a single request may be deferred past several
+        consecutive outages).
     """
 
     outages: Sequence[Tuple[float, float]] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
-        previous_end = -float("inf")
-        for start, end in self.outages:
-            if start >= end:
-                raise ValueError(f"outage window ({start}, {end}) is empty")
-            if start < previous_end:
-                raise ValueError("outage windows must be disjoint and sorted")
-            previous_end = end
+        self.outages = normalise_windows(self.outages)
 
     def _defer_past_outages(self, start: float, service_time: float) -> float:
         """Earliest start ≥ ``start`` whose service avoids every outage."""
-        moved = True
-        while moved:
-            moved = False
-            for outage_start, outage_end in self.outages:
-                if start < outage_end and start + service_time > outage_start:
-                    start = outage_end
-                    moved = True
+        # Outages are sorted and disjoint (normalised in __post_init__), so
+        # one forward scan suffices: deferring past window k can only ever
+        # collide with windows > k.
+        for outage_start, outage_end in self.outages:
+            if start < outage_end and start + service_time > outage_start:
+                start = outage_end
         return start
 
     def request(self, arrival: float, service_time: float) -> Tuple[float, float]:

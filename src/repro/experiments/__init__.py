@@ -31,6 +31,12 @@ from repro.experiments.parallel import (
     run_cells,
 )
 from repro.experiments.ratio_study import RatioStudy, run_ratio_study
+from repro.experiments.resilience import (
+    ResilienceEvaluator,
+    ResilienceResult,
+    ResilienceStudy,
+    resilience_sweep,
+)
 from repro.experiments.stats import Summary, bootstrap_ci, mean_ci, summarize
 from repro.experiments.tables import table1_rows, table1_text
 
@@ -47,6 +53,10 @@ __all__ = [
     "pivot",
     "run_grid",
     "RatioStudy",
+    "ResilienceEvaluator",
+    "ResilienceResult",
+    "ResilienceStudy",
+    "resilience_sweep",
     "Summary",
     "bootstrap_ci",
     "mean_ci",

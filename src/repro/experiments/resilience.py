@@ -1,0 +1,352 @@
+"""The resilience experiment: recovery policies vs failure intensity.
+
+For each failure intensity λ the experiment builds a seeded
+:class:`~repro.faults.FaultPlan` (thinned from a common candidate stream,
+so the fault sets *nest* as λ grows — see :mod:`repro.faults.model`),
+spreads the scenario's tasks over the fault horizon at deterministic
+arrival offsets, and runs the online scheduler once per recovery policy
+on the identical plan.  The sweep reports total realized energy and the
+deadline-miss rate per policy against the fail-stop (``"none"``)
+baseline, and exposes the canonical recovery-event traces the CI job
+diffs for fork/spawn bit-identity.
+
+Cells run through :func:`repro.experiments.parallel.run_cells`, so the
+sweep parallelises like every other experiment: the evaluator below is a
+picklable module-level dataclass, each cell regenerates its scenario from
+``(profile, seed)`` inside the worker, and the fault plan is derived from
+the cell context's seed — fork- and spawn-started workers therefore see
+bit-identical inputs and return bit-identical traces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.context import RunContext, current_context
+from repro.experiments.parallel import EvaluatorSpec, SweepCell, run_cells
+from repro.experiments.series import SeriesData
+from repro.faults.model import FaultConfig, generate_fault_plan
+from repro.faults.recovery import RECOVERY_POLICIES
+from repro.online.arrivals import TimedTask
+from repro.online.scheduler import OnlineOptions, simulate_online
+from repro.workload.generator import Scenario
+from repro.workload.profiles import PAPER_DEFAULTS, WorkloadProfile
+
+__all__ = [
+    "DEFAULT_INTENSITIES",
+    "RESILIENCE_PROFILE",
+    "ResilienceEvaluator",
+    "ResilienceResult",
+    "ResilienceStudy",
+    "resilience_sweep",
+    "spread_arrivals",
+]
+
+#: Failure intensities (outage arrivals per second) the study sweeps.
+DEFAULT_INTENSITIES: Tuple[float, ...] = (0.0, 0.02, 0.05, 0.1, 0.2)
+
+#: A deliberately small instance: the sweep replays every epoch at least
+#: twice per policy (healthy + faulty), so the paper-sized 200-task
+#: profile would dominate runtime without changing the comparison.
+RESILIENCE_PROFILE: WorkloadProfile = PAPER_DEFAULTS.with_updates(
+    num_stations=3, num_devices=12, num_tasks=40, num_data_items=60
+)
+
+
+def spread_arrivals(
+    scenario: Scenario, horizon_s: float
+) -> Tuple[TimedTask, ...]:
+    """The scenario's tasks at deterministic offsets over the horizon.
+
+    Task *k* of *n* arrives at ``k * horizon / n`` — evenly spread so
+    every epoch has in-flight work for outage windows to hit, and a pure
+    function of the scenario, so fork/spawn workers agree bit-for-bit.
+    """
+    if horizon_s <= 0:
+        raise ValueError("horizon_s must be positive")
+    n = len(scenario.tasks)
+    return tuple(
+        TimedTask(arrival_s=index * horizon_s / n, task=task)
+        for index, task in enumerate(scenario.tasks)
+    )
+
+
+@dataclass(frozen=True)
+class ResilienceResult:
+    """One (intensity, policy, seed) run of the online scheduler.
+
+    :param policy: the recovery policy in force.
+    :param intensity_per_s: the fault plan's outage arrival rate λ.
+    :param seed: scenario/fault seed of the cell.
+    :param planned_energy_j: what the planner believed it was spending.
+    :param realized_energy_j: planned energy plus every fault extra
+        (waste, redo, recovery overhead).
+    :param miss_rate: arrival-weighted realized unsatisfied fraction.
+    :param faults: recovery events emitted (one per affected task).
+    :param recovered: threatened tasks the policy saved.
+    :param dropped: tasks lost to departures/data loss.
+    :param retries: retry recoveries attempted.
+    :param degradations: degrade-to-cloud recoveries attempted.
+    :param reassignments: LP reassignment recoveries attempted.
+    :param trace: the canonical recovery-event trace
+        (:meth:`~repro.online.scheduler.OnlineReport.event_trace`).
+    """
+
+    policy: str
+    intensity_per_s: float
+    seed: int
+    planned_energy_j: float
+    realized_energy_j: float
+    miss_rate: float
+    faults: int
+    recovered: int
+    dropped: int
+    retries: int
+    degradations: int
+    reassignments: int
+    trace: Tuple[tuple, ...]
+
+    def trace_json(self) -> str:
+        """The trace as canonical JSON (what the CI job diffs)."""
+        return json.dumps(
+            {
+                "policy": self.policy,
+                "intensity_per_s": self.intensity_per_s,
+                "seed": self.seed,
+                "events": [list(event) for event in self.trace],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def trace_digest(self) -> str:
+        """SHA-256 of the canonical trace JSON."""
+        return hashlib.sha256(self.trace_json().encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class ResilienceEvaluator:
+    """Picklable evaluator: one recovery policy under one fault config.
+
+    Instances are module-level dataclasses with only frozen, picklable
+    state, so cells carrying them cross process boundaries under both
+    fork and spawn.  The fault plan is regenerated inside the worker from
+    the scenario and the ambient context's seed — never shipped.
+
+    :param recovery: recovery policy key (:data:`RECOVERY_POLICIES`).
+    :param fault_config: the fault process, already scaled to the cell's
+        intensity via :meth:`~repro.faults.FaultConfig.with_intensity`.
+    :param policy: planning policy for every epoch (default LP-HTA).
+    :param epoch_length_s: online scheduler cadence.
+    """
+
+    recovery: str
+    fault_config: FaultConfig
+    policy: str = "lp-hta"
+    epoch_length_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.recovery not in RECOVERY_POLICIES:
+            raise ValueError(
+                f"recovery must be one of {RECOVERY_POLICIES}, "
+                f"got {self.recovery!r}"
+            )
+
+    def __call__(self, scenario: Scenario) -> ResilienceResult:
+        context = current_context()
+        plan = generate_fault_plan(
+            scenario.system, self.fault_config, seed=context.seed
+        )
+        arrivals = spread_arrivals(scenario, self.fault_config.horizon_s)
+        report = simulate_online(
+            scenario.system,
+            arrivals,
+            OnlineOptions(
+                epoch_length_s=self.epoch_length_s,
+                policy=self.policy,
+                recovery=self.recovery,
+            ),
+            context=context,
+            fault_plan=plan,
+        )
+        return ResilienceResult(
+            policy=self.recovery,
+            intensity_per_s=self.fault_config.intensity_per_s,
+            seed=context.seed,
+            planned_energy_j=report.total_planned_energy_j,
+            realized_energy_j=report.total_realized_energy_j,
+            miss_rate=report.mean_realized_unsatisfied,
+            faults=len(report.events),
+            recovered=report.total_recovered,
+            dropped=report.total_dropped,
+            retries=sum(e.retries for e in report.epochs),
+            degradations=sum(e.degradations for e in report.epochs),
+            reassignments=sum(e.reassignments for e in report.epochs),
+            trace=report.event_trace(),
+        )
+
+
+@dataclass(frozen=True)
+class ResilienceStudy:
+    """Results of one resilience sweep, indexed three ways.
+
+    :param intensities: swept λ values, ascending.
+    :param policies: recovery policies compared.
+    :param seeds: scenario/fault seeds averaged over.
+    :param results: ``(intensity, policy, seed)`` → cell result.
+    """
+
+    intensities: Tuple[float, ...]
+    policies: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    results: Mapping[Tuple[float, str, int], ResilienceResult] = field(
+        default_factory=dict
+    )
+
+    def _mean(self, policy: str, metric: str) -> Tuple[float, ...]:
+        out: List[float] = []
+        for intensity in self.intensities:
+            values = [
+                getattr(self.results[(intensity, policy, seed)], metric)
+                for seed in self.seeds
+            ]
+            out.append(sum(values) / len(values))
+        return tuple(out)
+
+    def energy_series(self) -> SeriesData:
+        """Seed-averaged realized energy per policy over λ."""
+        return SeriesData(
+            figure_id="resilience-energy",
+            title="Realized energy vs failure intensity",
+            x_label="failure intensity (1/s)",
+            y_label="total realized energy (J)",
+            x_values=self.intensities,
+            series={
+                policy: self._mean(policy, "realized_energy_j")
+                for policy in self.policies
+            },
+        )
+
+    def miss_series(self) -> SeriesData:
+        """Seed-averaged deadline-miss rate per policy over λ."""
+        return SeriesData(
+            figure_id="resilience-miss",
+            title="Deadline-miss rate vs failure intensity",
+            x_label="failure intensity (1/s)",
+            y_label="realized miss rate",
+            x_values=self.intensities,
+            series={
+                policy: self._mean(policy, "miss_rate")
+                for policy in self.policies
+            },
+        )
+
+    def trace_json(self) -> str:
+        """Every cell's canonical trace as one sorted JSON document."""
+        entries: Dict[str, str] = {}
+        for (intensity, policy, seed), result in sorted(self.results.items()):
+            key = f"lambda={intensity:g}/policy={policy}/seed={seed}"
+            entries[key] = result.trace_json()
+        return json.dumps(entries, sort_keys=True, indent=1)
+
+
+def resilience_sweep(
+    intensities: Sequence[float] = DEFAULT_INTENSITIES,
+    policies: Sequence[str] = RECOVERY_POLICIES,
+    seeds: Sequence[int] = (0,),
+    profile: WorkloadProfile = RESILIENCE_PROFILE,
+    fault_config: Optional[FaultConfig] = None,
+    policy: str = "lp-hta",
+    epoch_length_s: float = 60.0,
+    jobs: Optional[int] = 1,
+    start_method: Optional[str] = None,
+    context: Optional[RunContext] = None,
+) -> ResilienceStudy:
+    """Sweep failure intensity × recovery policy × seed.
+
+    One :class:`~repro.experiments.parallel.SweepCell` per (intensity,
+    seed) — all policies of a cell share the regenerated scenario and the
+    identical fault plan, which is what makes the per-intensity policy
+    comparison paired rather than noisy.
+
+    :param intensities: outage arrival rates λ to sweep (must each be
+        admissible under the fault config's ``max_intensity_per_s``).
+    :param policies: recovery policies to compare.
+    :param seeds: scenario/fault seeds to average over.
+    :param profile: workload profile each cell regenerates.
+    :param fault_config: base fault process; default
+        :class:`~repro.faults.FaultConfig` with ``max_intensity_per_s``
+        raised to cover the largest requested λ.
+    :param policy: planning policy for every epoch.
+    :param epoch_length_s: online scheduler cadence.
+    :param jobs: worker processes (1 = in-process).
+    :param start_method: multiprocessing start method for ``jobs > 1``.
+    :param context: base run configuration; each cell runs under
+        ``context.replace(seed=seed)``.
+    """
+    intensities = tuple(intensities)
+    policies = tuple(policies)
+    seeds = tuple(seeds)
+    if not intensities or not policies or not seeds:
+        raise ValueError("intensities, policies and seeds must be non-empty")
+    for name in policies:
+        if name not in RECOVERY_POLICIES:
+            raise ValueError(
+                f"unknown recovery policy {name!r}; "
+                f"choose from {RECOVERY_POLICIES}"
+            )
+    base = context if context is not None else current_context()
+    if fault_config is None:
+        # Gentle departure/crash ratios keep link outages the dominant
+        # fault mode — the regime where the recovery policies differ;
+        # heavy departures just shrink the workload for every policy
+        # alike (dropped tasks cost nothing and count as misses).
+        fault_config = FaultConfig(
+            mean_outage_s=6.0, departure_ratio=0.004, crash_ratio=0.002
+        )
+    if max(intensities) > fault_config.max_intensity_per_s:
+        fault_config = fault_config.with_max_intensity(max(intensities))
+
+    cells: List[SweepCell] = []
+    keys: List[Tuple[float, int]] = []
+    for intensity in intensities:
+        scaled = fault_config.with_intensity(intensity)
+        evaluators = tuple(
+            EvaluatorSpec(
+                name=recovery,
+                kind="callable",
+                target=ResilienceEvaluator(
+                    recovery=recovery,
+                    fault_config=scaled,
+                    policy=policy,
+                    epoch_length_s=epoch_length_s,
+                ),
+            )
+            for recovery in policies
+        )
+        for seed in seeds:
+            cells.append(
+                SweepCell(
+                    index=len(cells),
+                    profile=profile,
+                    seed=seed,
+                    evaluators=evaluators,
+                    context=base.replace(seed=seed),
+                )
+            )
+            keys.append((intensity, seed))
+
+    outcomes = run_cells(cells, jobs=jobs, start_method=start_method)
+    results: Dict[Tuple[float, str, int], ResilienceResult] = {}
+    for (intensity, seed), cell_results in zip(keys, outcomes):
+        for recovery, result in zip(policies, cell_results):
+            results[(intensity, recovery, seed)] = result
+    return ResilienceStudy(
+        intensities=intensities,
+        policies=policies,
+        seeds=seeds,
+        results=results,
+    )

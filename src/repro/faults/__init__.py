@@ -1,0 +1,39 @@
+"""Fault injection and recovery for the MEC control plane.
+
+:mod:`repro.faults.model` samples seeded stochastic fault plans (link
+outages, device departures, station crashes); :mod:`repro.faults.recovery`
+detects the failures those plans cause in a planned epoch (via the DES
+replay) and applies pluggable recovery policies.  See docs/robustness.md.
+"""
+
+from repro.faults.model import (
+    FaultConfig,
+    FaultPlan,
+    generate_fault_plan,
+    shift_windows,
+)
+from repro.faults.recovery import (
+    RECOVERY_POLICIES,
+    RecoveryEvent,
+    RecoveryOptions,
+    RecoveryOutcome,
+    ThreatReport,
+    apply_recovery,
+    detect_threats,
+    surviving_system,
+)
+
+__all__ = [
+    "FaultConfig",
+    "FaultPlan",
+    "RECOVERY_POLICIES",
+    "RecoveryEvent",
+    "RecoveryOptions",
+    "RecoveryOutcome",
+    "ThreatReport",
+    "apply_recovery",
+    "detect_threats",
+    "generate_fault_plan",
+    "shift_windows",
+    "surviving_system",
+]

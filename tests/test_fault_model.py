@@ -1,0 +1,160 @@
+"""Seeded fault plans: determinism, monotone nesting, window helpers."""
+
+import pytest
+
+from repro.faults.model import (
+    FaultConfig,
+    FaultPlan,
+    generate_fault_plan,
+    shift_windows,
+)
+
+INTENSITIES = (0.0, 0.02, 0.05, 0.1, 0.3)
+
+
+@pytest.fixture
+def config():
+    return FaultConfig(
+        horizon_s=300.0,
+        intensity_per_s=0.05,
+        max_intensity_per_s=0.5,
+        mean_outage_s=5.0,
+        departure_ratio=0.05,
+        crash_ratio=0.02,
+    )
+
+
+class TestFaultConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="horizon"):
+            FaultConfig(horizon_s=0.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultConfig(intensity_per_s=-0.1)
+        with pytest.raises(ValueError, match="ceiling"):
+            FaultConfig(intensity_per_s=1.0, max_intensity_per_s=0.5)
+        with pytest.raises(ValueError, match="mean_outage_s"):
+            FaultConfig(mean_outage_s=0.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultConfig(departure_ratio=-1.0)
+
+    def test_with_intensity(self, config):
+        scaled = config.with_intensity(0.2)
+        assert scaled.intensity_per_s == 0.2
+        assert scaled.horizon_s == config.horizon_s
+        assert scaled.max_intensity_per_s == config.max_intensity_per_s
+
+    def test_with_max_intensity(self, config):
+        raised = config.with_max_intensity(2.0)
+        assert raised.max_intensity_per_s == 2.0
+        assert raised.intensity_per_s == config.intensity_per_s
+
+
+class TestGeneratePlan:
+    def test_deterministic_in_seed(self, config, small_scenario):
+        first = generate_fault_plan(small_scenario.system, config, seed=5)
+        second = generate_fault_plan(small_scenario.system, config, seed=5)
+        assert first.backhaul_outages == second.backhaul_outages
+        assert first.wan_outages == second.wan_outages
+        assert first.device_departure_s == second.device_departure_s
+        assert first.station_crash_s == second.station_crash_s
+
+    def test_different_seeds_differ(self, config, small_scenario):
+        first = generate_fault_plan(small_scenario.system, config, seed=1)
+        second = generate_fault_plan(small_scenario.system, config, seed=2)
+        assert (
+            first.backhaul_outages != second.backhaul_outages
+            or first.wan_outages != second.wan_outages
+        )
+
+    def test_zero_intensity_is_fault_free(self, config, small_scenario):
+        plan = generate_fault_plan(
+            small_scenario.system, config.with_intensity(0.0), seed=3
+        )
+        assert plan.is_fault_free()
+
+    def test_events_within_horizon(self, config, small_scenario):
+        plan = generate_fault_plan(
+            small_scenario.system, config.with_intensity(0.3), seed=4
+        )
+        for start, end in plan.backhaul_outages + plan.wan_outages:
+            assert 0.0 <= start < config.horizon_s
+            assert end > start
+        for when in plan.device_departure_s.values():
+            assert 0.0 <= when < config.horizon_s
+        for when in plan.station_crash_s.values():
+            assert 0.0 <= when < config.horizon_s
+
+    def test_windows_sorted_and_disjoint(self, config, small_scenario):
+        plan = generate_fault_plan(
+            small_scenario.system, config.with_intensity(0.4), seed=6
+        )
+        for windows in (plan.backhaul_outages, plan.wan_outages):
+            for (s1, e1), (s2, _) in zip(windows, windows[1:]):
+                assert e1 < s2
+
+
+class TestMonotoneNesting:
+    """Higher intensity ⇒ superset of failures (same seed, same ceiling)."""
+
+    def _plans(self, system, config, seed=9):
+        return [
+            generate_fault_plan(system, config.with_intensity(lam), seed=seed)
+            for lam in INTENSITIES
+        ]
+
+    def test_outage_windows_nest(self, config, small_scenario):
+        plans = self._plans(small_scenario.system, config)
+
+        def covered(windows, t):
+            return any(s <= t < e for s, e in windows)
+
+        probes = [i * 0.5 for i in range(600)]
+        for lo, hi in zip(plans, plans[1:]):
+            for attr in ("backhaul_outages", "wan_outages"):
+                lo_w, hi_w = getattr(lo, attr), getattr(hi, attr)
+                for t in probes:
+                    if covered(lo_w, t):
+                        assert covered(hi_w, t)
+
+    def test_departed_and_crashed_sets_nest(self, config, small_scenario):
+        plans = self._plans(small_scenario.system, config)
+        for lo, hi in zip(plans, plans[1:]):
+            for t in (0.0, 50.0, 150.0, 299.0):
+                assert lo.departed_devices(t) <= hi.departed_devices(t)
+                assert lo.crashed_stations(t) <= hi.crashed_stations(t)
+
+
+class TestShiftWindows:
+    def test_window_inside_epoch(self):
+        assert shift_windows(((70.0, 75.0),), 60.0, 120.0) == ((10.0, 15.0),)
+
+    def test_window_straddling_start_clips_left(self):
+        assert shift_windows(((50.0, 70.0),), 60.0, 120.0) == ((0.0, 10.0),)
+
+    def test_window_outliving_epoch_not_right_clipped(self):
+        assert shift_windows(((110.0, 200.0),), 60.0, 120.0) == ((50.0, 140.0),)
+
+    def test_disjoint_windows_dropped(self):
+        assert shift_windows(((0.0, 60.0), (120.0, 130.0)), 60.0, 120.0) == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="exceed"):
+            shift_windows((), 10.0, 10.0)
+
+
+class TestFaultPlanQueries:
+    def test_departed_devices_threshold(self):
+        plan = FaultPlan(
+            config=FaultConfig(), seed=0,
+            device_departure_s={3: 100.0, 7: 250.0},
+        )
+        assert plan.departed_devices(50.0) == frozenset()
+        assert plan.departed_devices(100.0) == frozenset({3})
+        assert plan.departed_devices(300.0) == frozenset({3, 7})
+
+    def test_crashed_stations_threshold(self):
+        plan = FaultPlan(
+            config=FaultConfig(), seed=0, station_crash_s={1: 42.0}
+        )
+        assert plan.crashed_stations(41.0) == frozenset()
+        assert plan.crashed_stations(42.0) == frozenset({1})

@@ -2,11 +2,13 @@
 
 import pytest
 
+from repro import registry
+from repro.context import RunContext, use_context
 from repro.core.assignment import Assignment, Subsystem
 from repro.core.costs import cluster_costs
 from repro.core.hta import lp_hta
-from repro.des.replay import replay_assignment
-from repro.des.resources import FaultyResource
+from repro.des.replay import replay_algorithm, replay_assignment
+from repro.des.resources import FaultyResource, normalise_windows
 
 
 class TestFaultyResource:
@@ -40,8 +42,39 @@ class TestFaultyResource:
     def test_validation(self):
         with pytest.raises(ValueError, match="empty"):
             FaultyResource("x", outages=((3.0, 3.0),))
-        with pytest.raises(ValueError, match="disjoint"):
-            FaultyResource("x", outages=((0.0, 5.0), (4.0, 6.0)))
+        with pytest.raises(ValueError, match="empty"):
+            FaultyResource("x", outages=((5.0, 3.0),))
+
+    def test_overlapping_windows_are_merged(self):
+        resource = FaultyResource("x", outages=((0.0, 5.0), (4.0, 6.0)))
+        assert resource.outages == ((0.0, 6.0),)
+        # Service through the merged window restarts at its end.
+        assert resource.request(1.0, 2.0) == (6.0, 8.0)
+
+    def test_unsorted_windows_are_sorted(self):
+        resource = FaultyResource("x", outages=((7.0, 9.0), (1.0, 2.0)))
+        assert resource.outages == ((1.0, 2.0), (7.0, 9.0))
+
+    def test_adjacent_windows_are_coalesced(self):
+        resource = FaultyResource("x", outages=((1.0, 3.0), (3.0, 5.0)))
+        assert resource.outages == ((1.0, 5.0),)
+        assert resource.request(2.0, 1.0) == (5.0, 6.0)
+
+
+class TestNormaliseWindows:
+    def test_empty(self):
+        assert normalise_windows(()) == ()
+
+    def test_sorts_merges_and_coalesces(self):
+        windows = ((8.0, 10.0), (0.0, 2.0), (1.0, 4.0), (4.0, 5.0))
+        assert normalise_windows(windows) == ((0.0, 5.0), (8.0, 10.0))
+
+    def test_contained_window_is_absorbed(self):
+        assert normalise_windows(((0.0, 10.0), (2.0, 3.0))) == ((0.0, 10.0),)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError, match="empty"):
+            normalise_windows(((2.0, 2.0),))
 
 
 class TestOutageReplay:
@@ -99,3 +132,110 @@ class TestOutageReplay:
             if slow is not None:
                 assert slow >= fast - 1e-9
         assert faulty.makespan_s >= healthy.makespan_s - 1e-9
+
+
+class TestStartTimes:
+    def test_latency_measured_from_launch(self, two_cluster_system, local_task):
+        costs = cluster_costs(two_cluster_system, [local_task])
+        assignment = Assignment(costs, [Subsystem.DEVICE])
+        at_zero = replay_assignment(two_cluster_system, [local_task], assignment)
+        offset = replay_assignment(
+            two_cluster_system, [local_task], assignment, start_times=[30.0]
+        )
+        assert offset.latencies_s[0] == pytest.approx(at_zero.latencies_s[0])
+        assert offset.makespan_s == pytest.approx(at_zero.makespan_s + 30.0)
+
+    def test_outage_before_launch_is_harmless(
+        self, two_cluster_system, shared_task_cross_cluster
+    ):
+        costs = cluster_costs(two_cluster_system, [shared_task_cross_cluster])
+        assignment = Assignment(costs, [Subsystem.DEVICE])
+        healthy = replay_assignment(
+            two_cluster_system, [shared_task_cross_cluster], assignment,
+            start_times=[10.0],
+        )
+        faulty = replay_assignment(
+            two_cluster_system, [shared_task_cross_cluster], assignment,
+            backhaul_outages=((0.0, 2.0),), start_times=[10.0],
+        )
+        assert faulty.latencies_s[0] == pytest.approx(healthy.latencies_s[0])
+
+    def test_outage_at_launch_defers(
+        self, two_cluster_system, shared_task_cross_cluster
+    ):
+        costs = cluster_costs(two_cluster_system, [shared_task_cross_cluster])
+        assignment = Assignment(costs, [Subsystem.DEVICE])
+        healthy = replay_assignment(
+            two_cluster_system, [shared_task_cross_cluster], assignment,
+            start_times=[10.0],
+        )
+        faulty = replay_assignment(
+            two_cluster_system, [shared_task_cross_cluster], assignment,
+            backhaul_outages=((9.0, 13.0),), start_times=[10.0],
+        )
+        assert faulty.latencies_s[0] > healthy.latencies_s[0]
+
+    def test_validation(self, two_cluster_system, local_task):
+        costs = cluster_costs(two_cluster_system, [local_task])
+        assignment = Assignment(costs, [Subsystem.DEVICE])
+        with pytest.raises(ValueError, match="correspond"):
+            replay_assignment(
+                two_cluster_system, [local_task], assignment,
+                start_times=[0.0, 1.0],
+            )
+        with pytest.raises(ValueError, match="non-negative"):
+            replay_assignment(
+                two_cluster_system, [local_task], assignment,
+                start_times=[-1.0],
+            )
+
+
+#: Outage windows wide enough to intersect the small fixture tasks.
+_OUTAGES = dict(backhaul_outages=((0.0, 1.5),), wan_outages=((0.5, 2.5),))
+
+
+class TestFaultyReplayEveryAlgorithm:
+    """Satellite: every registry algorithm replays under faulty resources."""
+
+    @pytest.fixture
+    def batch(
+        self, local_task, shared_task_same_cluster, shared_task_cross_cluster
+    ):
+        return [local_task, shared_task_same_cluster, shared_task_cross_cluster]
+
+    @pytest.mark.parametrize("name", registry.names(assignable=True))
+    def test_replay_under_outages(self, name, two_cluster_system, batch):
+        context = RunContext(seed=7)
+        with use_context(context):
+            assignment, metrics = replay_algorithm(
+                two_cluster_system, batch, name, **_OUTAGES
+            )
+            healthy = replay_assignment(two_cluster_system, batch, assignment)
+        assert len(metrics.latencies_s) == len(batch)
+        for row, decision in enumerate(assignment.decisions):
+            realized = metrics.latencies_s[row]
+            if decision is Subsystem.CANCELLED:
+                assert realized is None
+            else:
+                assert realized is not None
+                # Outages only ever defer work.
+                assert realized >= healthy.latencies_s[row] - 1e-9
+        assert metrics.total_energy_j == pytest.approx(
+            assignment.total_energy_j()
+        )
+
+    @pytest.mark.parametrize("name", registry.names(assignable=True))
+    def test_realized_metrics_deterministic(self, name, two_cluster_system, batch):
+        def run():
+            context = RunContext(seed=11)
+            with use_context(context):
+                return replay_algorithm(
+                    two_cluster_system, batch, name, **_OUTAGES
+                )
+
+        first_assignment, first = run()
+        second_assignment, second = run()
+        assert first_assignment.decisions == second_assignment.decisions
+        assert first.latencies_s == second.latencies_s
+        assert first.makespan_s == second.makespan_s
+        assert first.total_energy_j == second.total_energy_j

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.context import RunContext, use_context
+from repro.faults import FaultConfig, generate_fault_plan
 from repro.mobility.waypoint import RandomWaypointModel
 from repro.online.arrivals import PoissonArrivals
 from repro.online.scheduler import OnlineOptions, simulate_online
@@ -56,6 +58,8 @@ class TestOptions:
             OnlineOptions(epoch_length_s=0.0)
         with pytest.raises(ValueError):
             OnlineOptions(policy="dqn")
+        with pytest.raises(ValueError):
+            OnlineOptions(recovery="reboot")
 
 
 class TestStaticScheduling:
@@ -92,6 +96,104 @@ class TestStaticScheduling:
         )
         assert report.total_tasks == len(arrivals)
         assert report.total_planned_energy_j > 0
+
+
+class TestFaultyScheduling:
+    @pytest.fixture(scope="class")
+    def fault_plan(self, system):
+        config = FaultConfig(
+            horizon_s=300.0, intensity_per_s=0.1, mean_outage_s=6.0,
+            departure_ratio=0.01, crash_ratio=0.005,
+        )
+        return generate_fault_plan(system, config, seed=42)
+
+    def test_no_fault_plan_reports_no_events(self, system, arrivals):
+        report = simulate_online(system, arrivals, OnlineOptions())
+        assert report.events == ()
+        assert report.recovery == "none"
+        assert report.total_dropped == 0
+
+    def test_arrivals_still_all_accounted(self, system, arrivals, fault_plan):
+        report = simulate_online(
+            system, arrivals, OnlineOptions(), fault_plan=fault_plan
+        )
+        # Dropped tasks count as arrivals, not silent disappearances.
+        assert report.total_tasks == len(arrivals)
+
+    def test_dropped_tasks_counted_unsatisfied(
+        self, system, arrivals, fault_plan
+    ):
+        clean = simulate_online(system, arrivals, OnlineOptions())
+        faulty = simulate_online(
+            system, arrivals, OnlineOptions(), fault_plan=fault_plan
+        )
+        if faulty.total_dropped:
+            assert (
+                faulty.mean_realized_unsatisfied
+                > clean.mean_realized_unsatisfied - 1e-12
+            )
+
+    def test_fault_extras_flow_into_energy_gap(
+        self, system, arrivals, fault_plan
+    ):
+        report = simulate_online(
+            system, arrivals, OnlineOptions(), fault_plan=fault_plan
+        )
+        expected = sum(e.extra_energy_j for e in report.events)
+        assert report.drift_energy_gap_j == pytest.approx(expected)
+        per_epoch = sum(e.fault_extra_energy_j for e in report.epochs)
+        assert per_epoch == pytest.approx(expected)
+
+    def test_telemetry_counters_match_events(
+        self, system, arrivals, fault_plan
+    ):
+        context = RunContext(seed=0)
+        with use_context(context):
+            report = simulate_online(
+                system, arrivals, OnlineOptions(recovery="retry"),
+                context=context, fault_plan=fault_plan,
+            )
+        telemetry = context.telemetry
+        assert telemetry.faults_detected == len(report.events)
+        assert telemetry.retries == sum(
+            1 for e in report.events if e.action == "retry"
+        )
+        assert telemetry.tasks_dropped == sum(
+            1 for e in report.events if e.action == "drop"
+        )
+        assert telemetry.tasks_recovered == sum(
+            1 for e in report.events if e.recovered
+        )
+
+    def test_event_trace_deterministic(self, system, arrivals, fault_plan):
+        def run():
+            return simulate_online(
+                system, arrivals, OnlineOptions(recovery="reassign"),
+                context=RunContext(seed=0), fault_plan=fault_plan,
+            ).event_trace()
+
+        assert run() == run()
+
+    @pytest.mark.parametrize("recovery", ("retry", "degrade", "reassign"))
+    def test_recovery_never_worse_than_fail_stop(
+        self, system, arrivals, fault_plan, recovery
+    ):
+        baseline = simulate_online(
+            system, arrivals, OnlineOptions(recovery="none"),
+            context=RunContext(seed=0), fault_plan=fault_plan,
+        )
+        recovered = simulate_online(
+            system, arrivals, OnlineOptions(recovery=recovery),
+            context=RunContext(seed=0), fault_plan=fault_plan,
+        )
+        assert (
+            recovered.total_realized_energy_j
+            <= baseline.total_realized_energy_j + 1e-9
+        )
+        assert (
+            recovered.mean_realized_unsatisfied
+            <= baseline.mean_realized_unsatisfied + 1e-12
+        )
 
 
 class TestMobileScheduling:

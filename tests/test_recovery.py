@@ -1,0 +1,318 @@
+"""Recovery policies: threat detection, policy behaviour, cost bounds."""
+
+import pytest
+
+from repro.core.assignment import Assignment, Subsystem
+from repro.core.costs import cluster_costs
+from repro.faults.recovery import (
+    RECOVERY_POLICIES,
+    RecoveryOptions,
+    apply_recovery,
+    detect_threats,
+    surviving_system,
+)
+
+BACKHAUL = ((0.0, 3.0),)
+_CLOUD = Subsystem.CLOUD.column
+
+
+@pytest.fixture
+def batch(local_task, shared_task_cross_cluster):
+    """Row 0: no external data; row 1: cross-cluster external data."""
+    return [local_task, shared_task_cross_cluster]
+
+
+@pytest.fixture
+def device_assignment(two_cluster_system, batch):
+    costs = cluster_costs(two_cluster_system, batch)
+    return Assignment(costs, [Subsystem.DEVICE, Subsystem.DEVICE])
+
+
+class TestDetectThreats:
+    def test_no_faults_no_threats(self, two_cluster_system, batch, device_assignment):
+        threats = detect_threats(two_cluster_system, batch, device_assignment)
+        assert not threats.any_faults
+        assert threats.threatened_rows == ()
+
+    def test_backhaul_outage_threatens_cross_cluster_task(
+        self, two_cluster_system, batch, device_assignment
+    ):
+        threats = detect_threats(
+            two_cluster_system, batch, device_assignment,
+            backhaul_outages=BACKHAUL,
+        )
+        assert threats.outage_rows == (1,)
+        assert threats.crash_rows == ()
+        assert threats.dropped_rows == ()
+
+    def test_departed_owner_beats_outage(
+        self, two_cluster_system, batch, device_assignment
+    ):
+        threats = detect_threats(
+            two_cluster_system, batch, device_assignment,
+            backhaul_outages=BACKHAUL, departed=frozenset({0}),
+        )
+        # Both tasks belong to device 0 — they are dropped, not threatened.
+        assert threats.dropped_rows == (0, 1)
+        assert threats.outage_rows == ()
+
+    def test_departed_data_source_is_data_loss(
+        self, two_cluster_system, batch, device_assignment
+    ):
+        threats = detect_threats(
+            two_cluster_system, batch, device_assignment,
+            departed=frozenset({2}),
+        )
+        assert threats.data_loss_rows == (1,)
+        assert threats.dropped_rows == ()
+
+    def test_crashed_station_threatens_station_tasks(
+        self, two_cluster_system, batch
+    ):
+        costs = cluster_costs(two_cluster_system, batch)
+        assignment = Assignment(costs, [Subsystem.STATION, Subsystem.STATION])
+        threats = detect_threats(
+            two_cluster_system, batch, assignment, crashed=frozenset({0}),
+        )
+        assert threats.crash_rows == (0, 1)
+
+    def test_cancelled_rows_never_threatened(
+        self, two_cluster_system, batch
+    ):
+        costs = cluster_costs(two_cluster_system, batch)
+        assignment = Assignment(costs, [Subsystem.DEVICE, Subsystem.CANCELLED])
+        threats = detect_threats(
+            two_cluster_system, batch, assignment,
+            backhaul_outages=BACKHAUL, crashed=frozenset({0}),
+        )
+        assert 1 not in threats.threatened_rows
+
+    def test_planned_miss_is_not_a_threat(
+        self, two_cluster_system, local_task, shared_task_cross_cluster
+    ):
+        # A deadline below the healthy latency means the planner already
+        # missed; outages cannot make recovery responsible for it.
+        import dataclasses
+
+        doomed = dataclasses.replace(shared_task_cross_cluster, deadline_s=0.1)
+        batch = [local_task, doomed]
+        costs = cluster_costs(two_cluster_system, batch)
+        assignment = Assignment(costs, [Subsystem.DEVICE, Subsystem.DEVICE])
+        threats = detect_threats(
+            two_cluster_system, batch, assignment, backhaul_outages=BACKHAUL,
+        )
+        assert threats.outage_rows == ()
+
+    def test_start_times_shift_exposure(
+        self, two_cluster_system, batch, device_assignment
+    ):
+        # Launched at 10 s, the cross-cluster task misses a window that
+        # ends at 3 s entirely.
+        threats = detect_threats(
+            two_cluster_system, batch, device_assignment,
+            backhaul_outages=BACKHAUL, start_times=[10.0, 10.0],
+        )
+        assert threats.outage_rows == ()
+        threats = detect_threats(
+            two_cluster_system, batch, device_assignment,
+            backhaul_outages=((9.0, 13.0),), start_times=[10.0, 10.0],
+        )
+        assert threats.outage_rows == (1,)
+
+
+class TestSurvivingSystem:
+    def test_departed_devices_removed(self, two_cluster_system):
+        survivors = surviving_system(two_cluster_system, departed=frozenset({1}))
+        assert sorted(survivors.devices) == [0, 2, 3]
+        assert sorted(survivors.stations) == [0, 1]
+
+    def test_crashed_station_reattaches_cluster(self, two_cluster_system):
+        survivors = surviving_system(two_cluster_system, crashed=frozenset({1}))
+        assert sorted(survivors.stations) == [0]
+        # Devices 2 and 3 lived under station 1; they re-home to station 0.
+        assert survivors.cluster_of(2) == 0
+        assert survivors.cluster_of(3) == 0
+
+    def test_none_when_nothing_survives(self, two_cluster_system):
+        assert (
+            surviving_system(two_cluster_system, crashed=frozenset({0, 1}))
+            is None
+        )
+        assert (
+            surviving_system(
+                two_cluster_system, departed=frozenset({0, 1, 2, 3})
+            )
+            is None
+        )
+
+
+class TestApplyRecovery:
+    def _threats(self, system, batch, assignment):
+        return detect_threats(
+            system, batch, assignment, backhaul_outages=BACKHAUL
+        )
+
+    def test_unknown_policy_rejected(
+        self, two_cluster_system, batch, device_assignment
+    ):
+        threats = self._threats(two_cluster_system, batch, device_assignment)
+        with pytest.raises(ValueError, match="policy"):
+            apply_recovery(
+                "reboot", 0, two_cluster_system, batch, device_assignment,
+                threats,
+            )
+
+    def test_fail_stop_charges_cloud_redo(
+        self, two_cluster_system, batch, device_assignment
+    ):
+        threats = self._threats(two_cluster_system, batch, device_assignment)
+        outcome = apply_recovery(
+            "none", 0, two_cluster_system, batch, device_assignment, threats,
+            backhaul_outages=BACKHAUL,
+        )
+        (event,) = outcome.events
+        assert event.action == "none"
+        assert not event.recovered
+        redo = float(device_assignment.costs.energy_j[1, _CLOUD])
+        assert event.extra_energy_j == pytest.approx(redo)
+        assert outcome.unsatisfied_rows == frozenset({1})
+
+    def test_retry_recovers_within_budget(
+        self, two_cluster_system, batch, device_assignment
+    ):
+        threats = self._threats(two_cluster_system, batch, device_assignment)
+        outcome = apply_recovery(
+            "retry", 0, two_cluster_system, batch, device_assignment, threats,
+            backhaul_outages=BACKHAUL,
+        )
+        (event,) = outcome.events
+        assert event.action == "retry"
+        assert event.recovered
+        redo = float(device_assignment.costs.energy_j[1, _CLOUD])
+        assert 0.0 < event.extra_energy_j <= redo
+        assert outcome.recovered_rows == frozenset({1})
+
+    def test_retry_gives_up_when_backoff_breaks_deadline(
+        self, two_cluster_system, batch, device_assignment
+    ):
+        threats = self._threats(two_cluster_system, batch, device_assignment)
+        outcome = apply_recovery(
+            "retry", 0, two_cluster_system, batch, device_assignment, threats,
+            options=RecoveryOptions(backoff_base_s=100.0),
+            backhaul_outages=BACKHAUL,
+        )
+        (event,) = outcome.events
+        assert not event.recovered
+        # A failed retry costs exactly the fail-stop baseline.
+        redo = float(device_assignment.costs.energy_j[1, _CLOUD])
+        assert event.extra_energy_j == pytest.approx(redo)
+
+    def test_degrade_recovers_at_baseline_cost(
+        self, two_cluster_system, batch, device_assignment
+    ):
+        threats = self._threats(two_cluster_system, batch, device_assignment)
+        outcome = apply_recovery(
+            "degrade", 0, two_cluster_system, batch, device_assignment,
+            threats, backhaul_outages=BACKHAUL,
+        )
+        (event,) = outcome.events
+        assert event.action == "degrade"
+        assert event.recovered
+        redo = float(device_assignment.costs.energy_j[1, _CLOUD])
+        assert event.extra_energy_j == pytest.approx(redo)
+
+    def test_reassign_recovers_cheaper_than_redo(
+        self, two_cluster_system, batch, device_assignment
+    ):
+        threats = self._threats(two_cluster_system, batch, device_assignment)
+        outcome = apply_recovery(
+            "reassign", 0, two_cluster_system, batch, device_assignment,
+            threats, backhaul_outages=BACKHAUL,
+        )
+        (event,) = outcome.events
+        assert event.action == "reassign"
+        assert event.recovered
+        redo = float(device_assignment.costs.energy_j[1, _CLOUD])
+        assert event.extra_energy_j <= redo
+
+    def test_every_policy_bounded_by_fail_stop(
+        self, two_cluster_system, batch, device_assignment
+    ):
+        threats = self._threats(two_cluster_system, batch, device_assignment)
+        baseline = apply_recovery(
+            "none", 0, two_cluster_system, batch, device_assignment, threats,
+            backhaul_outages=BACKHAUL,
+        )
+        for policy in RECOVERY_POLICIES:
+            outcome = apply_recovery(
+                policy, 0, two_cluster_system, batch, device_assignment,
+                threats, backhaul_outages=BACKHAUL,
+            )
+            assert outcome.extra_energy_j <= baseline.extra_energy_j + 1e-9
+            assert len(outcome.unsatisfied_rows) <= len(
+                baseline.unsatisfied_rows
+            )
+
+    def test_departure_refunds_planned_energy(
+        self, two_cluster_system, batch, device_assignment
+    ):
+        threats = detect_threats(
+            two_cluster_system, batch, device_assignment,
+            departed=frozenset({0}),
+        )
+        outcome = apply_recovery(
+            "none", 0, two_cluster_system, batch, device_assignment, threats,
+            departed=frozenset({0}),
+        )
+        assert {e.kind for e in outcome.events} == {"departure"}
+        for event in outcome.events:
+            assert event.action == "drop"
+            assert event.extra_energy_j == pytest.approx(
+                -device_assignment.task_energy_j(event.row)
+            )
+
+    def test_data_loss_costs_nothing_extra(
+        self, two_cluster_system, batch, device_assignment
+    ):
+        threats = detect_threats(
+            two_cluster_system, batch, device_assignment,
+            departed=frozenset({2}),
+        )
+        outcome = apply_recovery(
+            "retry", 0, two_cluster_system, batch, device_assignment, threats,
+            departed=frozenset({2}),
+        )
+        (event,) = outcome.events
+        assert event.kind == "data-loss"
+        assert event.action == "drop"
+        assert event.extra_energy_j == 0.0
+
+    def test_outcome_counts_and_event_tuples(
+        self, two_cluster_system, batch, device_assignment
+    ):
+        threats = self._threats(two_cluster_system, batch, device_assignment)
+        outcome = apply_recovery(
+            "retry", 3, two_cluster_system, batch, device_assignment, threats,
+            backhaul_outages=BACKHAUL,
+        )
+        assert outcome.counts == {"retry": 1}
+        (event,) = outcome.events
+        assert event.as_tuple() == (
+            3, batch[1].task_id, 1, "outage", "retry", True,
+            event.extra_energy_j,
+        )
+
+    def test_extra_energy_is_sum_of_events(
+        self, two_cluster_system, batch, device_assignment
+    ):
+        threats = detect_threats(
+            two_cluster_system, batch, device_assignment,
+            backhaul_outages=BACKHAUL, departed=frozenset({2}),
+        )
+        outcome = apply_recovery(
+            "degrade", 0, two_cluster_system, batch, device_assignment,
+            threats, backhaul_outages=BACKHAUL, departed=frozenset({2}),
+        )
+        assert outcome.extra_energy_j == pytest.approx(
+            sum(e.extra_energy_j for e in outcome.events)
+        )

@@ -1,0 +1,123 @@
+"""The resilience experiment: acceptance bounds and sweep bit-identity."""
+
+import json
+
+import pytest
+
+from repro.experiments.resilience import (
+    RESILIENCE_PROFILE,
+    ResilienceEvaluator,
+    resilience_sweep,
+    spread_arrivals,
+)
+from repro.faults.model import FaultConfig
+from repro.faults.recovery import RECOVERY_POLICIES
+
+INTENSITIES = (0.0, 0.05, 0.2)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return resilience_sweep(intensities=INTENSITIES, seeds=(0,), jobs=1)
+
+
+class TestAcceptanceCriteria:
+    def test_baseline_miss_monotone_in_intensity(self, study):
+        miss = study.miss_series().values_of("none")
+        for lower, higher in zip(miss, miss[1:]):
+            assert lower <= higher + 1e-12
+
+    @pytest.mark.parametrize("policy", ("retry", "degrade", "reassign"))
+    def test_policy_energy_bounded_by_baseline(self, study, policy):
+        energy = study.energy_series()
+        for ours, base in zip(
+            energy.values_of(policy), energy.values_of("none")
+        ):
+            assert ours <= base + 1e-9
+
+    @pytest.mark.parametrize("policy", ("retry", "degrade", "reassign"))
+    def test_policy_miss_bounded_by_baseline(self, study, policy):
+        miss = study.miss_series()
+        for ours, base in zip(miss.values_of(policy), miss.values_of("none")):
+            assert ours <= base + 1e-12
+
+    def test_zero_intensity_policies_agree(self, study):
+        energy = study.energy_series()
+        baseline = energy.values_of("none")[0]
+        for policy in RECOVERY_POLICIES:
+            assert energy.values_of(policy)[0] == pytest.approx(baseline)
+            result = study.results[(0.0, policy, 0)]
+            assert result.faults == 0
+            assert result.trace == ()
+
+    def test_faults_fire_at_high_intensity(self, study):
+        for policy in RECOVERY_POLICIES:
+            assert study.results[(0.2, policy, 0)].faults > 0
+
+    def test_trace_reproducible_for_fixed_seed(self, study):
+        again = resilience_sweep(intensities=INTENSITIES, seeds=(0,), jobs=1)
+        assert again.trace_json() == study.trace_json()
+
+
+class TestParallelBitIdentity:
+    def test_jobs2_fork_matches_sequential(self, study):
+        fork = resilience_sweep(
+            intensities=INTENSITIES, seeds=(0,), jobs=2, start_method="fork"
+        )
+        assert fork.trace_json() == study.trace_json()
+        assert fork.energy_series().series == study.energy_series().series
+
+    def test_jobs2_spawn_matches_sequential(self, study):
+        spawn = resilience_sweep(
+            intensities=INTENSITIES, seeds=(0,), jobs=2, start_method="spawn"
+        )
+        assert spawn.trace_json() == study.trace_json()
+        assert spawn.miss_series().series == study.miss_series().series
+
+
+class TestStudyPlumbing:
+    def test_series_shapes(self, study):
+        energy = study.energy_series()
+        assert energy.x_values == INTENSITIES
+        assert set(energy.series) == set(RECOVERY_POLICIES)
+
+    def test_trace_json_is_canonical(self, study):
+        parsed = json.loads(study.trace_json())
+        assert len(parsed) == len(INTENSITIES) * len(RECOVERY_POLICIES)
+        for entry in parsed.values():
+            inner = json.loads(entry)
+            assert set(inner) == {"policy", "intensity_per_s", "seed", "events"}
+
+    def test_result_digest_stable(self, study):
+        result = study.results[(0.2, "retry", 0)]
+        assert result.trace_digest() == result.trace_digest()
+        assert len(result.trace_digest()) == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            resilience_sweep(intensities=())
+        with pytest.raises(ValueError, match="unknown recovery policy"):
+            resilience_sweep(policies=("reboot",))
+        with pytest.raises(ValueError, match="recovery"):
+            ResilienceEvaluator(recovery="reboot", fault_config=FaultConfig())
+
+    def test_spread_arrivals_deterministic_and_even(self):
+        from repro.workload.generator import generate_scenario
+
+        scenario = generate_scenario(RESILIENCE_PROFILE, seed=0)
+        arrivals = spread_arrivals(scenario, 600.0)
+        assert len(arrivals) == len(scenario.tasks)
+        times = [a.arrival_s for a in arrivals]
+        assert times == sorted(times)
+        assert times[0] == 0.0
+        assert times[-1] < 600.0
+        assert arrivals == spread_arrivals(scenario, 600.0)
+        with pytest.raises(ValueError, match="positive"):
+            spread_arrivals(scenario, 0.0)
+
+    def test_ceiling_raised_to_cover_requested_intensities(self):
+        # max λ above the default ceiling must not raise.
+        study = resilience_sweep(
+            intensities=(0.6,), policies=("none",), seeds=(0,), jobs=1
+        )
+        assert (0.6, "none", 0) in study.results
