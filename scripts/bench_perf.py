@@ -21,8 +21,10 @@ times and the fastest run is kept, which filters scheduler noise.  Usage::
 """
 
 import argparse
+import cProfile
 import json
 import platform
+import pstats
 import time
 from pathlib import Path
 
@@ -42,6 +44,36 @@ def _time_figure(figure_id: str, seeds, jobs: int):
     start = time.perf_counter()
     data = producer(seeds=seeds, jobs=jobs)
     return time.perf_counter() - start, data
+
+
+def _profile_figure(figure_id: str, seeds, jobs: int, top: int = 20):
+    """Run one figure under cProfile; return its top hotspots.
+
+    The profiler only sees the submitting process, so figures are profiled
+    with ``jobs=1`` — worker-side costs would otherwise vanish from the
+    report.  Each hotspot is ``{function, calls, tottime_s, cumtime_s}``,
+    sorted by cumulative time.
+    """
+    producer = ALL_FIGURES[figure_id]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    producer(seeds=seeds, jobs=1)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    hotspots = []
+    for func in stats.fcn_list[:top]:  # (file, line, name), sorted
+        cc, nc, tottime, cumtime, _callers = stats.stats[func]
+        filename, line, name = func
+        hotspots.append(
+            {
+                "function": f"{filename}:{line}({name})",
+                "calls": nc,
+                "tottime_s": round(tottime, 4),
+                "cumtime_s": round(cumtime, 4),
+            }
+        )
+    return hotspots
 
 
 def main() -> None:
@@ -69,6 +101,11 @@ def main() -> None:
     parser.add_argument(
         "--out", type=Path,
         default=Path(__file__).parent.parent / "BENCH_sweep.json",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="additionally run each figure under cProfile and record the "
+        "top-20 cumulative-time hotspots in the output JSON",
     )
     args = parser.parse_args()
 
@@ -114,6 +151,10 @@ def main() -> None:
             "optimized_s": round(opt_s, 3),
             "speedup": round(ref_s / opt_s, 2),
         }
+        if args.profile:
+            report["figures"][figure_id]["hotspots"] = _profile_figure(
+                figure_id, seeds, jobs=args.jobs
+            )
         print(
             f"{figure_id}: reference {ref_s:7.2f}s  optimized {opt_s:7.2f}s  "
             f"({ref_s / opt_s:.2f}x)",

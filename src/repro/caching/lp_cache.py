@@ -20,6 +20,7 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.caching.cache import CacheStats
 from repro.context import Telemetry
@@ -33,10 +34,23 @@ __all__ = ["LPSolveCache", "fingerprint_grouped", "fingerprint_problem"]
 
 
 def _update(digest: "hashlib._Hash", label: bytes, array: Optional[np.ndarray]) -> None:
-    """Feed one (possibly absent) array into the digest, unambiguously."""
+    """Feed one (possibly absent) array into the digest, unambiguously.
+
+    Sparse matrices are hashed over their canonical CSR structure (shape,
+    indptr, indices, data) so two solves with the same sparse constraints
+    share a key — and never collide with a dense matrix of equal values.
+    """
     digest.update(label)
     if array is None:
         digest.update(b"<none>")
+        return
+    if sp.issparse(array):
+        csr = sp.csr_array(array, dtype=float)
+        digest.update(b"<csr>")
+        digest.update(str(csr.shape).encode())
+        digest.update(np.ascontiguousarray(csr.indptr).tobytes())
+        digest.update(np.ascontiguousarray(csr.indices).tobytes())
+        digest.update(np.ascontiguousarray(csr.data, dtype=float).tobytes())
         return
     arr = np.ascontiguousarray(array, dtype=float)
     digest.update(str(arr.shape).encode())

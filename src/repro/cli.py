@@ -9,8 +9,9 @@ Usage::
 
 Algorithm and policy choices come from :mod:`repro.registry`, so the CLI
 always lists exactly what is registered.  ``--stats`` prints the run's LP
-telemetry (solves, wall time, cache hits, warm-start reuse) collected on
-the active :class:`~repro.context.RunContext`.
+telemetry (solves, wall time, LP-cache and scenario-memo hit rates,
+warm-start reuse) collected on the active
+:class:`~repro.context.RunContext`.
 """
 
 from __future__ import annotations
@@ -46,7 +47,17 @@ def _add_jobs_and_stats(parser: argparse.ArgumentParser, what: str) -> None:
     )
     parser.add_argument(
         "--stats", action="store_true",
-        help="print LP solve telemetry (solves, wall time, cache hits) at the end",
+        help="print run telemetry (LP solves, wall time, LP-cache and "
+        "scenario-memo hit rates) at the end",
+    )
+
+
+def _add_reference(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--reference", action="store_true",
+        help="run the seed-era reference implementations (scalar cost "
+        "tables, dense LP assembly, naive greedy DTA; all caches off) — "
+        "output is bit-identical to the optimised default, only slower",
     )
 
 
@@ -72,6 +83,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--chart", action="store_true",
         help="also render an ASCII chart of the series",
     )
+    _add_reference(figure)
     _add_jobs_and_stats(figure, "sweep")
 
     all_figures = sub.add_parser("all-figures", help="regenerate every figure")
@@ -79,6 +91,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seeds", type=int, nargs="+", default=list(DEFAULT_SEEDS),
         help="scenario seeds to average over",
     )
+    _add_reference(all_figures)
     _add_jobs_and_stats(all_figures, "sweeps")
 
     demo = sub.add_parser("demo", help="run every figure algorithm on one scenario")
@@ -86,7 +99,8 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=0)
     demo.add_argument(
         "--stats", action="store_true",
-        help="print LP solve telemetry (solves, wall time, cache hits) at the end",
+        help="print run telemetry (LP solves, wall time, LP-cache and "
+        "scenario-memo hit rates) at the end",
     )
 
     ratio = sub.add_parser(
@@ -112,7 +126,8 @@ def _build_parser() -> argparse.ArgumentParser:
     online.add_argument("--seed", type=int, default=0)
     online.add_argument(
         "--stats", action="store_true",
-        help="print LP solve telemetry (solves, wall time, cache hits) at the end",
+        help="print run telemetry (LP solves, wall time, LP-cache and "
+        "scenario-memo hit rates) at the end",
     )
 
     resilience = sub.add_parser(
@@ -195,7 +210,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     args = _build_parser().parse_args(argv)
     # One fresh context per invocation: telemetry counts exactly this run.
-    context = RunContext()
+    if getattr(args, "reference", False):
+        context = RunContext(
+            reference=True, vectorized_costs=False, cached_costs=False
+        )
+    else:
+        context = RunContext()
     with use_context(context):
         _dispatch(args)
     if getattr(args, "stats", False):

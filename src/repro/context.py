@@ -65,6 +65,8 @@ class Telemetry:
         "cache_hits",
         "cache_misses",
         "warm_start_reuses",
+        "scenario_memo_hits",
+        "scenario_memo_misses",
         "faults_detected",
         "retries",
         "degradations",
@@ -84,6 +86,8 @@ class Telemetry:
         self.cache_hits = 0
         self.cache_misses = 0
         self.warm_start_reuses = 0
+        self.scenario_memo_hits = 0
+        self.scenario_memo_misses = 0
         self.faults_detected = 0
         self.retries = 0
         self.degradations = 0
@@ -120,6 +124,14 @@ class Telemetry:
         else:
             self.cache_misses += 1
 
+    def record_scenario_memo(self, hit: bool) -> None:
+        """Count one per-worker scenario-memo lookup (see
+        :mod:`repro.experiments.parallel`)."""
+        if hit:
+            self.scenario_memo_hits += 1
+        else:
+            self.scenario_memo_misses += 1
+
     def record_recovery(self, action: str, recovered: bool) -> None:
         """Record one fault-recovery event (see :mod:`repro.faults`).
 
@@ -153,6 +165,8 @@ class Telemetry:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "warm_start_reuses": self.warm_start_reuses,
+            "scenario_memo_hits": self.scenario_memo_hits,
+            "scenario_memo_misses": self.scenario_memo_misses,
             "faults_detected": self.faults_detected,
             "retries": self.retries,
             "degradations": self.degradations,
@@ -177,6 +191,14 @@ class Telemetry:
             )
         else:
             lines.append("solve cache        not used")
+        memo_lookups = self.scenario_memo_hits + self.scenario_memo_misses
+        if memo_lookups:
+            lines.append(
+                f"scenario memo      {self.scenario_memo_hits}/{memo_lookups} hits "
+                f"({self.scenario_memo_hits / memo_lookups:.0%})"
+            )
+        else:
+            lines.append("scenario memo      not used")
         if self.faults_detected:
             lines.append(f"faults detected    {self.faults_detected}")
             lines.append(
@@ -216,7 +238,14 @@ class RunContext:
     :param lp_warm_start: allow solvers to be seeded from a previous
         result's iterate/basis.
     :param lp_cache_capacity: capacity of the per-context LP solve cache;
-        ``0`` (default) disables the cache.
+        ``0`` disables the cache.  The default keeps a bounded cache on:
+        sweeps and repeated figure cells rebuild bit-identical relaxations
+        constantly, and a hit returns the exact stored result.  Reference
+        mode never consults the cache regardless of capacity.
+    :param lp_sparse: assemble the generic P2 relaxation (and its standard
+        form) as CSR sparse matrices and solve the interior-point normal
+        equations with a sparse factorisation.  ``False`` selects the dense
+        reference assembly/solve; reference mode is always dense.
     :param seed: RNG seed handed to randomized algorithm variants.
     """
 
@@ -226,7 +255,8 @@ class RunContext:
     lp_backend: str = "structured"
     lp_fallback_backends: Tuple[str, ...] = ("interior-point", "scipy")
     lp_warm_start: bool = True
-    lp_cache_capacity: int = 0
+    lp_cache_capacity: int = 256
+    lp_sparse: bool = True
     seed: int = 0
     telemetry: Telemetry = field(
         default_factory=Telemetry, compare=False, repr=False

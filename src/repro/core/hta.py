@@ -180,7 +180,9 @@ def _solve_p2(
                     costs, device_caps, station_cap,
                     relax_deadline_bounds=relax,
                 ).lp
-                cache = context.lp_cache
+                # Reference mode solves uncached: the seed-era path had no
+                # solve cache, and benchmark baselines must stay honest.
+                cache = None if context.reference else context.lp_cache
                 key = None
                 if cache is not None:
                     from repro.caching.lp_cache import fingerprint_grouped

@@ -19,12 +19,14 @@ to 1 and let Step 4 do the cancelling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Mapping, Tuple
+from typing import List, Mapping, Optional, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro import perf
 
+from repro.context import current_context
 from repro.core.costs import NUM_SUBSYSTEMS, ClusterCosts
 from repro.lp.problem import LinearProgram
 from repro.lp.structured import GroupedBoundedLP
@@ -99,6 +101,58 @@ def _deadline_bounds(
     return upper, doomed
 
 
+def _assemble_ub_sparse(
+    costs: ClusterCosts,
+    device_caps: Mapping[int, float],
+    station_cap: float,
+    n_tasks: int,
+    n_vars: int,
+) -> Tuple[Optional[sp.csr_array], Optional[np.ndarray]]:
+    """A2/A3 stacked as one CSR block, entry-for-entry equal to the dense
+    assembly (rows for infinite caps are skipped rather than filtered out,
+    which yields the same matrix).
+
+    Returns ``(None, None)`` in exactly the cases the dense path collapses
+    ``a_ub`` to ``None``: no variables or no finite-cap rows.
+    """
+    rows_parts: List[np.ndarray] = []
+    cols_parts: List[np.ndarray] = []
+    data_parts: List[np.ndarray] = []
+    b_ub: List[float] = []
+    row = 0
+    # A2 — per-device resource caps on the l=1 columns, sorted device order.
+    owner_rows = costs.owner_rows()
+    for device_id in sorted(owner_rows):
+        cap = device_caps.get(device_id, float("inf"))
+        if not np.isfinite(cap):
+            continue
+        task_rows = np.asarray(owner_rows[device_id], dtype=np.intp)
+        rows_parts.append(np.full(task_rows.shape[0], row, dtype=np.intp))
+        cols_parts.append(task_rows * NUM_SUBSYSTEMS)  # l = 0
+        data_parts.append(costs.resource[task_rows])
+        b_ub.append(cap)
+        row += 1
+    # A3 — the single station resource row on the l=2 columns.
+    if np.isfinite(station_cap):
+        rows_parts.append(np.full(n_tasks, row, dtype=np.intp))
+        cols_parts.append(np.arange(1, n_vars, NUM_SUBSYSTEMS, dtype=np.intp))
+        data_parts.append(np.asarray(costs.resource, dtype=float))
+        b_ub.append(station_cap)
+        row += 1
+    if row == 0 or n_vars == 0:
+        return None, None
+    a_ub = sp.csr_array(
+        sp.coo_array(
+            (
+                np.concatenate(data_parts),
+                (np.concatenate(rows_parts), np.concatenate(cols_parts)),
+            ),
+            shape=(row, n_vars),
+        )
+    )
+    return a_ub, np.asarray(b_ub, dtype=float)
+
+
 def build_p2(
     costs: ClusterCosts,
     device_caps: Mapping[int, float],
@@ -118,6 +172,30 @@ def build_p2(
 
     objective = costs.energy_j.reshape(-1).astype(float)
     upper, doomed = _deadline_bounds(costs, relax_deadline_bounds)
+
+    if not perf.reference_mode() and current_context().lp_sparse:
+        a_ub, b_ub = _assemble_ub_sparse(
+            costs, device_caps, station_cap, n_tasks, n_vars
+        )
+        # A4/b4 — each task's three consecutive columns sum to one: CSR with
+        # three entries per row, written down directly.
+        a4 = sp.csr_array(
+            (
+                np.ones(n_vars),
+                np.arange(n_vars),
+                np.arange(0, n_vars + 1, NUM_SUBSYSTEMS),
+            ),
+            shape=(n_tasks, n_vars),
+        )
+        lp = LinearProgram(
+            c=objective,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=a4,
+            b_eq=np.ones(n_tasks),
+            upper_bounds=upper,
+        )
+        return P2Build(lp=lp, doomed_rows=doomed)
 
     # A2/b2 — per-device resource caps on the l=1 columns.
     owner_rows = costs.owner_rows()

@@ -90,28 +90,54 @@ class DTAOutcome:
 def _op_info_costs(
     system: MECSystem, plan: RearrangedPlan
 ) -> Tuple[float, float]:
-    """(energy, max time) of distributing task descriptions."""
+    """(energy, max time) of distributing task descriptions.
+
+    The description size is one per-plan constant, so the radio costs are
+    pure functions of the device involved: they are memoised per device
+    (and the BS–BS hop computed once), which changes nothing about the
+    values or the accumulation order.
+    """
     seen = set()
     energy = 0.0
     max_time = 0.0
+    size = plan.op_info_bytes
+    upload: Dict[int, Tuple[float, float]] = {}
+    download: Dict[int, Tuple[float, float]] = {}
+    hop_e = system.bs_bs_link.transfer_energy_j(size)
+    hop_t = system.bs_bs_link.transfer_time_s(size)
+    same_cluster: Dict[Tuple[int, int], bool] = {}
     for subtask, parent in zip(plan.subtasks, plan.parents):
         key = (parent.task_id, subtask.owner_device_id)
         if key in seen:
             continue
         seen.add(key)
-        requester = system.device(parent.owner_device_id)
-        executor = system.device(subtask.owner_device_id)
-        size = plan.op_info_bytes
-        energy_one = requester.wireless.upload_energy_j(size)
-        time_one = requester.wireless.upload_time_s(size)
-        if subtask.owner_device_id != parent.owner_device_id:
-            if not system.same_cluster(
-                parent.owner_device_id, subtask.owner_device_id
-            ):
-                energy_one += system.bs_bs_link.transfer_energy_j(size)
-                time_one += system.bs_bs_link.transfer_time_s(size)
-            energy_one += executor.wireless.download_energy_j(size)
-            time_one += executor.wireless.download_time_s(size)
+        requester_id = parent.owner_device_id
+        executor_id = subtask.owner_device_id
+        up = upload.get(requester_id)
+        if up is None:
+            wireless = system.device(requester_id).wireless
+            up = (wireless.upload_energy_j(size), wireless.upload_time_s(size))
+            upload[requester_id] = up
+        energy_one, time_one = up
+        if executor_id != requester_id:
+            pair = (requester_id, executor_id)
+            same = same_cluster.get(pair)
+            if same is None:
+                same = system.same_cluster(requester_id, executor_id)
+                same_cluster[pair] = same
+            if not same:
+                energy_one += hop_e
+                time_one += hop_t
+            down = download.get(executor_id)
+            if down is None:
+                wireless = system.device(executor_id).wireless
+                down = (
+                    wireless.download_energy_j(size),
+                    wireless.download_time_s(size),
+                )
+                download[executor_id] = down
+            energy_one += down[0]
+            time_one += down[1]
         energy += energy_one
         max_time = max(max_time, time_one)
     return energy, max_time
@@ -120,10 +146,15 @@ def _op_info_costs(
 def _partial_result_costs(
     system: MECSystem, plan: RearrangedPlan, assignment: Assignment
 ) -> Tuple[float, float]:
-    """(energy, max time) of collecting partial results at requesters."""
+    """(energy, max time) of collecting partial results at requesters.
+
+    Cluster co-residency is memoised per (executor, requester) pair — the
+    per-row radio costs depend on the varying partial size and stay as-is.
+    """
     result_model = system.parameters.result_size
     energy = 0.0
     max_time = 0.0
+    same_cluster: Dict[Tuple[int, int], bool] = {}
     for row, (subtask, parent) in enumerate(zip(plan.subtasks, plan.parents)):
         decision = assignment.decisions[row]
         if decision is Subsystem.CANCELLED:
@@ -141,7 +172,12 @@ def _partial_result_costs(
             energy_one += system.bs_cloud_link.transfer_energy_j(partial)
             time_one += system.bs_cloud_link.transfer_time_s(partial)
         # (STATION: the partial already sits on the executor's station.)
-        if not system.same_cluster(subtask.owner_device_id, parent.owner_device_id):
+        pair = (subtask.owner_device_id, parent.owner_device_id)
+        same = same_cluster.get(pair)
+        if same is None:
+            same = system.same_cluster(*pair)
+            same_cluster[pair] = same
+        if not same:
             energy_one += system.bs_bs_link.transfer_energy_j(partial)
             time_one += system.bs_bs_link.transfer_time_s(partial)
         energy += energy_one

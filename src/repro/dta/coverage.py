@@ -23,19 +23,23 @@ feasibility problem, and minimum set number via subset enumeration.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 import networkx as nx
 
+from repro import perf
 from repro.data.items import DataCatalog
 from repro.data.ownership import OwnershipMap
 
 __all__ = [
     "Coverage",
     "dta_number",
+    "dta_number_naive",
     "dta_workload",
+    "dta_workload_naive",
     "exact_min_max_coverage",
     "exact_min_set_number",
 ]
@@ -122,13 +126,15 @@ def _require_coverable(universe: FrozenSet[int], ownership: OwnershipMap) -> Non
         )
 
 
-def dta_workload(universe: FrozenSet[int], ownership: OwnershipMap) -> Coverage:
-    """DTA-Workload greedy (Section IV-A): smallest non-empty coverage first.
+def dta_workload_naive(
+    universe: FrozenSet[int], ownership: OwnershipMap
+) -> Coverage:
+    """DTA-Workload greedy, per-round full rescan (the reference path).
 
-    :param universe: D, the items to divide.
-    :param ownership: per-device holdings.
-    :returns: a valid coverage.
-    :raises ValueError: if some item of D is owned by nobody.
+    Each round recomputes every unselected device's remaining coverage and
+    picks the smallest non-empty one — O(rounds × devices) set
+    intersections.  :func:`dta_workload` routes here in reference mode; the
+    optimised path maintains the coverages incrementally instead.
     """
     _require_coverable(universe, ownership)
     remaining = set(universe)
@@ -154,13 +160,90 @@ def dta_workload(universe: FrozenSet[int], ownership: OwnershipMap) -> Coverage:
     return Coverage(universe=frozenset(universe), sets=sets)
 
 
-def dta_number(universe: FrozenSet[int], ownership: OwnershipMap) -> Coverage:
-    """DTA-Number greedy (Section IV-B, Algorithm 1): greedy Set Cover.
+def _dta_workload_lazy(
+    universe: FrozenSet[int], ownership: OwnershipMap
+) -> Coverage:
+    """DTA-Workload via incremental coverages and a size-keyed lazy heap.
+
+    Instead of re-intersecting every device against ``remaining`` each
+    round, the per-device remaining coverages are maintained in place: when
+    a device is selected, its items are removed from the other owners'
+    coverages through an inverted item → owners index, and each shrunken
+    device is re-keyed on a ``(size, device_id)`` min-heap.  Entries whose
+    recorded size no longer matches the device's current coverage are stale
+    and skipped on pop.  Total work is O(Σ_i |UD_i| log) instead of the
+    rescan's O(rounds × devices) intersections.
+
+    The heap key ``(size, device_id)`` reproduces the reference argmin
+    exactly: smallest coverage first, ties to the smallest device id, so
+    the selection sequence — and therefore the output — is identical to
+    :func:`dta_workload_naive`.
+    """
+    _require_coverable(universe, ownership)
+    remaining = set(universe)
+    sets: Dict[int, FrozenSet[int]] = {}
+    current: Dict[int, Set[int]] = {}
+    owners: Dict[int, List[int]] = {}
+    for device_id in sorted(ownership.device_ids):
+        items = ownership.items_of(device_id) & remaining
+        if items:
+            current[device_id] = set(items)
+            for item in items:
+                owners.setdefault(item, []).append(device_id)
+    heap = [(len(items), device_id) for device_id, items in current.items()]
+    heapq.heapify(heap)
+    while remaining:
+        if not heap:  # pragma: no cover - guarded by _require_coverable
+            raise RuntimeError("uncoverable remainder despite coverable universe")
+        size, device_id = heapq.heappop(heap)
+        items = current.get(device_id)
+        if items is None or len(items) != size:
+            continue  # stale: device selected/emptied or coverage shrank
+        taken = frozenset(items)
+        sets[device_id] = taken
+        del current[device_id]
+        remaining -= taken
+        affected = set()
+        for item in taken:
+            for other in owners.pop(item):
+                other_items = current.get(other)
+                if other_items is not None:
+                    other_items.discard(item)
+                    affected.add(other)
+        for other in affected:
+            other_items = current[other]
+            if other_items:
+                heapq.heappush(heap, (len(other_items), other))
+            else:
+                del current[other]  # empty coverages are never selectable
+    return Coverage(universe=frozenset(universe), sets=sets)
+
+
+def dta_workload(universe: FrozenSet[int], ownership: OwnershipMap) -> Coverage:
+    """DTA-Workload greedy (Section IV-A): smallest non-empty coverage first.
+
+    Routes to the incremental lazy-heap implementation, or to the per-round
+    rescan reference (:func:`dta_workload_naive`) in reference mode.  Both
+    produce the identical coverage.
 
     :param universe: D, the items to divide.
     :param ownership: per-device holdings.
-    :returns: a valid coverage using few devices (ratio O(ln n)).
+    :returns: a valid coverage.
     :raises ValueError: if some item of D is owned by nobody.
+    """
+    if perf.reference_mode():
+        return dta_workload_naive(universe, ownership)
+    return _dta_workload_lazy(universe, ownership)
+
+
+def dta_number_naive(
+    universe: FrozenSet[int], ownership: OwnershipMap
+) -> Coverage:
+    """DTA-Number greedy, per-round full rescan (the reference path).
+
+    Each round recomputes every unselected device's marginal coverage and
+    picks the largest.  :func:`dta_number` routes here in reference mode;
+    the optimised path uses CELF-style lazy evaluation instead.
     """
     _require_coverable(universe, ownership)
     remaining = set(universe)
@@ -180,6 +263,69 @@ def dta_number(universe: FrozenSet[int], ownership: OwnershipMap) -> Coverage:
         sets[best_device] = best_items
         remaining -= best_items
     return Coverage(universe=frozenset(universe), sets=sets)
+
+
+def _dta_number_lazy(
+    universe: FrozenSet[int], ownership: OwnershipMap
+) -> Coverage:
+    """DTA-Number with CELF-style lazy marginal-gain evaluation.
+
+    The classic accelerated greedy for submodular maximisation (Leskovec et
+    al., KDD 2007): cached gains are upper bounds because marginal coverage
+    only shrinks as ``remaining`` does, so a max-heap entry re-evaluated at
+    the top of the heap that *stays* on top is the true argmax — most
+    devices are never re-evaluated at all.  The O(ln n) approximation
+    argument of Algorithm 1 depends only on picking a max-gain device each
+    round, which this does.
+
+    The heap key ``(-gain, device_id)`` reproduces the reference argmax
+    exactly (largest gain, ties to the smallest device id), so the
+    selection sequence — and the output — is identical to
+    :func:`dta_number_naive`.
+    """
+    _require_coverable(universe, ownership)
+    remaining = set(universe)
+    sets: Dict[int, FrozenSet[int]] = {}
+    items_of = ownership.items_of
+    heap = []
+    for device_id in sorted(ownership.device_ids):
+        items = items_of(device_id) & remaining
+        if items:
+            # (neg gain, device id, evaluation stamp, evaluated coverage);
+            # device_id is unique, so later fields never enter comparisons.
+            heap.append((-len(items), device_id, 0, frozenset(items)))
+    heapq.heapify(heap)
+    rounds = 0
+    while remaining:
+        if not heap:  # pragma: no cover - guarded by _require_coverable
+            raise RuntimeError("uncoverable remainder despite coverable universe")
+        _, device_id, stamp, items = heapq.heappop(heap)
+        if stamp == rounds:  # gain evaluated against the current remainder
+            sets[device_id] = items
+            remaining -= items
+            rounds += 1
+            continue
+        fresh = items_of(device_id) & remaining
+        if fresh:
+            heapq.heappush(heap, (-len(fresh), device_id, rounds, frozenset(fresh)))
+    return Coverage(universe=frozenset(universe), sets=sets)
+
+
+def dta_number(universe: FrozenSet[int], ownership: OwnershipMap) -> Coverage:
+    """DTA-Number greedy (Section IV-B, Algorithm 1): greedy Set Cover.
+
+    Routes to the CELF lazy-greedy implementation, or to the per-round
+    rescan reference (:func:`dta_number_naive`) in reference mode.  Both
+    produce the identical coverage.
+
+    :param universe: D, the items to divide.
+    :param ownership: per-device holdings.
+    :returns: a valid coverage using few devices (ratio O(ln n)).
+    :raises ValueError: if some item of D is owned by nobody.
+    """
+    if perf.reference_mode():
+        return dta_number_naive(universe, ownership)
+    return _dta_number_lazy(universe, ownership)
 
 
 def _maxflow_feasible(

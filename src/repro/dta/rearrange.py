@@ -106,6 +106,7 @@ def rearrange_tasks(
     indices: Dict[int, int] = {}  # next sub-task index per executor device
     subtasks: List[Task] = []
     parents: List[Task] = []
+    coverage_sets = sorted(coverage.sets.items())  # hoisted: same per task
     for task in tasks:
         if not task.divisible:
             raise ValueError(f"task {task.task_id} is not divisible")
@@ -117,10 +118,11 @@ def rearrange_tasks(
                 f"task {task.task_id} requires items outside the coverage "
                 f"universe: {sorted(missing)[:5]}"
             )
-        for device_id, owned in sorted(coverage.sets.items()):
+        for device_id, owned in coverage_sets:
             part = owned & task.required_items
             if not part:
                 continue
+            part = frozenset(part)
             part_bytes = catalog.total_bytes(part)
             index = indices.get(device_id, 0)
             indices[device_id] = index + 1
@@ -134,7 +136,7 @@ def rearrange_tasks(
                     resource_demand=subtask_resource_demand,
                     deadline_s=task.deadline_s,
                     divisible=True,
-                    required_items=frozenset(part),
+                    required_items=part,
                     operation=task.operation,
                 )
             )

@@ -12,10 +12,13 @@ sequential one:
   (frozen) workload profile, the seed, :class:`EvaluatorSpec` values and
   an explicit :class:`~repro.context.RunContext` — never a live scenario
   or a closure — so cells cross process boundaries cheaply.  Each worker
-  regenerates its scenario from ``(profile, seed)`` *under the cell's
+  obtains its scenario from ``(profile, seed)`` *under the cell's
   context*, which is why spawn-started workers behave identically to
   fork-started ones: the run configuration travels inside the pickle
-  instead of relying on inherited process globals.
+  instead of relying on inherited process globals.  A per-process memo
+  keyed by ``(profile, seed, context)`` lets cells that share a scenario
+  reuse it (and its cost tables) instead of regenerating; reference-mode
+  cells always regenerate so baselines stay honest.
 - **Deterministic per-cell seeding.**  Scenario generation is a pure
   function of ``(profile, seed)``, and every evaluator is deterministic,
   so a cell's results do not depend on which process runs it or in what
@@ -27,18 +30,25 @@ sequential one:
 ``jobs=1`` runs the cells in-process with no executor, no pickling
 requirement and no subprocess overhead; it is the default everywhere.
 
-Worker telemetry (solve counts, wall time, cache hits) is returned next
-to each cell's results and merged into the submitting context's sink, so
-``--stats`` summaries cover parallel runs too.
+Worker telemetry (solve counts, wall time, cache and scenario-memo hits)
+is returned next to each cell's results and merged into the submitting
+context's sink, so ``--stats`` summaries cover parallel runs too.
+
+Pools persist between :func:`run_cells` calls (keyed by worker count and
+start method, torn down at interpreter exit): repeated sweeps skip pool
+start-up and keep each worker's scenario memo warm.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace as dataclass_replace
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import multiprocessing
 
@@ -138,8 +148,42 @@ class SweepCell:
     context: Optional[RunContext] = None
 
 
+#: Per-process scenario memo: cells sharing (profile, seed, context) reuse
+#: one generated scenario (and, through it, its memoised cost tables).
+#: Scenario generation is a pure function of the key, so reuse is exact.
+#: Bounded LRU so long sweeps over many profiles don't accumulate scenarios.
+_SCENARIO_MEMO: "OrderedDict[Tuple[WorkloadProfile, int, RunContext], Scenario]" = (
+    OrderedDict()
+)
+_SCENARIO_MEMO_CAPACITY = 64
+
+
+def _scenario_for(
+    profile: WorkloadProfile, seed: int, context: RunContext
+) -> Scenario:
+    """The cell's scenario, served from the per-process memo when possible.
+
+    Reference mode always regenerates: the seed-era pipeline had no memo,
+    and benchmark baselines must not borrow speed from one.  Every lookup
+    is counted in the context's telemetry (``--stats`` reports the rate).
+    """
+    if context.reference:
+        return generate_scenario(profile, seed=seed)
+    key = (profile, seed, context)
+    scenario = _SCENARIO_MEMO.get(key)
+    context.telemetry.record_scenario_memo(scenario is not None)
+    if scenario is not None:
+        _SCENARIO_MEMO.move_to_end(key)
+        return scenario
+    scenario = generate_scenario(profile, seed=seed)
+    _SCENARIO_MEMO[key] = scenario
+    while len(_SCENARIO_MEMO) > _SCENARIO_MEMO_CAPACITY:
+        _SCENARIO_MEMO.popitem(last=False)
+    return scenario
+
+
 def _evaluate_cell(cell: SweepCell) -> Tuple[AlgorithmResult, ...]:
-    """Worker entry point: regenerate the scenario, run every evaluator.
+    """Worker entry point: obtain the scenario, run every evaluator.
 
     The cell's context (when bound) is activated around both scenario
     generation and evaluation, so reference/optimised routing and LP
@@ -147,7 +191,7 @@ def _evaluate_cell(cell: SweepCell) -> Tuple[AlgorithmResult, ...]:
     """
     context = cell.context if cell.context is not None else current_context()
     with use_context(context):
-        scenario = generate_scenario(cell.profile, seed=cell.seed)
+        scenario = _scenario_for(cell.profile, cell.seed, context)
         return tuple(spec(scenario) for spec in cell.evaluators)
 
 
@@ -182,6 +226,41 @@ def _bind_context(cell: SweepCell, context: RunContext) -> SweepCell:
     if cell.context is not None:
         return cell
     return dataclass_replace(cell, context=context)
+
+
+#: Live pools keyed by (worker count, start method), reused across
+#: :func:`run_cells` calls.  Repeated sweeps (figure batches, benchmark
+#: repeats) would otherwise pay pool start-up per call and lose every
+#: worker's scenario memo each time.
+_POOLS: Dict[Tuple[int, str], ProcessPoolExecutor] = {}
+
+
+def _shutdown_pools() -> None:
+    """Tear down every cached pool (registered via :mod:`atexit`)."""
+    while _POOLS:
+        _, pool = _POOLS.popitem()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(_shutdown_pools)
+
+
+def _pool_for(workers: int, mp_context: "multiprocessing.context.BaseContext") -> ProcessPoolExecutor:
+    """A cached executor for (workers, start method), created on demand."""
+    key = (workers, mp_context.get_start_method())
+    pool = _POOLS.get(key)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=mp_context)
+        _POOLS[key] = pool
+    return pool
+
+
+def _discard_pool(workers: int, mp_context: "multiprocessing.context.BaseContext") -> None:
+    """Drop (and shut down) a cached pool after a failure."""
+    key = (workers, mp_context.get_start_method())
+    pool = _POOLS.pop(key, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_cells(
@@ -239,9 +318,22 @@ def run_cells(
         except ValueError:  # pragma: no cover - non-POSIX platforms
             mp_context = multiprocessing.get_context()
 
-    with ProcessPoolExecutor(max_workers=workers, mp_context=mp_context) as pool:
+    # The pool is cached and reused by later run_cells calls: repeated
+    # sweeps skip process start-up, and each worker keeps its scenario
+    # memo warm across calls.  A broken pool (killed worker) is discarded
+    # and the call retried once on a fresh one.
+    pool = _pool_for(workers, mp_context)
+    try:
         # Executor.map preserves submission order.
         outcomes = list(pool.map(_evaluate_cell_with_telemetry, bound))
+    except BrokenProcessPool:
+        _discard_pool(workers, mp_context)
+        pool = _pool_for(workers, mp_context)
+        try:
+            outcomes = list(pool.map(_evaluate_cell_with_telemetry, bound))
+        except BrokenProcessPool:
+            _discard_pool(workers, mp_context)
+            raise
     results: List[Tuple[AlgorithmResult, ...]] = []
     for cell_results, telemetry in outcomes:
         # Fold each worker's solve/cache counters back into the caller's

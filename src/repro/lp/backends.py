@@ -115,7 +115,9 @@ def solve(
     ctx = context if context is not None else current_context()
     if not ctx.lp_warm_start:
         warm_start = None
-    if cache is None:
+    if cache is None and not ctx.reference:
+        # Reference mode solves uncached (seed-era behaviour; explicit
+        # ``cache=`` arguments still win for differential tests).
         cache = ctx.lp_cache
 
     start = time.perf_counter()

@@ -5,7 +5,10 @@ paper cites Karmarkar [17]); this module implements the method that replaced
 Karmarkar's projective algorithm in practice: the primal–dual path-following
 scheme with Mehrotra's predictor–corrector (Mehrotra, SIAM J. Optim. 1992),
 solving the normal equations :math:`A D A^T \\Delta y = r` with a dense
-Cholesky factorisation per iteration.
+Cholesky factorisation per iteration — or, when the standard form carries a
+SciPy sparse matrix, with a sparse LU factorisation (``splu``) of the same
+regularised normal matrix.  The dense path is untouched and remains the
+reference backend (``RunContext.lp_sparse=False``).
 
 The solver works on :class:`~repro.lp.problem.StandardFormLP`
 (min c·x, Ax = b, x ≥ 0) and is exposed through
@@ -18,7 +21,9 @@ from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 import numpy as np
+import scipy.sparse as sp
 from scipy.linalg import LinAlgError, cho_factor, cho_solve
+from scipy.sparse.linalg import splu
 
 from repro.lp.problem import LinearProgram, StandardFormLP
 from repro.lp.result import LPResult, LPStatus
@@ -75,7 +80,34 @@ def _initial_point(
         x, *_ = np.linalg.lstsq(a, b, rcond=None)
         y, *_ = np.linalg.lstsq(a.T, c, rcond=None)
     s = c - a.T @ y
+    return _mehrotra_shift(x, y, s)
 
+
+def _initial_point_sparse(
+    a: "sp.csr_array", b: np.ndarray, c: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Mehrotra's starting point computed with a sparse LU of the Gram
+    matrix; falls back to dense least squares if the factorisation fails."""
+    m = a.shape[0]
+    gram = (a @ a.T).tocsc() + 1e-10 * sp.eye_array(m, format="csc")
+    try:
+        factor = splu(gram.tocsc())
+        x = a.T @ factor.solve(b)
+        y = factor.solve(a @ c)
+        if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+            raise RuntimeError("non-finite Gram solve")
+    except (RuntimeError, ValueError):
+        dense = a.toarray()
+        x, *_ = np.linalg.lstsq(dense, b, rcond=None)
+        y, *_ = np.linalg.lstsq(dense.T, c, rcond=None)
+    s = c - a.T @ y
+    return _mehrotra_shift(x, y, s)
+
+
+def _mehrotra_shift(
+    x: np.ndarray, y: np.ndarray, s: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shift (x, s) strictly inside the positive orthant (Mehrotra's rule)."""
     delta_x = max(-1.5 * float(np.min(x, initial=0.0)), 0.0)
     delta_s = max(-1.5 * float(np.min(s, initial=0.0)), 0.0)
     x = x + delta_x
@@ -126,6 +158,9 @@ def _solve_standard_form(
     """Run the predictor–corrector loop on a standard-form LP."""
     a, b, c = lp.a, lp.b, lp.c
     m, n = a.shape
+    sparse = sp.issparse(a)
+    if sparse:
+        a = sp.csr_array(a, dtype=float)
 
     if n == 0:
         feasible = bool(np.allclose(b, 0.0))
@@ -146,7 +181,12 @@ def _solve_standard_form(
     if isinstance(warm_start, IPMIterate):
         start = _warm_point(warm_start, m, n)
     warmed = start is not None
-    x, y, s = start if warmed else _initial_point(a, b, c)
+    if warmed:
+        x, y, s = start
+    elif sparse:
+        x, y, s = _initial_point_sparse(a, b, c)
+    else:
+        x, y, s = _initial_point(a, b, c)
     norm_b = 1.0 + float(np.linalg.norm(b))
     norm_c = 1.0 + float(np.linalg.norm(c))
 
@@ -213,32 +253,65 @@ def _solve_standard_form(
         # and the raw ratio overflows, poisoning the normal matrix.
         with np.errstate(over="ignore", divide="ignore"):
             d = np.clip(x / np.maximum(s, 1e-300), 1e-12, 1e12)
-        normal = (a * d) @ a.T
-        if not np.all(np.isfinite(normal)):
-            return salvage(LPResult(
-                status=LPStatus.NUMERICAL_ERROR,
-                x=None,
-                objective=float("nan"),
-                iterations=iteration,
-                backend=_BACKEND_NAME,
-                message="non-finite normal equations",
-            ))
-        normal[np.diag_indices_from(normal)] += 1e-12 * (1.0 + np.trace(normal) / m)
-        try:
-            factor = cho_factor(normal)
-        except (LinAlgError, ValueError):
-            normal[np.diag_indices_from(normal)] += 1e-6
-            try:
-                factor = cho_factor(normal)
-            except (LinAlgError, ValueError):
+        if sparse:
+            normal = (a.multiply(d) @ a.T).tocsc()
+            if not np.all(np.isfinite(normal.data)):
                 return salvage(LPResult(
                     status=LPStatus.NUMERICAL_ERROR,
                     x=None,
                     objective=float("nan"),
                     iterations=iteration,
                     backend=_BACKEND_NAME,
-                    message="normal equations not positive definite",
+                    message="non-finite normal equations",
                 ))
+            # Same Tikhonov regularisation as the dense path, applied via a
+            # sparse identity so the pattern stays factorisable.
+            reg = 1e-12 * (1.0 + float(normal.diagonal().sum()) / m)
+            eye = sp.eye_array(m, format="csc")
+            try:
+                factor = splu((normal + reg * eye).tocsc())
+                solve_normal = factor.solve
+            except (RuntimeError, ValueError):
+                try:
+                    factor = splu((normal + (reg + 1e-6) * eye).tocsc())
+                    solve_normal = factor.solve
+                except (RuntimeError, ValueError):
+                    return salvage(LPResult(
+                        status=LPStatus.NUMERICAL_ERROR,
+                        x=None,
+                        objective=float("nan"),
+                        iterations=iteration,
+                        backend=_BACKEND_NAME,
+                        message="normal equations not positive definite",
+                    ))
+        else:
+            normal = (a * d) @ a.T
+            if not np.all(np.isfinite(normal)):
+                return salvage(LPResult(
+                    status=LPStatus.NUMERICAL_ERROR,
+                    x=None,
+                    objective=float("nan"),
+                    iterations=iteration,
+                    backend=_BACKEND_NAME,
+                    message="non-finite normal equations",
+                ))
+            normal[np.diag_indices_from(normal)] += 1e-12 * (1.0 + np.trace(normal) / m)
+            try:
+                factor = cho_factor(normal)
+            except (LinAlgError, ValueError):
+                normal[np.diag_indices_from(normal)] += 1e-6
+                try:
+                    factor = cho_factor(normal)
+                except (LinAlgError, ValueError):
+                    return salvage(LPResult(
+                        status=LPStatus.NUMERICAL_ERROR,
+                        x=None,
+                        objective=float("nan"),
+                        iterations=iteration,
+                        backend=_BACKEND_NAME,
+                        message="normal equations not positive definite",
+                    ))
+            solve_normal = lambda rhs, _f=factor: cho_solve(_f, rhs)  # noqa: E731
 
         def newton_direction(rxs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
             """Solve the KKT system for a given complementarity residual.
@@ -253,7 +326,9 @@ def _solve_standard_form(
                 rhs = -r_primal - a @ (d * r_dual) + a @ (rxs / s_safe)
                 if not np.all(np.isfinite(rhs)):
                     raise _NumericalBreakdown
-                dy = cho_solve(factor, rhs)
+                dy = solve_normal(rhs)
+                if not np.all(np.isfinite(dy)):
+                    raise _NumericalBreakdown
                 dx = d * (a.T @ dy + r_dual) - rxs / s_safe
                 ds = -(rxs + s * dx) / x_safe
             if not (np.all(np.isfinite(dx)) and np.all(np.isfinite(ds))):

@@ -19,12 +19,50 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.lp.problem import LinearProgram
 
 __all__ = ["PresolveResult", "presolve", "restore"]
 
 _TOL = 1e-10
+
+
+def _col(a, idx: int) -> np.ndarray:
+    """Column ``idx`` as a dense 1-d vector (sparse- and dense-safe)."""
+    if sp.issparse(a):
+        return a[:, [idx]].toarray().ravel()
+    return a[:, idx]
+
+
+def _row(a, idx: int) -> np.ndarray:
+    """Row ``idx`` as a dense 1-d vector (sparse- and dense-safe)."""
+    if sp.issparse(a):
+        return a[[idx], :].toarray().ravel()
+    return a[idx]
+
+
+def _drop_col(a, idx: int):
+    """``a`` without column ``idx``, preserving the representation."""
+    if sp.issparse(a):
+        keep = np.r_[0:idx, idx + 1 : a.shape[1]]
+        return sp.csr_array(a[:, keep])
+    return np.delete(a, idx, axis=1)
+
+
+def _drop_row(a, idx: int):
+    """``a`` without row ``idx``, preserving the representation."""
+    if sp.issparse(a):
+        keep = np.r_[0:idx, idx + 1 : a.shape[0]]
+        return sp.csr_array(a[keep, :])
+    return np.delete(a, idx, axis=0)
+
+
+def _take_rows(a, rows):
+    """Rows ``rows`` of ``a``, preserving the representation."""
+    if sp.issparse(a):
+        return sp.csr_array(a[rows, :])
+    return a[rows]
 
 
 @dataclass(frozen=True)
@@ -84,11 +122,11 @@ def presolve(lp: LinearProgram) -> PresolveResult:
         original = kept.pop(local_idx)
         fixed[original] = max(value, 0.0)
         if a_ub is not None:
-            b_ub -= a_ub[:, local_idx] * value
-            a_ub = np.delete(a_ub, local_idx, axis=1)
+            b_ub -= _col(a_ub, local_idx) * value
+            a_ub = _drop_col(a_ub, local_idx)
         if a_eq is not None:
-            b_eq -= a_eq[:, local_idx] * value
-            a_eq = np.delete(a_eq, local_idx, axis=1)
+            b_eq -= _col(a_eq, local_idx) * value
+            a_eq = _drop_col(a_eq, local_idx)
         c = np.delete(c, local_idx)
         upper = np.delete(upper, local_idx)
         return True
@@ -114,7 +152,8 @@ def presolve(lp: LinearProgram) -> PresolveResult:
         if a_eq is not None:
             row = 0
             while row < a_eq.shape[0]:
-                nonzero = np.flatnonzero(np.abs(a_eq[row]) > _TOL)
+                row_vals = _row(a_eq, row)
+                nonzero = np.flatnonzero(np.abs(row_vals) > _TOL)
                 if nonzero.size == 0:
                     if abs(b_eq[row]) > 1e-7:
                         return PresolveResult(
@@ -122,13 +161,13 @@ def presolve(lp: LinearProgram) -> PresolveResult:
                             infeasible=True,
                             message=f"empty equality row with rhs {b_eq[row]:g}",
                         )
-                    a_eq = np.delete(a_eq, row, axis=0)
+                    a_eq = _drop_row(a_eq, row)
                     b_eq = np.delete(b_eq, row)
                     changed = True
                 elif nonzero.size == 1:
                     var = int(nonzero[0])
-                    value = float(b_eq[row] / a_eq[row, var])
-                    a_eq = np.delete(a_eq, row, axis=0)
+                    value = float(b_eq[row] / row_vals[var])
+                    a_eq = _drop_row(a_eq, row)
                     b_eq = np.delete(b_eq, row)
                     if not fix_variable(var, value):
                         return PresolveResult(
@@ -144,7 +183,7 @@ def presolve(lp: LinearProgram) -> PresolveResult:
         if a_ub is not None:
             keep_rows = []
             for row in range(a_ub.shape[0]):
-                if np.any(np.abs(a_ub[row]) > _TOL):
+                if np.any(np.abs(_row(a_ub, row)) > _TOL):
                     keep_rows.append(row)
                 elif b_ub[row] < -1e-7:
                     return PresolveResult(
@@ -155,7 +194,7 @@ def presolve(lp: LinearProgram) -> PresolveResult:
                 else:
                     changed = True
             if len(keep_rows) < a_ub.shape[0]:
-                a_ub = a_ub[keep_rows]
+                a_ub = _take_rows(a_ub, keep_rows)
                 b_ub = b_ub[keep_rows]
 
     if a_ub is not None and a_ub.shape[0] == 0:

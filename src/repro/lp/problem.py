@@ -10,16 +10,34 @@ A :class:`LinearProgram` is the bounded-variable form our builders emit:
 Solvers work on :class:`StandardFormLP` (:math:`\\min c^T x`, :math:`Ax=b`,
 :math:`x \\ge 0`), produced by :meth:`LinearProgram.to_standard_form`, which
 adds one slack per inequality row and one per finite upper bound.
+
+Constraint matrices may be dense :class:`numpy.ndarray`\\ s or SciPy sparse
+matrices; the builders emit CSR when ``RunContext.lp_sparse`` is on.  A
+sparse :class:`LinearProgram` produces a sparse standard form, whose entries
+are *exactly* the dense ones (assembly places coefficients, it never sums
+them), so both representations solve bit-identically wherever the solver
+performs the same floating-point operations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
+import scipy.sparse as sp
 
 __all__ = ["LinearProgram", "StandardFormLP"]
+
+#: A constraint matrix: dense ndarray or any SciPy sparse container.
+MatrixLike = Union[np.ndarray, sp.spmatrix, sp.sparray]
+
+
+def _as_matrix(mat: MatrixLike) -> MatrixLike:
+    """Normalise a constraint block: CSR float for sparse, ndarray float else."""
+    if sp.issparse(mat):
+        return sp.csr_array(mat, dtype=float)
+    return np.asarray(mat, dtype=float)
 
 
 @dataclass(frozen=True)
@@ -34,7 +52,7 @@ class StandardFormLP:
     """
 
     c: np.ndarray
-    a: np.ndarray
+    a: MatrixLike
     b: np.ndarray
     num_original: int
 
@@ -56,6 +74,11 @@ class StandardFormLP:
     def num_vars(self) -> int:
         """n, the number of non-negative variables (original + slack)."""
         return self.a.shape[1]
+
+    @property
+    def is_sparse(self) -> bool:
+        """Whether the constraint matrix is a SciPy sparse container."""
+        return sp.issparse(self.a)
 
     def extract_original(self, x: np.ndarray) -> np.ndarray:
         """Project a standard-form solution back to the original variables."""
@@ -80,9 +103,9 @@ class LinearProgram:
     def __init__(
         self,
         c: np.ndarray,
-        a_ub: Optional[np.ndarray] = None,
+        a_ub: Optional[MatrixLike] = None,
         b_ub: Optional[np.ndarray] = None,
-        a_eq: Optional[np.ndarray] = None,
+        a_eq: Optional[MatrixLike] = None,
         b_eq: Optional[np.ndarray] = None,
         upper_bounds: Optional[np.ndarray] = None,
     ) -> None:
@@ -96,9 +119,9 @@ class LinearProgram:
         if (a_eq is None) != (b_eq is None):
             raise ValueError("a_eq and b_eq must be given together")
 
-        self.a_ub = None if a_ub is None else np.asarray(a_ub, dtype=float)
+        self.a_ub = None if a_ub is None else _as_matrix(a_ub)
         self.b_ub = None if b_ub is None else np.asarray(b_ub, dtype=float)
-        self.a_eq = None if a_eq is None else np.asarray(a_eq, dtype=float)
+        self.a_eq = None if a_eq is None else _as_matrix(a_eq)
         self.b_eq = None if b_eq is None else np.asarray(b_eq, dtype=float)
 
         if self.a_ub is not None:
@@ -125,6 +148,11 @@ class LinearProgram:
     def num_vars(self) -> int:
         """Number of decision variables."""
         return self.c.shape[0]
+
+    @property
+    def is_sparse(self) -> bool:
+        """Whether any constraint block is a SciPy sparse container."""
+        return sp.issparse(self.a_ub) or sp.issparse(self.a_eq)
 
     def objective(self, x: np.ndarray) -> float:
         """Evaluate :math:`c^T x`."""
@@ -168,10 +196,62 @@ class LinearProgram:
         total_rows = num_ub_rows + num_bound_rows + num_eq_rows
         total_vars = n + num_ub_rows + num_bound_rows
 
-        a = np.zeros((total_rows, total_vars))
         b = np.zeros(total_rows)
         c = np.zeros(total_vars)
         c[:n] = self.c
+
+        if self.is_sparse:
+            # Same layout as the dense branch, assembled as COO triplets.
+            # Assembly only *places* coefficients (no summation), so the
+            # resulting matrix is entry-for-entry equal to the dense one.
+            rows_parts = []
+            cols_parts = []
+            data_parts = []
+            row = 0
+            if self.a_ub is not None:
+                coo = sp.coo_array(self.a_ub)
+                rows_parts.append(coo.row + row)
+                cols_parts.append(coo.col)
+                data_parts.append(coo.data)
+                slack = np.arange(num_ub_rows)
+                rows_parts.append(slack + row)
+                cols_parts.append(slack + n)
+                data_parts.append(np.ones(num_ub_rows))
+                b[row : row + num_ub_rows] = self.b_ub
+                row += num_ub_rows
+            if num_bound_rows:
+                bound_rows = np.arange(num_bound_rows)
+                rows_parts.append(bound_rows + row)
+                cols_parts.append(finite_bounds)
+                data_parts.append(np.ones(num_bound_rows))
+                rows_parts.append(bound_rows + row)
+                cols_parts.append(bound_rows + n + num_ub_rows)
+                data_parts.append(np.ones(num_bound_rows))
+                b[row : row + num_bound_rows] = self.upper_bounds[finite_bounds]
+                row += num_bound_rows
+            if self.a_eq is not None:
+                coo = sp.coo_array(self.a_eq)
+                rows_parts.append(coo.row + row)
+                cols_parts.append(coo.col)
+                data_parts.append(coo.data)
+                b[row : row + num_eq_rows] = self.b_eq
+                row += num_eq_rows
+            if rows_parts:
+                coords = (
+                    np.concatenate(rows_parts),
+                    np.concatenate(cols_parts),
+                )
+                a = sp.csr_array(
+                    sp.coo_array(
+                        (np.concatenate(data_parts), coords),
+                        shape=(total_rows, total_vars),
+                    )
+                )
+            else:
+                a = sp.csr_array((total_rows, total_vars), dtype=float)
+            return StandardFormLP(c=c, a=a, b=b, num_original=n)
+
+        a = np.zeros((total_rows, total_vars))
 
         row = 0
         if self.a_ub is not None:

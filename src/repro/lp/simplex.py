@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.lp.problem import LinearProgram, StandardFormLP
 from repro.lp.result import LPResult, LPStatus
@@ -138,7 +139,8 @@ def _solve_standard_form(
     warm_start: Optional[SimplexBasis] = None,
 ) -> LPResult:
     """Two-phase simplex on a standard-form LP."""
-    a = lp.a.copy()
+    # The tableau method is inherently dense; densify sparse inputs up front.
+    a = lp.a.toarray() if sp.issparse(lp.a) else lp.a.copy()
     b = lp.b.copy()
     c = lp.c
     m, n = a.shape

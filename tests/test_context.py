@@ -80,8 +80,18 @@ class TestShims:
 
 
 class TestLPCache:
-    def test_cache_disabled_by_default(self):
-        assert RunContext().lp_cache is None
+    def test_cache_on_by_default_and_zero_disables(self):
+        assert RunContext().lp_cache is not None
+        assert RunContext(lp_cache_capacity=0).lp_cache is None
+
+    def test_reference_mode_bypasses_cache(self):
+        context = RunContext(reference=True, lp_cache_capacity=8)
+        with use_context(context):
+            first = backends.solve(_tiny_lp(), "interior-point")
+            second = backends.solve(_tiny_lp(), "interior-point")
+        assert second is not first  # each call solved afresh
+        assert context.telemetry.cache_hits == 0
+        assert context.telemetry.cache_misses == 0
 
     def test_cache_created_lazily_and_memoised(self):
         context = RunContext(lp_cache_capacity=4)

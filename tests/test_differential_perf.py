@@ -1,0 +1,225 @@
+"""Differential tests: optimised hot paths vs their seed-era references.
+
+Each optimisation in the sweep hot path keeps its replaced implementation
+as a selectable reference, and these tests pin the two to *identical*
+output (not merely approximately equal):
+
+- lazy-greedy DTA (CELF heap / size-keyed heap) vs the per-round rescan
+  references, property-tested over random ownership maps;
+- sparse COO/CSR LP assembly vs the dense reference — equal matrices in
+  ``build_p2`` and its standard form, and identical ``lp_hta`` assignments
+  on the Table I profile;
+- the per-worker scenario memo — hit/miss telemetry and the reference-mode
+  bypass that keeps benchmark baselines honest.
+"""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.context import RunContext, use_context
+from repro.core.costs import ClusterCosts, cluster_costs
+from repro.core.hta import lp_hta
+from repro.core.lp_builder import build_p2
+from repro.data.ownership import OwnershipMap
+from repro.dta.coverage import (
+    _dta_number_lazy,
+    _dta_workload_lazy,
+    dta_number,
+    dta_number_naive,
+    dta_workload,
+    dta_workload_naive,
+)
+from repro.experiments import parallel
+from repro.perf import perf_config
+from repro.workload.generator import generate_scenario
+from repro.workload.profiles import PAPER_DEFAULTS
+
+
+@st.composite
+def coverable_instance(draw):
+    """A universe plus an ownership map that jointly covers it."""
+    num_items = draw(st.integers(min_value=1, max_value=30))
+    num_devices = draw(st.integers(min_value=1, max_value=10))
+    holdings = {d: set() for d in range(num_devices)}
+    for item in range(num_items):
+        owners = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_devices - 1),
+                min_size=1, max_size=num_devices, unique=True,
+            )
+        )
+        for owner in owners:
+            holdings[owner].add(item)
+    universe = frozenset(range(num_items))
+    return universe, OwnershipMap(holdings)
+
+
+class TestLazyGreedyMatchesNaive:
+    """The lazy-heap DTA implementations replay the reference argmin exactly."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(coverable_instance())
+    def test_workload_lazy_equals_naive(self, instance):
+        universe, ownership = instance
+        lazy = _dta_workload_lazy(universe, ownership)
+        naive = dta_workload_naive(universe, ownership)
+        assert lazy.universe == naive.universe
+        assert dict(lazy.sets) == dict(naive.sets)
+
+    @settings(max_examples=80, deadline=None)
+    @given(coverable_instance())
+    def test_number_lazy_equals_naive(self, instance):
+        universe, ownership = instance
+        lazy = _dta_number_lazy(universe, ownership)
+        naive = dta_number_naive(universe, ownership)
+        assert lazy.universe == naive.universe
+        assert dict(lazy.sets) == dict(naive.sets)
+
+    @settings(max_examples=30, deadline=None)
+    @given(coverable_instance())
+    def test_public_wrappers_route_both_modes_to_same_output(self, instance):
+        universe, ownership = instance
+        for algorithm, naive in (
+            (dta_workload, dta_workload_naive),
+            (dta_number, dta_number_naive),
+        ):
+            optimised = algorithm(universe, ownership)
+            with perf_config(reference=True):
+                reference = algorithm(universe, ownership)
+            assert dict(optimised.sets) == dict(reference.sets)
+            assert dict(reference.sets) == dict(naive(universe, ownership).sets)
+
+
+def _dense(matrix):
+    return matrix.toarray() if sp.issparse(matrix) else matrix
+
+
+def _cluster_inputs(scenario):
+    """Per-cluster (costs, device_caps, station_cap), as ``lp_hta`` slices."""
+    system = scenario.system
+    tasks = list(scenario.tasks)
+    costs = cluster_costs(system, tasks)
+    by_cluster = {}
+    for row, task in enumerate(tasks):
+        by_cluster.setdefault(
+            system.cluster_of(task.owner_device_id), []
+        ).append(row)
+    for station_id in sorted(by_cluster):
+        rows = by_cluster[station_id]
+        sub_costs = ClusterCosts(
+            tasks=tuple(costs.tasks[r] for r in rows),
+            time_s=costs.time_s[rows],
+            energy_j=costs.energy_j[rows],
+            resource=costs.resource[rows],
+            deadline_s=costs.deadline_s[rows],
+        )
+        device_caps = {
+            device_id: system.device(device_id).max_resource
+            for device_id in {t.owner_device_id for t in sub_costs.tasks}
+        }
+        yield sub_costs, device_caps, system.station(station_id).max_resource
+
+
+class TestSparseAssemblyMatchesDense:
+    """CSR assembly of P2 reproduces the dense reference bit for bit."""
+
+    def test_build_p2_matrices_equal_on_table1_profile(self):
+        scenario = generate_scenario(
+            PAPER_DEFAULTS.with_updates(num_tasks=80), seed=0
+        )
+        checked = 0
+        for sub_costs, device_caps, station_cap in _cluster_inputs(scenario):
+            with use_context(RunContext(lp_sparse=True)):
+                sparse = build_p2(sub_costs, device_caps, station_cap)
+            with use_context(RunContext(lp_sparse=False)):
+                dense = build_p2(sub_costs, device_caps, station_cap)
+            assert sparse.doomed_rows == dense.doomed_rows
+            assert np.array_equal(sparse.lp.c, dense.lp.c)
+            assert np.array_equal(sparse.lp.upper_bounds, dense.lp.upper_bounds)
+            assert (sparse.lp.a_ub is None) == (dense.lp.a_ub is None)
+            if sparse.lp.a_ub is not None:
+                assert sp.issparse(sparse.lp.a_ub)
+                assert not sp.issparse(dense.lp.a_ub)
+                assert np.array_equal(_dense(sparse.lp.a_ub), dense.lp.a_ub)
+                assert np.array_equal(sparse.lp.b_ub, dense.lp.b_ub)
+            assert sp.issparse(sparse.lp.a_eq)
+            assert np.array_equal(_dense(sparse.lp.a_eq), dense.lp.a_eq)
+            assert np.array_equal(sparse.lp.b_eq, dense.lp.b_eq)
+
+            std_sparse = sparse.lp.to_standard_form()
+            std_dense = dense.lp.to_standard_form()
+            assert std_sparse.is_sparse and not std_dense.is_sparse
+            assert np.array_equal(_dense(std_sparse.a), std_dense.a)
+            assert np.array_equal(std_sparse.b, std_dense.b)
+            assert np.array_equal(std_sparse.c, std_dense.c)
+            checked += 1
+        assert checked > 0  # the profile yields at least one cluster
+
+    def test_lp_hta_assignments_identical_across_backends(self):
+        scenario = generate_scenario(
+            PAPER_DEFAULTS.with_updates(num_tasks=80), seed=1
+        )
+        tasks = list(scenario.tasks)
+        for backend in ("interior-point", "scipy"):
+            sparse_ctx = RunContext(
+                lp_sparse=True, lp_backend=backend, lp_cache_capacity=0
+            )
+            dense_ctx = RunContext(
+                lp_sparse=False, lp_backend=backend, lp_cache_capacity=0
+            )
+            with use_context(sparse_ctx):
+                sparse_report = lp_hta(scenario.system, tasks)
+            with use_context(dense_ctx):
+                dense_report = lp_hta(scenario.system, tasks)
+            assert (
+                sparse_report.assignment.decisions
+                == dense_report.assignment.decisions
+            ), backend
+
+
+class TestScenarioMemo:
+    """The per-worker scenario memo: hits counted, reference mode bypassed."""
+
+    def setup_method(self):
+        parallel._SCENARIO_MEMO.clear()
+
+    def test_repeated_lookup_hits_and_counts(self):
+        context = RunContext()
+        profile = PAPER_DEFAULTS.with_updates(num_tasks=5)
+        first = parallel._scenario_for(profile, 3, context)
+        second = parallel._scenario_for(profile, 3, context)
+        assert second is first
+        assert context.telemetry.scenario_memo_misses == 1
+        assert context.telemetry.scenario_memo_hits == 1
+
+    def test_distinct_keys_miss(self):
+        context = RunContext()
+        profile = PAPER_DEFAULTS.with_updates(num_tasks=5)
+        a = parallel._scenario_for(profile, 0, context)
+        b = parallel._scenario_for(profile, 1, context)
+        c = parallel._scenario_for(
+            profile, 0, RunContext(lp_backend="interior-point")
+        )
+        assert a is not b and a is not c
+        assert context.telemetry.scenario_memo_hits == 0
+
+    def test_reference_mode_bypasses_memo(self):
+        context = RunContext(reference=True)
+        profile = PAPER_DEFAULTS.with_updates(num_tasks=5)
+        first = parallel._scenario_for(profile, 3, context)
+        second = parallel._scenario_for(profile, 3, context)
+        assert second is not first  # regenerated, never memoised
+        assert not parallel._SCENARIO_MEMO
+        assert context.telemetry.scenario_memo_hits == 0
+        assert context.telemetry.scenario_memo_misses == 0
+
+    def test_memoised_scenario_equals_fresh_generation(self):
+        context = RunContext()
+        profile = PAPER_DEFAULTS.with_updates(num_tasks=12)
+        memoised = parallel._scenario_for(profile, 7, context)
+        fresh = generate_scenario(profile, seed=7)
+        assert len(memoised.tasks) == len(fresh.tasks)
+        stats_memo = [t.owner_device_id for t in memoised.tasks]
+        stats_fresh = [t.owner_device_id for t in fresh.tasks]
+        assert stats_memo == stats_fresh

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.context import RunContext, use_context
 from repro.lp import LinearProgram, LPStatus, solve
 from repro.lp.interior_point import IPMOptions, solve_interior_point
 from repro.lp.simplex import SimplexOptions, solve_simplex
@@ -76,10 +77,13 @@ def test_mismatched_warm_start_is_ignored(lp):
 
 
 def test_backend_dispatcher_threads_warm_start(lp):
-    cold = solve(lp, "simplex")
-    warm = solve(lp, "simplex", warm_start=cold.warm_start)
-    assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
-    assert warm.message == "warm-started"
-    # A payload of the wrong flavour is silently dropped, not an error.
-    cross = solve(lp, "interior-point", warm_start=cold.warm_start)
-    assert cross.status is LPStatus.OPTIMAL
+    # Cache off: a default-context hit would short-circuit before the
+    # warm start is ever threaded to the solver.
+    with use_context(RunContext(lp_cache_capacity=0)):
+        cold = solve(lp, "simplex")
+        warm = solve(lp, "simplex", warm_start=cold.warm_start)
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+        assert warm.message == "warm-started"
+        # A payload of the wrong flavour is silently dropped, not an error.
+        cross = solve(lp, "interior-point", warm_start=cold.warm_start)
+        assert cross.status is LPStatus.OPTIMAL
