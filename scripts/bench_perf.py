@@ -13,7 +13,10 @@ root so the performance trajectory is tracked PR over PR:
 
 Both paths produce bit-identical series (asserted on every run), so the
 ratio is a pure wall-clock comparison.  Each side is timed ``--repeat``
-times and the fastest run is kept, which filters scheduler noise.  Usage::
+times and the fastest run is kept, which filters scheduler noise.  The
+fastest optimised run also contributes a per-figure ``stage_breakdown``
+section (per-stage counts, totals and p50/p95/p99, from the
+:mod:`repro.obs` stage histograms).  Usage::
 
     PYTHONPATH=src python scripts/bench_perf.py            # figs 2–6a
     PYTHONPATH=src python scripts/bench_perf.py --quick    # fig 2 only
@@ -23,13 +26,16 @@ times and the fastest run is kept, which filters scheduler noise.  Usage::
 import argparse
 import cProfile
 import json
+import pickle
 import platform
 import pstats
 import time
 from pathlib import Path
 
+from repro.context import RunContext, use_context
 from repro.core.costs import costs_config
 from repro.experiments.figures import ALL_FIGURES
+from repro.obs.export import stage_breakdown
 from repro.perf import perf_config
 
 #: fig6b runs ~20× longer than any other sweep; opt in with --figures.
@@ -132,14 +138,28 @@ def main() -> None:
     for figure_id in figures:
         ref_s = opt_s = float("inf")
         ref_data = opt_data = None
+        opt_telemetry = None
+        # One context per figure, shared by the repeats, so the LP solve
+        # cache and scenario memo stay warm across them — the regime the
+        # "fastest of N" timing has always measured.  Telemetry is reset
+        # before each optimised run and the fastest run's sink is
+        # snapshotted (pickling a bare Telemetry preserves its state), so
+        # the stage_breakdown section describes exactly one sweep.
+        context = RunContext()
         for _ in range(max(1, args.repeat)):
             with costs_config(vectorized=False, cached=False), perf_config(
                 reference=True
             ):
                 elapsed, ref_data = _time_figure(figure_id, seeds, jobs=1)
             ref_s = min(ref_s, elapsed)
-            elapsed, opt_data = _time_figure(figure_id, seeds, jobs=args.jobs)
-            opt_s = min(opt_s, elapsed)
+            context.telemetry.reset()
+            with use_context(context):
+                elapsed, opt_data = _time_figure(
+                    figure_id, seeds, jobs=args.jobs
+                )
+            if elapsed < opt_s:
+                opt_s = elapsed
+                opt_telemetry = pickle.loads(pickle.dumps(context.telemetry))
             if opt_data != ref_data:
                 raise SystemExit(
                     f"{figure_id}: optimised series diverged from the reference"
@@ -150,6 +170,7 @@ def main() -> None:
             "reference_s": round(ref_s, 3),
             "optimized_s": round(opt_s, 3),
             "speedup": round(ref_s / opt_s, 2),
+            "stage_breakdown": stage_breakdown(opt_telemetry),
         }
         if args.profile:
             report["figures"][figure_id]["hotspots"] = _profile_figure(
@@ -170,7 +191,7 @@ def main() -> None:
         f"total: reference {total_ref:.2f}s  optimized {total_opt:.2f}s  "
         f"({total_ref / total_opt:.2f}x)"
     )
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.out}")
 
 

@@ -1,0 +1,96 @@
+"""Validate a Chrome ``trace_event`` JSON file produced by ``--trace``.
+
+Checks the structural invariants the exporter guarantees (see
+:mod:`repro.obs.export`): a ``traceEvents`` list of ``"X"`` (complete) and
+``"M"`` (metadata) events, every ``X`` event carrying non-negative numeric
+``ts``/``dur``, a name and integer pid/tid.  Exit status is the verdict,
+so CI can gate on it.  ``--strip`` additionally prints the canonical form
+(wall-clock fields removed, keys sorted), which is bit-identical across
+start methods for a deterministic workload — CI diffs the stripped fork
+and spawn traces of the same figure.  Usage::
+
+    PYTHONPATH=src python scripts/validate_trace.py trace.json
+    PYTHONPATH=src python scripts/validate_trace.py trace.json --strip > canon.json
+"""
+
+import argparse
+import json
+import sys
+
+from repro.obs.export import canonical_trace
+
+_PHASES = {"X", "M"}
+
+
+def validate(trace) -> list:
+    """Every schema violation in ``trace`` (empty list = valid)."""
+    errors = []
+    if not isinstance(trace, dict):
+        return [f"top level must be an object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            errors.append(f"{where}: ph must be one of {sorted(_PHASES)}, got {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            errors.append(f"{where}: missing/empty name")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                errors.append(f"{where}: {field} must be an int")
+        if phase == "X":
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)) or value != value:
+                    errors.append(f"{where}: {field} must be numeric")
+                elif value < 0:
+                    errors.append(f"{where}: {field} must be >= 0, got {value}")
+            if not isinstance(event.get("args", {}), dict):
+                errors.append(f"{where}: args must be an object")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="trace JSON file to validate")
+    parser.add_argument(
+        "--strip", action="store_true",
+        help="after validating, print the canonical trace (ts/dur removed, "
+        "keys sorted) for cross-start-method diffing",
+    )
+    args = parser.parse_args()
+
+    with open(args.path) as handle:
+        try:
+            trace = json.load(handle)
+        except json.JSONDecodeError as exc:
+            print(f"{args.path}: not valid JSON: {exc}", file=sys.stderr)
+            return 1
+
+    errors = validate(trace)
+    if errors:
+        for error in errors:
+            print(f"{args.path}: {error}", file=sys.stderr)
+        return 1
+
+    n_complete = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+    if args.strip:
+        print(json.dumps(canonical_trace(trace), indent=1, sort_keys=True))
+    else:
+        print(
+            f"{args.path}: valid trace "
+            f"({len(trace['traceEvents'])} events, {n_complete} spans)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

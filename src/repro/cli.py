@@ -6,12 +6,16 @@ Usage::
     mecrepro figure fig2a --seeds 0 1 2
     mecrepro all-figures --seeds 0
     mecrepro demo --tasks 200 --seed 1
+    mecrepro report --figure fig2a
 
 Algorithm and policy choices come from :mod:`repro.registry`, so the CLI
 always lists exactly what is registered.  ``--stats`` prints the run's LP
 telemetry (solves, wall time, LP-cache and scenario-memo hit rates,
 warm-start reuse) collected on the active
-:class:`~repro.context.RunContext`.
+:class:`~repro.context.RunContext`.  ``--trace PATH`` / ``--log-json
+PATH`` enable span tracing and export it (Chrome ``trace_event`` JSON /
+JSONL); ``report`` runs one figure and prints the per-stage latency
+breakdown (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -52,6 +56,26 @@ def _add_jobs_and_stats(parser: argparse.ArgumentParser, what: str) -> None:
     )
 
 
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="enable span tracing and write a Chrome trace_event JSON "
+        "here (loadable in chrome://tracing and ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--log-json", default=None, metavar="PATH",
+        help="enable span tracing and write a JSONL event log here "
+        "(one span/counter/histogram per line)",
+    )
+
+
+def _add_start_method(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--start-method", choices=("fork", "spawn"), default=None,
+        help="multiprocessing start method for --jobs > 1",
+    )
+
+
 def _add_reference(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--reference", action="store_true",
@@ -85,6 +109,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_reference(figure)
     _add_jobs_and_stats(figure, "sweep")
+    _add_start_method(figure)
+    _add_obs(figure)
 
     all_figures = sub.add_parser("all-figures", help="regenerate every figure")
     all_figures.add_argument(
@@ -93,6 +119,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_reference(all_figures)
     _add_jobs_and_stats(all_figures, "sweeps")
+    _add_start_method(all_figures)
+    _add_obs(all_figures)
 
     demo = sub.add_parser("demo", help="run every figure algorithm on one scenario")
     demo.add_argument("--tasks", type=int, default=200)
@@ -102,6 +130,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print run telemetry (LP solves, wall time, LP-cache and "
         "scenario-memo hit rates) at the end",
     )
+    _add_obs(demo)
+
+    report = sub.add_parser(
+        "report",
+        help="run one figure and print the per-stage latency breakdown",
+    )
+    report.add_argument(
+        "--figure", dest="figure_id", choices=sorted(ALL_FIGURES),
+        default="fig2a", help="figure whose sweep to run and profile",
+    )
+    report.add_argument(
+        "--seeds", type=int, nargs="+", default=list(DEFAULT_SEEDS),
+        help="scenario seeds to average over",
+    )
+    _add_jobs_and_stats(report, "sweep")
+    _add_start_method(report)
+    _add_obs(report)
 
     ratio = sub.add_parser(
         "ratio-study",
@@ -129,6 +174,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print run telemetry (LP solves, wall time, LP-cache and "
         "scenario-memo hit rates) at the end",
     )
+    _add_obs(online)
 
     resilience = sub.add_parser(
         "resilience",
@@ -210,17 +256,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     args = _build_parser().parse_args(argv)
     # One fresh context per invocation: telemetry counts exactly this run.
+    # Tracing turns on only when an exporter will consume the spans.
+    trace = bool(
+        getattr(args, "trace", None) or getattr(args, "log_json", None)
+    )
     if getattr(args, "reference", False):
         context = RunContext(
-            reference=True, vectorized_costs=False, cached_costs=False
+            reference=True, vectorized_costs=False, cached_costs=False,
+            trace=trace,
         )
     else:
-        context = RunContext()
+        context = RunContext(trace=trace)
     with use_context(context):
         _dispatch(args)
     if getattr(args, "stats", False):
         print()
         print(context.telemetry.summary())
+    if getattr(args, "trace", None):
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(context.telemetry, args.trace)
+        print(f"trace written to {args.trace}")
+    if getattr(args, "log_json", None):
+        from repro.obs.export import write_jsonl
+
+        write_jsonl(context.telemetry, args.log_json)
+        print(f"JSONL event log written to {args.log_json}")
     return 0
 
 
@@ -228,7 +289,10 @@ def _dispatch(args: argparse.Namespace) -> None:
     if args.command == "table1":
         print(table1_text())
     elif args.command == "figure":
-        data = run_figure(args.figure_id, seeds=tuple(args.seeds), jobs=args.jobs)
+        data = run_figure(
+            args.figure_id, seeds=tuple(args.seeds), jobs=args.jobs,
+            start_method=args.start_method,
+        )
         print(data.format_table())
         if args.chart:
             print()
@@ -237,10 +301,24 @@ def _dispatch(args: argparse.Namespace) -> None:
         for figure_id in sorted(ALL_FIGURES):
             print(
                 run_figure(
-                    figure_id, seeds=tuple(args.seeds), jobs=args.jobs
+                    figure_id, seeds=tuple(args.seeds), jobs=args.jobs,
+                    start_method=args.start_method,
                 ).format_table()
             )
             print()
+    elif args.command == "report":
+        from repro.obs.export import stage_report
+
+        run_figure(
+            args.figure_id, seeds=tuple(args.seeds), jobs=args.jobs,
+            start_method=args.start_method,
+        )
+        print(
+            f"{args.figure_id} over seeds "
+            f"{','.join(str(s) for s in args.seeds)}:"
+        )
+        print()
+        print(stage_report(current_context().telemetry))
     elif args.command == "demo":
         _demo(args.tasks, args.seed)
     elif args.command == "ratio-study":

@@ -55,7 +55,12 @@ class Telemetry:
     """Aggregated per-solve counters attached to a :class:`RunContext`.
 
     One record per LP solve; the counters are additive so worker snapshots
-    merge losslessly into the parent's sink.
+    merge losslessly into the parent's sink.  Two structured slots ride
+    the same reset/merge/pickle protocol: ``metrics``
+    (:class:`repro.obs.metrics.Metrics` — named counters plus fixed-bucket
+    histograms, merged bucket-wise) and ``spans``
+    (:class:`repro.obs.spans.SpanLog` — completed tracer spans, merged by
+    track-aware concatenation).
     """
 
     __slots__ = (
@@ -73,13 +78,23 @@ class Telemetry:
         "reassignments",
         "tasks_dropped",
         "tasks_recovered",
+        "metrics",
+        "spans",
     )
 
     def __init__(self) -> None:
         self.reset()
 
     def reset(self) -> None:
-        """Zero every counter."""
+        """Zero every counter and empty the metrics/span sinks."""
+        # Local import: repro.obs.metrics/spans are import-light leaves,
+        # but this module's default context is built at import time, so a
+        # top-level import would cycle through repro.obs back into here.
+        from repro.obs.metrics import Metrics
+        from repro.obs.spans import SpanLog
+
+        self.metrics = Metrics()
+        self.spans = SpanLog()
         self.solves = 0
         self.solve_wall_s = 0.0
         self.lp_iterations = 0
@@ -116,6 +131,12 @@ class Telemetry:
         self.lp_iterations += iterations
         if warm_start:
             self.warm_start_reuses += 1
+        # The distribution view of the same event: the `solve` stage
+        # histogram covers every solve (cache hits are real pipeline
+        # latency), the iteration histogram only actual solver runs.
+        self.metrics.observe("stage.solve_s", wall_time_s)
+        if not cache_hit:
+            self.metrics.observe("lp.iterations", float(iterations))
 
     def record_cache(self, hit: bool) -> None:
         """Count one LP solve-cache lookup."""
@@ -152,7 +173,12 @@ class Telemetry:
             self.tasks_recovered += 1
 
     def merge(self, other: "Telemetry") -> None:
-        """Fold another sink's counters into this one (worker hand-back)."""
+        """Fold another sink into this one (worker hand-back).
+
+        Scalar counters add; the metrics bag and the span log define
+        ``+`` themselves (bucket-wise addition, track-aware
+        concatenation), so the same loop covers all three.
+        """
         for name in self.__slots__:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
@@ -176,20 +202,28 @@ class Telemetry:
         }
 
     def summary(self) -> str:
-        """A compact human-readable report (the CLI's ``--stats`` output)."""
+        """A compact human-readable report (the CLI's ``--stats`` output).
+
+        A run that never touched an LP (pure-greedy algorithms, coverage
+        sweeps) renders one clean line instead of a block of zeros and
+        ratio lines whose denominators would all be zero.
+        """
         lookups = self.cache_hits + self.cache_misses
-        lines = [
-            f"LP solves          {self.solves}",
-            f"solve wall time    {self.solve_wall_s:.3f} s",
-            f"LP iterations      {self.lp_iterations}",
-            f"warm-start reuses  {self.warm_start_reuses}",
-        ]
+        if self.solves == 0:
+            lines = ["no LP solves recorded"]
+        else:
+            lines = [
+                f"LP solves          {self.solves}",
+                f"solve wall time    {self.solve_wall_s:.3f} s",
+                f"LP iterations      {self.lp_iterations}",
+                f"warm-start reuses  {self.warm_start_reuses}",
+            ]
         if lookups:
             lines.append(
                 f"solve cache        {self.cache_hits}/{lookups} hits "
                 f"({self.cache_hits / lookups:.0%})"
             )
-        else:
+        elif self.solves:
             lines.append("solve cache        not used")
         memo_lookups = self.scenario_memo_hits + self.scenario_memo_misses
         if memo_lookups:
@@ -197,7 +231,7 @@ class Telemetry:
                 f"scenario memo      {self.scenario_memo_hits}/{memo_lookups} hits "
                 f"({self.scenario_memo_hits / memo_lookups:.0%})"
             )
-        else:
+        elif self.solves:
             lines.append("scenario memo      not used")
         if self.faults_detected:
             lines.append(f"faults detected    {self.faults_detected}")
@@ -247,6 +281,12 @@ class RunContext:
         equations with a sparse factorisation.  ``False`` selects the dense
         reference assembly/solve; reference mode is always dense.
     :param seed: RNG seed handed to randomized algorithm variants.
+    :param trace: record nested spans (:mod:`repro.obs.tracer`) into the
+        telemetry sink.  Off by default: the disabled path is a shared
+        no-op context manager with near-zero overhead.  Cells pickle their
+        context, so enabling tracing on a sweep traces its worker
+        processes too, and the workers' span logs merge back like every
+        other counter.
     """
 
     reference: bool = False
@@ -258,6 +298,7 @@ class RunContext:
     lp_cache_capacity: int = 256
     lp_sparse: bool = True
     seed: int = 0
+    trace: bool = False
     telemetry: Telemetry = field(
         default_factory=Telemetry, compare=False, repr=False
     )

@@ -34,6 +34,7 @@ from repro.lp.structured import solve_structured
 from repro.core.task import Task
 from repro.lp.backends import solve as lp_solve
 from repro.lp.result import LPResult
+from repro.obs.tracer import span
 from repro.system.topology import MECSystem
 
 __all__ = ["ClusterReport", "HTAReport", "LPHTAOptions", "lp_hta", "lp_hta_cluster"]
@@ -175,34 +176,39 @@ def _solve_p2(
         generic_build = None
         for backend in (options.backend, *options.fallback_backends):
             if backend == "structured":
-                start = time.perf_counter()
                 grouped = build_p2_structured(
                     costs, device_caps, station_cap,
                     relax_deadline_bounds=relax,
                 ).lp
-                # Reference mode solves uncached: the seed-era path had no
-                # solve cache, and benchmark baselines must stay honest.
-                cache = None if context.reference else context.lp_cache
-                key = None
-                if cache is not None:
-                    from repro.caching.lp_cache import fingerprint_grouped
+                with span("solve", context=context, backend=backend):
+                    # Timed from here so ``stage.solve_s`` (and the solve
+                    # wall-time counter) excludes the build above, which has
+                    # its own stage.
+                    start = time.perf_counter()
+                    # Reference mode solves uncached: the seed-era path had
+                    # no solve cache, and benchmark baselines must stay
+                    # honest.
+                    cache = None if context.reference else context.lp_cache
+                    key = None
+                    if cache is not None:
+                        from repro.caching.lp_cache import fingerprint_grouped
 
-                    key = fingerprint_grouped(grouped, backend)
-                    hit = cache.lookup(key)
-                    if hit is not None:
-                        context.telemetry.record_solve(
-                            wall_time_s=time.perf_counter() - start,
-                            iterations=0,
-                            cache_hit=True,
-                        )
-                        return hit
-                result = solve_structured(grouped)
-                if cache is not None and key is not None and result.status.ok:
-                    cache.insert(key, result)
-                context.telemetry.record_solve(
-                    wall_time_s=time.perf_counter() - start,
-                    iterations=result.iterations,
-                )
+                        key = fingerprint_grouped(grouped, backend)
+                        hit = cache.lookup(key)
+                        if hit is not None:
+                            context.telemetry.record_solve(
+                                wall_time_s=time.perf_counter() - start,
+                                iterations=0,
+                                cache_hit=True,
+                            )
+                            return hit
+                    result = solve_structured(grouped)
+                    if cache is not None and key is not None and result.status.ok:
+                        cache.insert(key, result)
+                    context.telemetry.record_solve(
+                        wall_time_s=time.perf_counter() - start,
+                        iterations=result.iterations,
+                    )
             else:
                 if generic_build is None:
                     generic_build = build_p2(

@@ -28,6 +28,7 @@ from repro import perf
 
 from repro.context import current_context
 from repro.core.costs import NUM_SUBSYSTEMS, ClusterCosts
+from repro.obs.tracer import staged
 from repro.lp.problem import LinearProgram
 from repro.lp.structured import GroupedBoundedLP
 
@@ -153,6 +154,7 @@ def _assemble_ub_sparse(
     return a_ub, np.asarray(b_ub, dtype=float)
 
 
+@staged("build")
 def build_p2(
     costs: ClusterCosts,
     device_caps: Mapping[int, float],
@@ -253,6 +255,7 @@ class P2StructuredBuild:
     doomed_rows: Tuple[int, ...]
 
 
+@staged("build")
 def build_p2_structured(
     costs: ClusterCosts,
     device_caps: Mapping[int, float],

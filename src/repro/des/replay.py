@@ -14,11 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.context import RunContext
+from repro.context import RunContext, current_context
 from repro.core.assignment import Assignment, Subsystem
 from repro.core.task import Task
 from repro.des.kernel import EventSimulator
 from repro.des.resources import FaultyResource, FIFOResource
+from repro.obs.tracer import staged
 from repro.system.topology import MECSystem
 
 OutageWindows = Sequence[Tuple[float, float]]
@@ -263,6 +264,7 @@ class _Replay:
         )
 
 
+@staged("replay")
 def replay_assignment(
     system: MECSystem,
     tasks: Sequence[Task],
@@ -303,6 +305,9 @@ def replay_assignment(
             raise ValueError("start_times must be non-negative")
         replay.launch(row, task, decision, start=start)
     makespan = replay.sim.run()
+    current_context().telemetry.metrics.incr(
+        "des.events", replay.sim.events_processed
+    )
 
     latencies: List[Optional[float]] = []
     for row in range(len(tasks)):

@@ -33,6 +33,7 @@ import networkx as nx
 from repro import perf
 from repro.data.items import DataCatalog
 from repro.data.ownership import OwnershipMap
+from repro.obs.tracer import staged
 
 __all__ = [
     "Coverage",
@@ -219,6 +220,7 @@ def _dta_workload_lazy(
     return Coverage(universe=frozenset(universe), sets=sets)
 
 
+@staged("dta")
 def dta_workload(universe: FrozenSet[int], ownership: OwnershipMap) -> Coverage:
     """DTA-Workload greedy (Section IV-A): smallest non-empty coverage first.
 
@@ -311,6 +313,7 @@ def _dta_number_lazy(
     return Coverage(universe=frozenset(universe), sets=sets)
 
 
+@staged("dta")
 def dta_number(universe: FrozenSet[int], ownership: OwnershipMap) -> Coverage:
     """DTA-Number greedy (Section IV-B, Algorithm 1): greedy Set Cover.
 

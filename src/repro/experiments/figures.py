@@ -104,6 +104,7 @@ def _sweep(
     metric: str,
     seeds: Sequence[int],
     jobs: Optional[int] = 1,
+    start_method: Optional[str] = None,
 ) -> SeriesData:
     """Run every evaluator over every sweep point, averaging over seeds."""
     specs = tuple(evaluators)
@@ -118,7 +119,7 @@ def _sweep(
             (profile, seed) for profile in profiles for seed in seeds
         )
     ]
-    per_cell = run_cells(work, jobs=jobs)
+    per_cell = run_cells(work, jobs=jobs, start_method=start_method)
 
     series: Dict[str, List[float]] = {spec.name: [] for spec in specs}
     n_seeds = len(seeds)
@@ -138,7 +139,9 @@ def _sweep(
 
 
 def fig2a(
-    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: Optional[int] = 1,
+    start_method: Optional[str] = None,
 ) -> SeriesData:
     """Fig 2(a): energy vs number of tasks (LP-HTA, HGOS, AllToC, AllOffload)."""
     profiles = [
@@ -150,12 +153,14 @@ def fig2a(
         "number of tasks", "total energy (J)",
         TASK_SWEEP, profiles,
         [_holistic(n) for n in (LP_HTA, HGOS_NAME, ALL_TO_CLOUD, ALL_OFFLOAD)],
-        "total_energy_j", seeds, jobs=jobs,
+        "total_energy_j", seeds, jobs=jobs, start_method=start_method,
     )
 
 
 def fig2b(
-    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: Optional[int] = 1,
+    start_method: Optional[str] = None,
 ) -> SeriesData:
     """Fig 2(b): energy vs maximum input size, 100 tasks."""
     profiles = [
@@ -167,12 +172,14 @@ def fig2b(
         "max input size (kB)", "total energy (J)",
         INPUT_SWEEP_KB, profiles,
         [_holistic(n) for n in (LP_HTA, HGOS_NAME, ALL_TO_CLOUD, ALL_OFFLOAD)],
-        "total_energy_j", seeds, jobs=jobs,
+        "total_energy_j", seeds, jobs=jobs, start_method=start_method,
     )
 
 
 def fig3(
-    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: Optional[int] = 1,
+    start_method: Optional[str] = None,
 ) -> SeriesData:
     """Fig 3: unsatisfied-task rate vs number of tasks (no AllToC)."""
     profiles = [
@@ -184,12 +191,14 @@ def fig3(
         "number of tasks", "unsatisfied task rate",
         TASK_SWEEP, profiles,
         [_holistic(n) for n in (LP_HTA, HGOS_NAME, ALL_OFFLOAD)],
-        "unsatisfied_rate", seeds, jobs=jobs,
+        "unsatisfied_rate", seeds, jobs=jobs, start_method=start_method,
     )
 
 
 def fig4a(
-    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: Optional[int] = 1,
+    start_method: Optional[str] = None,
 ) -> SeriesData:
     """Fig 4(a): average latency vs number of tasks."""
     profiles = [
@@ -201,12 +210,14 @@ def fig4a(
         "number of tasks", "average latency (s)",
         TASK_SWEEP, profiles,
         [_holistic(n) for n in (LP_HTA, HGOS_NAME, ALL_TO_CLOUD, ALL_OFFLOAD)],
-        "mean_latency_s", seeds, jobs=jobs,
+        "mean_latency_s", seeds, jobs=jobs, start_method=start_method,
     )
 
 
 def fig4b(
-    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: Optional[int] = 1,
+    start_method: Optional[str] = None,
 ) -> SeriesData:
     """Fig 4(b): average latency vs maximum input size, 100 tasks."""
     profiles = [
@@ -218,12 +229,14 @@ def fig4b(
         "max input size (kB)", "average latency (s)",
         INPUT_SWEEP_KB, profiles,
         [_holistic(n) for n in (LP_HTA, HGOS_NAME, ALL_TO_CLOUD, ALL_OFFLOAD)],
-        "mean_latency_s", seeds, jobs=jobs,
+        "mean_latency_s", seeds, jobs=jobs, start_method=start_method,
     )
 
 
 def fig5a(
-    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: Optional[int] = 1,
+    start_method: Optional[str] = None,
 ) -> SeriesData:
     """Fig 5(a): energy vs number of tasks (LP-HTA, DTA-Workload, DTA-Number)."""
     profiles = [
@@ -239,12 +252,14 @@ def fig5a(
         "number of tasks", "total energy (J)",
         TASK_SWEEP, profiles,
         [_holistic(LP_HTA), _dta("workload"), _dta("number")],
-        "total_energy_j", seeds, jobs=jobs,
+        "total_energy_j", seeds, jobs=jobs, start_method=start_method,
     )
 
 
 def fig5b(
-    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: Optional[int] = 1,
+    start_method: Optional[str] = None,
 ) -> SeriesData:
     """Fig 5(b): energy vs result size (0.4X … 0.05X, constant), 100 tasks."""
     labels: Tuple[str, ...] = ("0.4X", "0.2X", "0.1X", "0.05X", "const")
@@ -261,12 +276,14 @@ def fig5b(
         "result size", "total energy (J)",
         labels, profiles,
         [_holistic(LP_HTA), _dta("workload"), _dta("number")],
-        "total_energy_j", seeds, jobs=jobs,
+        "total_energy_j", seeds, jobs=jobs, start_method=start_method,
     )
 
 
 def fig6a(
-    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: Optional[int] = 1,
+    start_method: Optional[str] = None,
 ) -> SeriesData:
     """Fig 6(a): processing time, DTA-Workload vs DTA-Number, 200 tasks."""
     sweep_kb = (1200, 1400, 1600, 1800, 2000)
@@ -281,12 +298,14 @@ def fig6a(
         "max input size (kB)", "processing time (s)",
         sweep_kb, profiles,
         [_dta("workload"), _dta("number")],
-        "processing_time_s", seeds, jobs=jobs,
+        "processing_time_s", seeds, jobs=jobs, start_method=start_method,
     )
 
 
 def fig6b(
-    seeds: Sequence[int] = DEFAULT_SEEDS, jobs: Optional[int] = 1
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: Optional[int] = 1,
+    start_method: Optional[str] = None,
 ) -> SeriesData:
     """Fig 6(b): involved devices, DTA-Workload vs DTA-Number, 2000 kB."""
     sweep_tasks = (100, 300, 500, 700, 900)
@@ -301,7 +320,7 @@ def fig6b(
         "number of tasks", "involved mobile devices",
         sweep_tasks, profiles,
         [_dta("workload"), _dta("number")],
-        "involved_devices", seeds, jobs=jobs,
+        "involved_devices", seeds, jobs=jobs, start_method=start_method,
     )
 
 
@@ -323,12 +342,15 @@ def run_figure(
     figure_id: str,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     jobs: Optional[int] = 1,
+    start_method: Optional[str] = None,
 ) -> SeriesData:
     """Regenerate one figure's data by id.
 
     :param figure_id: a key of :data:`ALL_FIGURES`.
     :param seeds: scenario seeds to average over.
     :param jobs: worker processes for the sweep (``1`` = in-process).
+    :param start_method: multiprocessing start method for ``jobs > 1``
+        (see :func:`repro.experiments.parallel.run_cells`).
     """
     try:
         producer = ALL_FIGURES[figure_id]
@@ -336,4 +358,4 @@ def run_figure(
         raise ValueError(
             f"unknown figure {figure_id!r}; choose from {sorted(ALL_FIGURES)}"
         ) from None
-    return producer(seeds=seeds, jobs=jobs)
+    return producer(seeds=seeds, jobs=jobs, start_method=start_method)

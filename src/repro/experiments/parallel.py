@@ -164,10 +164,13 @@ def _scenario_for(
     """The cell's scenario, served from the per-process memo when possible.
 
     Reference mode always regenerates: the seed-era pipeline had no memo,
-    and benchmark baselines must not borrow speed from one.  Every lookup
-    is counted in the context's telemetry (``--stats`` reports the rate).
+    and benchmark baselines must not borrow speed from one.  Traced runs
+    also bypass it — which cells hit the memo depends on pool scheduling,
+    and trace content must be deterministic across start methods.  Every
+    lookup is counted in the context's telemetry (``--stats`` reports the
+    rate).
     """
-    if context.reference:
+    if context.reference or context.trace:
         return generate_scenario(profile, seed=seed)
     key = (profile, seed, context)
     scenario = _SCENARIO_MEMO.get(key)

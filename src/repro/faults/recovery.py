@@ -51,6 +51,7 @@ from repro.core.costs import task_costs
 from repro.core.hta import lp_hta
 from repro.core.task import Task
 from repro.des.replay import RealizedMetrics, replay_assignment
+from repro.obs.tracer import staged, traced
 from repro.system.topology import MECSystem
 
 __all__ = [
@@ -196,6 +197,7 @@ class RecoveryOutcome:
         return out
 
 
+@traced("faults.detect")
 def detect_threats(
     system: MECSystem,
     tasks: Sequence[Task],
@@ -343,6 +345,7 @@ def _attempts(
     return max(1, overlapping)
 
 
+@staged("recovery")
 def apply_recovery(
     policy: str,
     epoch: int,

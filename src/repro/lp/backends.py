@@ -17,6 +17,7 @@ from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult, LPStatus
 from repro.lp.simplex import SimplexOptions, solve_simplex
 from repro.lp.warmstart import IPMIterate, SimplexBasis
+from repro.obs.tracer import span
 
 __all__ = ["available_backends", "solve"]
 
@@ -120,27 +121,28 @@ def solve(
         # ``cache=`` arguments still win for differential tests).
         cache = ctx.lp_cache
 
-    start = time.perf_counter()
-    key = None
-    if cache is not None:
-        from repro.caching.lp_cache import fingerprint_problem
+    with span("solve", context=ctx, backend=method):
+        start = time.perf_counter()
+        key = None
+        if cache is not None:
+            from repro.caching.lp_cache import fingerprint_problem
 
-        key = fingerprint_problem(problem, method)
-        hit = cache.lookup(key)
-        if hit is not None:
-            ctx.telemetry.record_solve(
-                wall_time_s=time.perf_counter() - start,
-                iterations=0,
-                cache_hit=True,
-            )
-            return hit
+            key = fingerprint_problem(problem, method)
+            hit = cache.lookup(key)
+            if hit is not None:
+                ctx.telemetry.record_solve(
+                    wall_time_s=time.perf_counter() - start,
+                    iterations=0,
+                    cache_hit=True,
+                )
+                return hit
 
-    result = backend(problem, warm_start)
-    if cache is not None and key is not None:
-        cache.insert(key, result)
-    ctx.telemetry.record_solve(
-        wall_time_s=time.perf_counter() - start,
-        iterations=result.iterations,
-        warm_start=warm_start is not None,
-    )
-    return result
+        result = backend(problem, warm_start)
+        if cache is not None and key is not None:
+            cache.insert(key, result)
+        ctx.telemetry.record_solve(
+            wall_time_s=time.perf_counter() - start,
+            iterations=result.iterations,
+            warm_start=warm_start is not None,
+        )
+        return result

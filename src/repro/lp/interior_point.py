@@ -28,6 +28,7 @@ from scipy.sparse.linalg import splu
 from repro.lp.problem import LinearProgram, StandardFormLP
 from repro.lp.result import LPResult, LPStatus
 from repro.lp.warmstart import IPMIterate
+from repro.obs.tracer import traced
 
 __all__ = ["IPMOptions", "solve_interior_point"]
 
@@ -384,6 +385,7 @@ def _solve_standard_form(
     ))
 
 
+@traced("lp.interior_point")
 def solve_interior_point(
     problem: Union[LinearProgram, StandardFormLP],
     options: IPMOptions = IPMOptions(),

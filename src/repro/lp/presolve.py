@@ -22,6 +22,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.lp.problem import LinearProgram
+from repro.obs.tracer import staged
 
 __all__ = ["PresolveResult", "presolve", "restore"]
 
@@ -98,6 +99,7 @@ def _within_bounds(value: float, ub: float) -> bool:
     return -_TOL <= value <= ub + _TOL
 
 
+@staged("presolve")
 def presolve(lp: LinearProgram) -> PresolveResult:
     """Run the reduction passes on a bounded-variable LP.
 

@@ -18,6 +18,7 @@ import scipy.sparse as sp
 from repro.lp.problem import LinearProgram, StandardFormLP
 from repro.lp.result import LPResult, LPStatus
 from repro.lp.warmstart import SimplexBasis
+from repro.obs.tracer import traced
 
 __all__ = ["SimplexOptions", "solve_simplex"]
 
@@ -269,6 +270,7 @@ def _extract_optimal(
     )
 
 
+@traced("lp.simplex")
 def solve_simplex(
     problem: Union[LinearProgram, StandardFormLP],
     options: SimplexOptions = SimplexOptions(),

@@ -1,0 +1,103 @@
+"""Completed-span records and their mergeable log.
+
+A :class:`SpanRecord` is the *result* of a span — name, monotonic start,
+duration, nesting depth, attributes — produced by :mod:`repro.obs.tracer`
+when tracing is enabled.  Records accumulate in a :class:`SpanLog` that
+rides the :class:`~repro.context.Telemetry` merge protocol: worker
+processes return their log next to their counters, and the parent folds
+logs together with ``+`` in submission order.
+
+**Tracks.**  Spans from different processes interleave in wall time but
+must not be flattened onto one timeline — nesting would become
+meaningless.  Every fresh log records on logical track 0; merging a
+non-empty log relabels its records onto fresh track ids after the
+receiver's.  Because :func:`repro.experiments.parallel.run_cells` merges
+cell telemetry in submission order, track assignment — like everything
+else in a record except ``start_s``/``duration_s`` — is deterministic
+across fork, spawn and repeated runs.  :meth:`SpanLog.content` exposes
+exactly that wall-clock-free view, which is what CI diffs.
+
+No imports from the rest of the package, so :mod:`repro.context` can
+depend on this module without a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterator, List, Tuple
+
+__all__ = ["SpanLog", "SpanRecord"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span.
+
+    :param name: span name (stage name or a solver-internal label).
+    :param start_s: ``time.perf_counter()`` at open — monotonic and only
+        meaningful relative to other spans of the same process/track.
+    :param duration_s: wall time between open and close.
+    :param depth: nesting depth at open (0 = top level of its track).
+    :param track: logical timeline; assigned on merge (see module doc).
+    :param attrs: sorted ``(key, value)`` attribute pairs.
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    depth: int
+    track: int
+    attrs: Tuple[Tuple[str, Any], ...] = ()
+
+    def content_key(self) -> Tuple[Any, ...]:
+        """The record minus its wall-clock fields (for trace diffing)."""
+        return (self.track, self.depth, self.name, self.attrs)
+
+
+class SpanLog:
+    """An append-only list of completed spans with track-aware merging."""
+
+    def __init__(self) -> None:
+        self.records: List[SpanRecord] = []
+        self.tracks = 1
+
+    def append(self, record: SpanRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[SpanRecord]:
+        return iter(self.records)
+
+    def __add__(self, other: "SpanLog") -> "SpanLog":
+        if not isinstance(other, SpanLog):
+            return NotImplemented
+        merged = SpanLog()
+        merged.records = list(self.records)
+        merged.tracks = self.tracks
+        if other.records:
+            base = merged.tracks
+            merged.records.extend(
+                replace(record, track=record.track + base)
+                for record in other.records
+            )
+            merged.tracks += other.tracks
+        return merged
+
+    def content(self) -> Tuple[Tuple[Any, ...], ...]:
+        """Every record's :meth:`~SpanRecord.content_key`, in order.
+
+        Deterministic for a deterministic workload — equal across fork and
+        spawn, and equal modulo track ids between sequential and parallel
+        execution of the same cells.
+        """
+        return tuple(record.content_key() for record in self.records)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpanLog):
+            return NotImplemented
+        return self.records == other.records and self.tracks == other.tracks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanLog({len(self.records)} spans, {self.tracks} tracks)"

@@ -21,6 +21,7 @@ and in the report for the resilience experiment to trace.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -39,6 +40,7 @@ from repro.faults.recovery import (
 )
 from repro.mobility.handover import attachment_at
 from repro.mobility.waypoint import RandomWaypointModel
+from repro.obs.tracer import record_span, span
 from repro.online.arrivals import TimedTask
 from repro.system.topology import MECSystem
 
@@ -281,6 +283,7 @@ def simulate_online(
             cursor += 1
         if not timed_batch:
             continue
+        epoch_work_start = time.perf_counter()
         full_batch: List[Task] = [timed.task for timed in timed_batch]
 
         # Mark departed devices before re-planning: their tasks never make
@@ -330,7 +333,14 @@ def simulate_online(
             )
 
         if batch:
-            assignment = _run_policy(options.policy, plan_system, batch, context)
+            plan_start = time.perf_counter()
+            with span("online.plan", context=context, epoch=epoch, tasks=len(batch)):
+                assignment = _run_policy(
+                    options.policy, plan_system, batch, context
+                )
+            context.telemetry.metrics.observe(
+                "online.decision_latency_s", time.perf_counter() - plan_start
+            )
             planned_energy = assignment.total_energy_j()
             planned_unsat = assignment.unsatisfied_rate()
 
@@ -425,6 +435,16 @@ def simulate_online(
                 reassignments=counts.get("reassign", 0),
                 fault_extra_energy_j=fault_extra,
             )
+        )
+        # The loop's ``continue`` paths make a ``with`` block awkward here;
+        # record the already-measured interval instead.
+        record_span(
+            "online.epoch",
+            epoch_work_start,
+            time.perf_counter() - epoch_work_start,
+            context=context,
+            epoch=epoch,
+            tasks=len(full_batch),
         )
 
     return OnlineReport(

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro import perf
 from repro.core.task import Task
+from repro.obs.tracer import staged
 from repro.data.items import DataCatalog
 from repro.data.ownership import OwnershipMap
 from repro.data.universe import random_overlap_universe
@@ -406,6 +407,7 @@ def generate_tasks(
     return tasks
 
 
+@staged("generate")
 def generate_scenario(profile: WorkloadProfile, seed: int = 0) -> Scenario:
     """Generate a complete scenario (system, tasks, data) from a profile.
 
