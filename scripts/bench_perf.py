@@ -52,26 +52,13 @@ def _time_figure(figure_id: str, seeds, jobs: int):
     return time.perf_counter() - start, data
 
 
-def _profile_figure(figure_id: str, seeds, jobs: int, top: int = 20):
-    """Run one figure under cProfile; return its top hotspots.
-
-    The profiler only sees the submitting process, so figures are profiled
-    with ``jobs=1`` — worker-side costs would otherwise vanish from the
-    report.  Each hotspot is ``{function, calls, tottime_s, cumtime_s}``,
-    sorted by cumulative time.
-    """
-    producer = ALL_FIGURES[figure_id]
-    profiler = cProfile.Profile()
-    profiler.enable()
-    producer(seeds=seeds, jobs=1)
-    profiler.disable()
-    stats = pstats.Stats(profiler)
-    stats.sort_stats("cumulative")
-    hotspots = []
+def _hotspot_rows(stats: "pstats.Stats", sort: str, top: int):
+    stats.sort_stats(sort)
+    rows = []
     for func in stats.fcn_list[:top]:  # (file, line, name), sorted
         cc, nc, tottime, cumtime, _callers = stats.stats[func]
         filename, line, name = func
-        hotspots.append(
+        rows.append(
             {
                 "function": f"{filename}:{line}({name})",
                 "calls": nc,
@@ -79,7 +66,61 @@ def _profile_figure(figure_id: str, seeds, jobs: int, top: int = 20):
                 "cumtime_s": round(cumtime, 4),
             }
         )
-    return hotspots
+    return rows
+
+
+def _profile_figure(figure_id: str, seeds, jobs: int, top: int = 20):
+    """Run one figure under cProfile; return its top hotspots.
+
+    The profiler only sees the submitting process, so figures are profiled
+    with ``jobs=1`` — worker-side costs would otherwise vanish from the
+    report.  Two rankings are returned: ``cumulative`` (wrappers and
+    pipeline stages) and ``self`` (tottime).  The self ranking is what
+    surfaces solver-internal work on the sparse path: C-level calls like
+    ``splu``/``spsolve`` carry all their time as tottime, so a
+    cumulative-only list buries them inside the Python wrapper's cumtime
+    and the solve looks like pure overhead.
+    """
+    producer = ALL_FIGURES[figure_id]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    producer(seeds=seeds, jobs=1)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    return {
+        "cumulative": _hotspot_rows(stats, "cumulative", top),
+        "self": _hotspot_rows(stats, "tottime", top),
+    }
+
+
+def _batch_stats(telemetry):
+    """Mega-solve statistics for one figure's *first* optimised run.
+
+    Summarises the batched LP path: how many block-diagonal mega-solves
+    ran, how many P2 blocks they pooled, the ``lp.batch_size``
+    distribution, and the whole-batch cache hit rate.  The first repeat
+    is the one reported because it runs on a cold cache — later repeats
+    serve whole columns from the batch cache and never assemble a
+    mega-solve.  All zeros (and a ``null`` size section) under
+    ``--no-batch`` or when every sweep column held a single cell.
+    """
+    counters = {
+        "batch_solves": telemetry.batch_solves,
+        "batched_blocks": telemetry.batched_blocks,
+        "batch_cache_hits": telemetry.batch_cache_hits,
+        "batch_cache_misses": telemetry.batch_cache_misses,
+    }
+    histogram = telemetry.metrics.histograms.get("lp.batch_size")
+    if histogram is None or histogram.count == 0:
+        counters["batch_size"] = None
+    else:
+        counters["batch_size"] = {
+            "count": histogram.count,
+            "mean": round(histogram.sum / histogram.count, 2),
+            "p50": round(histogram.quantile(0.50), 2),
+            "p95": round(histogram.quantile(0.95), 2),
+        }
+    return counters
 
 
 def main() -> None:
@@ -111,7 +152,8 @@ def main() -> None:
     parser.add_argument(
         "--profile", action="store_true",
         help="additionally run each figure under cProfile and record the "
-        "top-20 cumulative-time hotspots in the output JSON",
+        "top-20 hotspots (cumulative and self-time rankings) in the "
+        "output JSON",
     )
     args = parser.parse_args()
 
@@ -138,7 +180,7 @@ def main() -> None:
     for figure_id in figures:
         ref_s = opt_s = float("inf")
         ref_data = opt_data = None
-        opt_telemetry = None
+        opt_telemetry = cold_telemetry = None
         # One context per figure, shared by the repeats, so the LP solve
         # cache and scenario memo stay warm across them — the regime the
         # "fastest of N" timing has always measured.  Telemetry is reset
@@ -160,6 +202,10 @@ def main() -> None:
             if elapsed < opt_s:
                 opt_s = elapsed
                 opt_telemetry = pickle.loads(pickle.dumps(context.telemetry))
+            if cold_telemetry is None:
+                # First repeat: the only one whose caches start cold, so
+                # the only one whose mega-solves actually run.
+                cold_telemetry = pickle.loads(pickle.dumps(context.telemetry))
             if opt_data != ref_data:
                 raise SystemExit(
                     f"{figure_id}: optimised series diverged from the reference"
@@ -171,6 +217,7 @@ def main() -> None:
             "optimized_s": round(opt_s, 3),
             "speedup": round(ref_s / opt_s, 2),
             "stage_breakdown": stage_breakdown(opt_telemetry),
+            "batch": _batch_stats(cold_telemetry),
         }
         if args.profile:
             report["figures"][figure_id]["hotspots"] = _profile_figure(

@@ -85,6 +85,15 @@ def _add_reference(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_batch(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=True,
+        help="pool each sweep column's LP relaxations into one "
+        "block-diagonal mega-solve (--no-batch solves sequentially; "
+        "output is identical either way; --reference implies --no-batch)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mecrepro",
@@ -108,6 +117,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also render an ASCII chart of the series",
     )
     _add_reference(figure)
+    _add_batch(figure)
     _add_jobs_and_stats(figure, "sweep")
     _add_start_method(figure)
     _add_obs(figure)
@@ -118,6 +128,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="scenario seeds to average over",
     )
     _add_reference(all_figures)
+    _add_batch(all_figures)
     _add_jobs_and_stats(all_figures, "sweeps")
     _add_start_method(all_figures)
     _add_obs(all_figures)
@@ -144,6 +155,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seeds", type=int, nargs="+", default=list(DEFAULT_SEEDS),
         help="scenario seeds to average over",
     )
+    _add_batch(report)
     _add_jobs_and_stats(report, "sweep")
     _add_start_method(report)
     _add_obs(report)
@@ -261,12 +273,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         getattr(args, "trace", None) or getattr(args, "log_json", None)
     )
     if getattr(args, "reference", False):
+        # Reference runs are the differential-testing baseline: no
+        # batching, whatever --batch says.
         context = RunContext(
             reference=True, vectorized_costs=False, cached_costs=False,
-            trace=trace,
+            trace=trace, lp_batch=False,
         )
     else:
-        context = RunContext(trace=trace)
+        context = RunContext(trace=trace, lp_batch=getattr(args, "batch", True))
     with use_context(context):
         _dispatch(args)
     if getattr(args, "stats", False):

@@ -38,7 +38,7 @@ import contextvars
 import dataclasses
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.caching.lp_cache import LPSolveCache
@@ -67,8 +67,12 @@ class Telemetry:
         "solves",
         "solve_wall_s",
         "lp_iterations",
+        "batch_solves",
+        "batched_blocks",
         "cache_hits",
         "cache_misses",
+        "batch_cache_hits",
+        "batch_cache_misses",
         "warm_start_reuses",
         "scenario_memo_hits",
         "scenario_memo_misses",
@@ -98,8 +102,12 @@ class Telemetry:
         self.solves = 0
         self.solve_wall_s = 0.0
         self.lp_iterations = 0
+        self.batch_solves = 0
+        self.batched_blocks = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.batch_cache_hits = 0
+        self.batch_cache_misses = 0
         self.warm_start_reuses = 0
         self.scenario_memo_hits = 0
         self.scenario_memo_misses = 0
@@ -138,12 +146,55 @@ class Telemetry:
         if not cache_hit:
             self.metrics.observe("lp.iterations", float(iterations))
 
+    def record_batch(
+        self,
+        *,
+        blocks: int,
+        wall_time_s: float,
+        iterations: "Sequence[int]",
+        assembly_s: Optional[float] = None,
+    ) -> None:
+        """Record one batched mega-solve clearing ``blocks`` LP blocks.
+
+        Each block counts as one solve (so ``solves`` stays comparable
+        between the batched and sequential paths) and contributes its own
+        iteration count to the ``lp.iterations`` histogram; the batch as a
+        whole feeds the ``lp.batch_size`` histogram and, through
+        :func:`repro.obs.tracer.stage`, the ``batch_assembly``/``solve``
+        stage timings.
+
+        :param blocks: number of LP blocks cleared by this call.
+        :param wall_time_s: wall-clock time of the joint solve.
+        :param iterations: per-block solver iteration counts.
+        :param assembly_s: optional block-stacking time, observed into the
+            ``stage.batch_assembly_s`` histogram (callers that time the
+            assembly with :func:`~repro.obs.tracer.stage` pass ``None``).
+        """
+        self.batch_solves += 1
+        self.batched_blocks += blocks
+        self.solves += blocks
+        self.solve_wall_s += wall_time_s
+        self.lp_iterations += sum(iterations)
+        self.metrics.observe("lp.batch_size", float(blocks))
+        self.metrics.observe("stage.solve_s", wall_time_s)
+        for count in iterations:
+            self.metrics.observe("lp.iterations", float(count))
+        if assembly_s is not None:
+            self.metrics.observe("stage.batch_assembly_s", assembly_s)
+
     def record_cache(self, hit: bool) -> None:
         """Count one LP solve-cache lookup."""
         if hit:
             self.cache_hits += 1
         else:
             self.cache_misses += 1
+
+    def record_batch_cache(self, hit: bool) -> None:
+        """Count one whole-batch LP solve-cache lookup."""
+        if hit:
+            self.batch_cache_hits += 1
+        else:
+            self.batch_cache_misses += 1
 
     def record_scenario_memo(self, hit: bool) -> None:
         """Count one per-worker scenario-memo lookup (see
@@ -188,8 +239,12 @@ class Telemetry:
             "solves": self.solves,
             "solve_wall_s": self.solve_wall_s,
             "lp_iterations": self.lp_iterations,
+            "batch_solves": self.batch_solves,
+            "batched_blocks": self.batched_blocks,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "batch_cache_hits": self.batch_cache_hits,
+            "batch_cache_misses": self.batch_cache_misses,
             "warm_start_reuses": self.warm_start_reuses,
             "scenario_memo_hits": self.scenario_memo_hits,
             "scenario_memo_misses": self.scenario_memo_misses,
@@ -218,6 +273,17 @@ class Telemetry:
                 f"LP iterations      {self.lp_iterations}",
                 f"warm-start reuses  {self.warm_start_reuses}",
             ]
+        if self.batch_solves:
+            lines.append(
+                f"batched solves     {self.batched_blocks} blocks in "
+                f"{self.batch_solves} mega-solves"
+            )
+        batch_lookups = self.batch_cache_hits + self.batch_cache_misses
+        if batch_lookups:
+            lines.append(
+                f"batch cache        {self.batch_cache_hits}/{batch_lookups} hits "
+                f"({self.batch_cache_hits / batch_lookups:.0%})"
+            )
         if lookups:
             lines.append(
                 f"solve cache        {self.cache_hits}/{lookups} hits "
@@ -280,6 +346,12 @@ class RunContext:
         form) as CSR sparse matrices and solve the interior-point normal
         equations with a sparse factorisation.  ``False`` selects the dense
         reference assembly/solve; reference mode is always dense.
+    :param lp_batch: clear independent LP-HTA Step-1 instances (the
+        per-cluster relaxations, and — through the sweep engine — whole
+        sweep columns) as one block-diagonal mega-solve with per-block
+        convergence masking, instead of a Python loop of solves.  ``False``
+        selects the sequential per-cluster path, which is retained as the
+        differential-testing reference; reference mode never batches.
     :param seed: RNG seed handed to randomized algorithm variants.
     :param trace: record nested spans (:mod:`repro.obs.tracer`) into the
         telemetry sink.  Off by default: the disabled path is a shared
@@ -297,6 +369,7 @@ class RunContext:
     lp_warm_start: bool = True
     lp_cache_capacity: int = 256
     lp_sparse: bool = True
+    lp_batch: bool = True
     seed: int = 0
     trace: bool = False
     telemetry: Telemetry = field(

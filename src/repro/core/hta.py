@@ -29,15 +29,28 @@ import numpy as np
 from repro.context import RunContext, current_context
 from repro.core.assignment import Assignment, Subsystem
 from repro.core.costs import NUM_SUBSYSTEMS, ClusterCosts, cluster_costs
-from repro.core.lp_builder import build_p2, build_p2_structured, reshape_solution
-from repro.lp.structured import solve_structured
+from repro.core.lp_builder import (
+    BatchedProblem,
+    build_p2,
+    build_p2_structured,
+    reshape_solution,
+)
+from repro.lp.structured import solve_structured, solve_structured_batch
 from repro.core.task import Task
 from repro.lp.backends import solve as lp_solve
+from repro.lp.interior_point import solve_interior_point_batch
 from repro.lp.result import LPResult
 from repro.obs.tracer import span
 from repro.system.topology import MECSystem
 
-__all__ = ["ClusterReport", "HTAReport", "LPHTAOptions", "lp_hta", "lp_hta_cluster"]
+__all__ = [
+    "ClusterReport",
+    "HTAReport",
+    "LPHTAOptions",
+    "lp_hta",
+    "lp_hta_batch",
+    "lp_hta_cluster",
+]
 
 #: Column indices into the cost arrays.
 _DEVICE, _STATION, _CLOUD = 0, 1, 2
@@ -222,6 +235,196 @@ def _solve_p2(
     raise RuntimeError(f"all LP backends failed for P2: last result {last}")
 
 
+#: Backends whose Step-1 solve has a block-diagonal batched path.
+_BATCHABLE_BACKENDS = ("structured", "interior-point")
+
+
+def _batching_enabled(context: RunContext, options: LPHTAOptions, blocks: int) -> bool:
+    """Whether Step 1 should go through the batched mega-solve.
+
+    Reference mode keeps the seed-era sequential path (it is the
+    differential-testing baseline); a single block gains nothing from
+    batching, so the sequential path also keeps its exact telemetry shape
+    for simple runs.
+    """
+    return (
+        blocks >= 2
+        and context.lp_batch
+        and not context.reference
+        and options.backend in _BATCHABLE_BACKENDS
+    )
+
+
+def _solve_p2_batch(
+    jobs: Sequence[Tuple[ClusterCosts, Mapping[int, float], float]],
+    options: LPHTAOptions,
+    context: RunContext,
+) -> List[LPResult]:
+    """Step 1 for many independent clusters: one block-diagonal mega-solve.
+
+    Only the primary backend's unrelaxed solve is batched — the solve that
+    succeeds on every healthy instance.  Any block the batched solver
+    cannot clear falls back to the sequential :func:`_solve_p2`, which
+    retains the full backend/relaxation ladder, so the returned results
+    match the sequential path block for block (the batched solvers iterate
+    each block's exact sequential trajectory; see
+    :func:`repro.lp.structured.solve_structured_batch`).
+
+    Cache interaction: a whole-batch fingerprint is probed first
+    (:meth:`~repro.caching.lp_cache.LPSolveCache.lookup_batch`), then
+    per-block keys, so a repeated sweep column skips assembly and solve in
+    one lookup while a partially-overlapping batch still reuses every
+    block it can.
+    """
+    from repro.caching.lp_cache import fingerprint_grouped, fingerprint_problem
+
+    backend = options.backend
+    results: List[Optional[LPResult]] = [None] * len(jobs)
+
+    # Per-block builds feed the ``build`` stage exactly like the
+    # sequential path; everything after them (fingerprints, offset
+    # bookkeeping, block stacking) is batching overhead and is what
+    # ``stage.batch_assembly_s`` measures.
+    if backend == "structured":
+        blocks = [
+            build_p2_structured(
+                costs, caps, cap, relax_deadline_bounds=False
+            ).lp
+            for costs, caps, cap in jobs
+        ]
+        generic = None
+    else:
+        generic = [
+            build_p2(costs, caps, cap, relax_deadline_bounds=False).lp
+            for costs, caps, cap in jobs
+        ]
+        blocks = None
+
+    assembly_start = time.perf_counter()
+    cache = None if context.reference else context.lp_cache
+    keys: Optional[List[str]] = None
+    if cache is not None:
+        if blocks is not None:
+            keys = [fingerprint_grouped(b, backend) for b in blocks]
+        else:
+            assert generic is not None
+            keys = [fingerprint_problem(p, backend) for p in generic]
+        lookup_start = time.perf_counter()
+        whole = cache.lookup_batch(keys)
+        if whole is not None:
+            share = (time.perf_counter() - lookup_start) / len(jobs)
+            for index, hit in enumerate(whole):
+                results[index] = hit
+                # Each block is a cache-served solve, so the per-solve
+                # counters stay comparable with the sequential path.
+                context.telemetry.record_cache(True)
+                context.telemetry.record_solve(
+                    wall_time_s=share, iterations=0, cache_hit=True
+                )
+            return list(whole)
+        for index, key in enumerate(keys):
+            lookup_start = time.perf_counter()
+            hit = cache.lookup(key)
+            if hit is not None:
+                results[index] = hit
+                context.telemetry.record_solve(
+                    wall_time_s=time.perf_counter() - lookup_start,
+                    iterations=0,
+                    cache_hit=True,
+                )
+
+    pending = [index for index, result in enumerate(results) if result is None]
+    if pending:
+        if blocks is not None:
+            batch_input = [blocks[index] for index in pending]
+        else:
+            assert generic is not None
+            batch_input = BatchedProblem([generic[index] for index in pending])
+        assembly_s = time.perf_counter() - assembly_start
+        with span("solve", context=context, backend=backend):
+            start = time.perf_counter()
+            if blocks is not None:
+                solved = solve_structured_batch(batch_input)
+            else:
+                solved = solve_interior_point_batch(batch_input)
+            wall = time.perf_counter() - start
+        context.telemetry.record_batch(
+            blocks=len(pending),
+            wall_time_s=wall,
+            iterations=[result.iterations for result in solved],
+            assembly_s=assembly_s,
+        )
+        for index, result in zip(pending, solved):
+            results[index] = result
+    if cache is not None and keys is not None:
+        if all(r is not None and r.status.ok for r in results):
+            # Store the whole column (per-block hits re-inserted unchanged)
+            # so an identical batch later hits in one probe — including
+            # when this batch itself was assembled purely from per-block
+            # subset hits.
+            cache.insert_batch(keys, results)  # type: ignore[arg-type]
+        else:
+            for index in pending:
+                result = results[index]
+                if result is not None and result.status.ok:
+                    cache.insert(keys[index], result)
+
+    out: List[LPResult] = []
+    for job, result in zip(jobs, results):
+        if result is None or not result.status.ok:
+            # Rare: the primary backend failed on this block (or the whole
+            # batch was empty).  Re-run the full sequential ladder, which
+            # also covers the relaxed-bounds retry.
+            costs, caps, cap = job
+            result = _solve_p2(costs, caps, cap, options, context)
+        out.append(result)
+    return out
+
+
+@dataclass(frozen=True)
+class _ClusterSlice:
+    """One cluster's slice of a system-wide cost table (Step-1 input)."""
+
+    station_id: int
+    rows: Tuple[int, ...]
+    costs: ClusterCosts
+    device_caps: Dict[int, float]
+    station_cap: float
+
+
+def _cluster_slices(
+    system: MECSystem, tasks: Sequence[Task], costs: ClusterCosts
+) -> List[_ClusterSlice]:
+    """Split a priced task set into independent per-cluster instances."""
+    by_cluster: Dict[int, List[int]] = {}
+    for row, task in enumerate(tasks):
+        by_cluster.setdefault(system.cluster_of(task.owner_device_id), []).append(row)
+    slices: List[_ClusterSlice] = []
+    for station_id in sorted(by_cluster):
+        rows = by_cluster[station_id]
+        sub_costs = ClusterCosts(
+            tasks=tuple(costs.tasks[r] for r in rows),
+            time_s=costs.time_s[rows],
+            energy_j=costs.energy_j[rows],
+            resource=costs.resource[rows],
+            deadline_s=costs.deadline_s[rows],
+        )
+        device_caps = {
+            device_id: system.device(device_id).max_resource
+            for device_id in {t.owner_device_id for t in sub_costs.tasks}
+        }
+        slices.append(
+            _ClusterSlice(
+                station_id=station_id,
+                rows=tuple(rows),
+                costs=sub_costs,
+                device_caps=device_caps,
+                station_cap=system.station(station_id).max_resource,
+            )
+        )
+    return slices
+
+
 def _round(
     x_fractional: np.ndarray, options: LPHTAOptions
 ) -> np.ndarray:
@@ -255,6 +458,7 @@ def lp_hta_cluster(
     options: Optional[LPHTAOptions] = None,
     station_id: int = 0,
     context: Optional[RunContext] = None,
+    lp_result: Optional[LPResult] = None,
 ) -> Tuple[List[Subsystem], ClusterReport]:
     """Run the six LP-HTA steps on one cluster's cost table.
 
@@ -266,6 +470,9 @@ def lp_hta_cluster(
     :param station_id: cluster label for the report.
     :param context: run configuration (perf mode, LP defaults, telemetry);
         defaults to the active context.
+    :param lp_result: optional precomputed Step-1 solution (from the
+        batched mega-solve, :func:`_solve_p2_batch`); when given, Step 1
+        is skipped and Steps 2–6 run on it unchanged.
     :returns: per-row decisions plus the cluster report.
     """
     context = context if context is not None else current_context()
@@ -282,7 +489,8 @@ def lp_hta_cluster(
         return [], report
 
     # Steps 1–2: solve P2 and reshape into X.
-    lp_result = _solve_p2(costs, device_caps, station_cap, options, context)
+    if lp_result is None:
+        lp_result = _solve_p2(costs, device_caps, station_cap, options, context)
     x_fractional = reshape_solution(lp_result.require_ok(), n)
 
     # Step 3: round.
@@ -436,31 +644,25 @@ def lp_hta(
     if options is None:
         options = _options_from_context(context)
     costs = cluster_costs(system, tasks)
-    by_cluster: Dict[int, List[int]] = {}
-    for row, task in enumerate(tasks):
-        by_cluster.setdefault(system.cluster_of(task.owner_device_id), []).append(row)
+    slices = _cluster_slices(system, tasks, costs)
+
+    lp_results: Optional[List[LPResult]] = None
+    if _batching_enabled(context, options, len(slices)):
+        lp_results = _solve_p2_batch(
+            [(s.costs, s.device_caps, s.station_cap) for s in slices],
+            options,
+            context,
+        )
 
     decisions: List[Subsystem] = [Subsystem.CANCELLED] * len(tasks)
     reports: List[ClusterReport] = []
-    for station_id in sorted(by_cluster):
-        rows = by_cluster[station_id]
-        sub_costs = ClusterCosts(
-            tasks=tuple(costs.tasks[r] for r in rows),
-            time_s=costs.time_s[rows],
-            energy_j=costs.energy_j[rows],
-            resource=costs.resource[rows],
-            deadline_s=costs.deadline_s[rows],
-        )
-        device_caps = {
-            device_id: system.device(device_id).max_resource
-            for device_id in {t.owner_device_id for t in sub_costs.tasks}
-        }
-        station_cap = system.station(station_id).max_resource
+    for index, cluster in enumerate(slices):
         sub_decisions, report = lp_hta_cluster(
-            sub_costs, device_caps, station_cap, options,
-            station_id=station_id, context=context,
+            cluster.costs, cluster.device_caps, cluster.station_cap, options,
+            station_id=cluster.station_id, context=context,
+            lp_result=None if lp_results is None else lp_results[index],
         )
-        for local_row, decision in zip(rows, sub_decisions):
+        for local_row, decision in zip(cluster.rows, sub_decisions):
             decisions[local_row] = decision
         reports.append(report)
 
@@ -468,3 +670,70 @@ def lp_hta(
         assignment=Assignment(costs, decisions),
         clusters=tuple(reports),
     )
+
+
+def lp_hta_batch(
+    jobs: Sequence[Tuple[MECSystem, Sequence[Task]]],
+    options: Optional[LPHTAOptions] = None,
+    context: Optional[RunContext] = None,
+) -> List[HTAReport]:
+    """Run LP-HTA over many (system, tasks) inputs with one mega-solve.
+
+    Every cluster of every input is an independent P2 block, so the whole
+    job list pools into a single block-diagonal Step-1 solve — this is the
+    batch entry point the sweep engine and the DTA candidate loop use to
+    amortise per-solve overhead across a column of cells.  Results are
+    identical to ``[lp_hta(s, t, ...) for s, t in jobs]`` block for block;
+    when batching is off (reference mode, ``lp_batch=False``, non-IPM
+    backend, or fewer than two blocks) it literally runs that loop.
+
+    :param jobs: (system, tasks) pairs, each priced and clustered exactly
+        as :func:`lp_hta` would.
+    :param options: algorithm tunables shared by every job.
+    :param context: run configuration; defaults to the active context.
+    """
+    context = context if context is not None else current_context()
+    if options is None:
+        options = _options_from_context(context)
+    prepared = []
+    total_blocks = 0
+    for system, tasks in jobs:
+        costs = cluster_costs(system, tasks)
+        slices = _cluster_slices(system, tasks, costs)
+        prepared.append((tasks, costs, slices))
+        total_blocks += len(slices)
+
+    lp_results: Optional[List[LPResult]] = None
+    if _batching_enabled(context, options, total_blocks):
+        lp_results = _solve_p2_batch(
+            [
+                (s.costs, s.device_caps, s.station_cap)
+                for _, _, slices in prepared
+                for s in slices
+            ],
+            options,
+            context,
+        )
+
+    out: List[HTAReport] = []
+    cursor = 0
+    for tasks, costs, slices in prepared:
+        decisions: List[Subsystem] = [Subsystem.CANCELLED] * len(tasks)
+        reports: List[ClusterReport] = []
+        for cluster in slices:
+            sub_decisions, report = lp_hta_cluster(
+                cluster.costs, cluster.device_caps, cluster.station_cap,
+                options, station_id=cluster.station_id, context=context,
+                lp_result=None if lp_results is None else lp_results[cursor],
+            )
+            cursor += 1
+            for local_row, decision in zip(cluster.rows, sub_decisions):
+                decisions[local_row] = decision
+            reports.append(report)
+        out.append(
+            HTAReport(
+                assignment=Assignment(costs, decisions),
+                clusters=tuple(reports),
+            )
+        )
+    return out

@@ -32,7 +32,7 @@ from typing import Dict, Literal, Optional, Sequence, Tuple
 
 from repro.context import RunContext
 from repro.core.assignment import Assignment, Subsystem
-from repro.core.hta import HTAReport, LPHTAOptions, lp_hta
+from repro.core.hta import HTAReport, LPHTAOptions, lp_hta, lp_hta_batch
 from repro.core.task import Task
 from repro.data.items import DataCatalog
 from repro.data.ownership import OwnershipMap
@@ -40,7 +40,13 @@ from repro.dta.coverage import Coverage, dta_number, dta_workload
 from repro.dta.rearrange import RearrangedPlan, rearrange_tasks
 from repro.system.topology import MECSystem
 
-__all__ = ["DTAOutcome", "evaluate_plan", "run_dta"]
+__all__ = [
+    "DTAOutcome",
+    "evaluate_plan",
+    "evaluate_plans",
+    "prepare_dta",
+    "run_dta",
+]
 
 
 @dataclass(frozen=True)
@@ -219,6 +225,7 @@ def evaluate_plan(
     catalog: DataCatalog,
     options: Optional[LPHTAOptions] = None,
     context: Optional[RunContext] = None,
+    hta_report: Optional[HTAReport] = None,
 ) -> DTAOutcome:
     """Schedule a rearranged plan with LP-HTA and price the whole pipeline.
 
@@ -228,8 +235,12 @@ def evaluate_plan(
     :param options: LP-HTA tunables for the sub-task schedule; defaults to
         the context's LP settings.
     :param context: run configuration threaded through to LP-HTA.
+    :param hta_report: optional precomputed sub-task schedule (from the
+        batched :func:`evaluate_plans`); when given, the LP-HTA call is
+        skipped and pricing runs on it unchanged.
     """
-    hta_report = lp_hta(system, list(plan.subtasks), options, context=context)
+    if hta_report is None:
+        hta_report = lp_hta(system, list(plan.subtasks), options, context=context)
     assignment = hta_report.assignment
 
     execution_energy = assignment.total_energy_j()
@@ -250,6 +261,73 @@ def evaluate_plan(
         final_result_energy_j=final_energy,
         processing_time_s=processing_time,
     )
+
+
+def evaluate_plans(
+    jobs: Sequence[Tuple[MECSystem, RearrangedPlan, DataCatalog]],
+    options: Optional[LPHTAOptions] = None,
+    context: Optional[RunContext] = None,
+) -> Tuple[DTAOutcome, ...]:
+    """Price many rearranged plans with one batched LP-HTA mega-solve.
+
+    The sub-task schedules of independent plans are independent P2
+    instances, so the whole candidate list clears in one block-diagonal
+    Step-1 solve (:func:`repro.core.hta.lp_hta_batch`) instead of a Python
+    loop of :func:`evaluate_plan` calls.  Results are identical plan for
+    plan; when batching is disabled the underlying call degenerates to the
+    sequential loop.
+
+    :param jobs: (system, plan, catalog) triples, each priced exactly as
+        :func:`evaluate_plan` would.
+    :param options: LP-HTA tunables shared by every job.
+    :param context: run configuration threaded through to LP-HTA.
+    """
+    reports = lp_hta_batch(
+        [(system, list(plan.subtasks)) for system, plan, _ in jobs],
+        options,
+        context=context,
+    )
+    return tuple(
+        evaluate_plan(
+            system, plan, catalog, options, context=context, hta_report=report
+        )
+        for (system, plan, catalog), report in zip(jobs, reports)
+    )
+
+
+def prepare_dta(
+    tasks: Sequence[Task],
+    ownership: OwnershipMap,
+    catalog: DataCatalog,
+    objective: Literal["workload", "number"] = "workload",
+    universe: Optional[frozenset] = None,
+) -> RearrangedPlan:
+    """The combinatorial half of DTA: divide the data and rearrange.
+
+    Pure and LP-free — everything up to (but excluding) the LP-HTA
+    schedule, so batch callers can prepare every candidate plan first and
+    clear the LP half in one mega-solve via :func:`evaluate_plans`.
+
+    :param tasks: the divisible tasks.
+    :param ownership: per-device data holdings.
+    :param catalog: item sizes.
+    :param objective: ``"workload"`` for DTA-Workload (Section IV-A) or
+        ``"number"`` for DTA-Number (Section IV-B).
+    :param universe: override for D (defaults to the union of the tasks'
+        required items).
+    """
+    if universe is None:
+        required = set()
+        for task in tasks:
+            required |= task.required_items
+        universe = frozenset(required)
+    if objective == "workload":
+        coverage = dta_workload(universe, ownership)
+    elif objective == "number":
+        coverage = dta_number(universe, ownership)
+    else:
+        raise ValueError(f"unknown DTA objective {objective!r}")
+    return rearrange_tasks(tasks, coverage, catalog)
 
 
 def run_dta(
@@ -276,16 +354,5 @@ def run_dta(
         required items).
     :param context: run configuration threaded through to LP-HTA.
     """
-    if universe is None:
-        required = set()
-        for task in tasks:
-            required |= task.required_items
-        universe = frozenset(required)
-    if objective == "workload":
-        coverage = dta_workload(universe, ownership)
-    elif objective == "number":
-        coverage = dta_number(universe, ownership)
-    else:
-        raise ValueError(f"unknown DTA objective {objective!r}")
-    plan = rearrange_tasks(tasks, coverage, catalog)
+    plan = prepare_dta(tasks, ownership, catalog, objective, universe)
     return evaluate_plan(system, plan, catalog, options, context=context)

@@ -107,6 +107,21 @@ def rearrange_tasks(
     subtasks: List[Task] = []
     parents: List[Task] = []
     coverage_sets = sorted(coverage.sets.items())  # hoisted: same per task
+
+    # Inverted item -> device index: coverage sets are disjoint by
+    # Definition 1/2, so each required item names exactly one executor and
+    # a task's parts can be collected in O(|required|) instead of scanning
+    # every device's set.  An overlapping (invalid but unvalidated)
+    # coverage emits one sub-task per overlapping set under the scan; only
+    # the scan reproduces that, so the index is abandoned entirely then.
+    item_owner: Dict[int, int] = {}
+    overlapping = False
+    for device_id, owned in coverage_sets:
+        for item in owned:
+            if item in item_owner:
+                overlapping = True
+            item_owner[item] = device_id
+
     for task in tasks:
         if not task.divisible:
             raise ValueError(f"task {task.task_id} is not divisible")
@@ -118,8 +133,18 @@ def rearrange_tasks(
                 f"task {task.task_id} requires items outside the coverage "
                 f"universe: {sorted(missing)[:5]}"
             )
-        for device_id, owned in coverage_sets:
-            part = owned & task.required_items
+        if overlapping:
+            parts = [
+                (device_id, owned & task.required_items)
+                for device_id, owned in coverage_sets
+            ]
+        else:
+            by_device: Dict[int, set] = {}
+            for item in task.required_items:
+                by_device.setdefault(item_owner[item], set()).add(item)
+            # Sorted by device id — the exact emission order of the scan.
+            parts = sorted(by_device.items())
+        for device_id, part in parts:
             if not part:
                 continue
             part = frozenset(part)

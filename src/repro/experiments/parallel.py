@@ -30,6 +30,15 @@ sequential one:
 ``jobs=1`` runs the cells in-process with no executor, no pickling
 requirement and no subprocess overhead; it is the default everywhere.
 
+When LP batching is on (:attr:`~repro.context.RunContext.lp_batch`, the
+default), cells sharing a profile, evaluator set and context — the seeds
+of one sweep column — are grouped and dispatched as one unit: each
+evaluator then pools the whole column's Step-1 LP work into a single
+block-diagonal mega-solve (:func:`repro.core.hta.lp_hta_batch`).  Column
+composition is a pure function of the cell list — never of ``jobs`` or
+pool scheduling — so results, spans and telemetry stay identical
+in-process, under fork and under spawn.
+
 Worker telemetry (solve counts, wall time, cache and scenario-memo hits)
 is returned next to each cell's results and merged into the submitting
 context's sink, so ``--stats`` summaries cover parallel runs too.
@@ -55,6 +64,7 @@ import multiprocessing
 from repro import registry
 from repro.context import RunContext, Telemetry, current_context, use_context
 from repro.experiments.runner import (
+    HOLISTIC_ALGORITHMS,
     AlgorithmResult,
     evaluate_dta,
     evaluate_holistic,
@@ -103,6 +113,34 @@ class EvaluatorSpec:
             with use_context(context):
                 return self.target(scenario)
         raise ValueError(f"unknown evaluator kind {self.kind!r}")
+
+    def run_batch(self, scenarios: Sequence[Scenario]) -> List[AlgorithmResult]:
+        """Evaluate many scenarios at once, pooling LP work where possible.
+
+        Registry algorithms with a batch form (LP-HTA, both DTA entries)
+        clear all scenarios' Step-1 relaxations in one block-diagonal
+        mega-solve (:func:`repro.registry.run_batch`); everything else —
+        and every run with batching disabled — degenerates to the
+        per-scenario loop.  Results are identical to
+        ``[self(s) for s in scenarios]`` either way.
+        """
+        context = self.context if self.context is not None else current_context()
+        if self.kind == "holistic":
+            # Same membership check evaluate_holistic applies per call.
+            if registry.get(self.target).name not in HOLISTIC_ALGORITHMS:
+                raise ValueError(
+                    f"unknown algorithm {self.target!r}; "
+                    f"choose from {sorted(HOLISTIC_ALGORITHMS)}"
+                )
+            return registry.run_batch(self.target, scenarios, context)
+        if self.kind == "dta":
+            if self.target not in registry.DTA_OBJECTIVES.values():
+                raise ValueError(
+                    f"unknown DTA objective {self.target!r}; "
+                    f"choose from {sorted(registry.DTA_OBJECTIVES.values())}"
+                )
+            return registry.run_batch(self.target, scenarios, context)
+        return [self(scenario) for scenario in scenarios]
 
 
 def holistic_spec(
@@ -212,6 +250,70 @@ def _evaluate_cell_with_telemetry(
     return results, context.telemetry
 
 
+def _group_columns(cells: Sequence[SweepCell]) -> List[List[int]]:
+    """Deterministic sweep columns: cell indices grouped for batching.
+
+    Cells sharing (profile, evaluators, context) — the seeds of one sweep
+    column — form one group, in first-appearance order; cells whose
+    context rules batching out (``lp_batch`` off, reference mode) stay
+    singleton groups, preserving per-cell pool granularity.  Composition
+    is a pure function of the cell list — never of ``jobs``, the start
+    method or pool scheduling — so the batched mega-solves (and therefore
+    telemetry, spans and results) are identical in-process, under fork and
+    under spawn.
+
+    The context is compared by *identity*, not equality: a column's work
+    runs under (and reports into) one context, which is only correct when
+    its cells genuinely share the object — as cells stamped by
+    :func:`run_cells` do.  Equal-but-distinct contexts keep their own
+    telemetry sinks and stay unbatched.
+    """
+    groups: "OrderedDict[Any, List[int]]" = OrderedDict()
+    for index, cell in enumerate(cells):
+        context = cell.context
+        if context is not None and context.lp_batch and not context.reference:
+            key: Any = ("column", cell.profile, cell.evaluators, id(context))
+        else:
+            key = ("cell", index)
+        try:
+            groups.setdefault(key, []).append(index)
+        except TypeError:  # unhashable evaluator target: no batching
+            groups[("cell", index)] = [index]
+    return list(groups.values())
+
+
+def _evaluate_column(cells: Sequence[SweepCell]) -> List[Tuple[AlgorithmResult, ...]]:
+    """Evaluate one sweep column, batching each evaluator across its cells.
+
+    Every cell's scenario is obtained first (same memo and counting as the
+    per-cell path), then each evaluator runs once over the whole column —
+    which is where LP-HTA and DTA pool their Step-1 relaxations into one
+    mega-solve.  Returns per-cell result tuples in cell order, identical
+    to ``[_evaluate_cell(c) for c in cells]``.
+    """
+    if len(cells) == 1:
+        return [_evaluate_cell(cells[0])]
+    context = cells[0].context if cells[0].context is not None else current_context()
+    with use_context(context):
+        scenarios = [
+            _scenario_for(cell.profile, cell.seed, context) for cell in cells
+        ]
+        per_cell: List[List[AlgorithmResult]] = [[] for _ in cells]
+        for spec in cells[0].evaluators:
+            for index, result in enumerate(spec.run_batch(scenarios)):
+                per_cell[index].append(result)
+        return [tuple(results) for results in per_cell]
+
+
+def _evaluate_column_with_telemetry(
+    cells: Sequence[SweepCell],
+) -> Tuple[List[Tuple[AlgorithmResult, ...]], Telemetry]:
+    """Pool entry point for a whole column (cells share one context pickle)."""
+    results = _evaluate_column(cells)
+    context = cells[0].context if cells[0].context is not None else current_context()
+    return results, context.telemetry
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalise a ``jobs`` request: ``None``/``0`` mean all CPUs.
 
@@ -289,8 +391,20 @@ def run_cells(
     jobs = resolve_jobs(jobs)
     ambient = current_context()
     bound = [_bind_context(cell, ambient) for cell in cells]
+    # Column composition is fixed here, before any dispatch decision, so
+    # batched mega-solves are identical in-process and across any pool.
+    columns = _group_columns(bound)
+
+    def in_process() -> List[Tuple[AlgorithmResult, ...]]:
+        results: List[Optional[Tuple[AlgorithmResult, ...]]] = [None] * len(bound)
+        for column in columns:
+            column_results = _evaluate_column([bound[i] for i in column])
+            for index, cell_results in zip(column, column_results):
+                results[index] = cell_results
+        return results  # type: ignore[return-value]
+
     if jobs == 1 or len(bound) <= 1:
-        return [_evaluate_cell(cell) for cell in bound]
+        return in_process()
 
     # Validated for every jobs > 1 request — even ones that end up running
     # in-process below — so picklability problems surface on every machine,
@@ -304,12 +418,12 @@ def run_cells(
             f"callable instead of a closure (jobs={jobs}): {exc}"
         ) from exc
 
-    # Never run more workers than cells, and never oversubscribe the
+    # Never run more workers than work items, and never oversubscribe the
     # machine: extra processes on a smaller box only add scheduler churn.
     # A one-worker pool would serialise anyway, so skip the pool entirely.
-    workers = min(jobs, len(bound), os.cpu_count() or jobs)
+    workers = min(jobs, len(columns), os.cpu_count() or jobs)
     if workers <= 1:
-        return [_evaluate_cell(cell) for cell in bound]
+        return in_process()
 
     if start_method is not None:
         mp_context = multiprocessing.get_context(start_method)
@@ -325,22 +439,27 @@ def run_cells(
     # sweeps skip process start-up, and each worker keeps its scenario
     # memo warm across calls.  A broken pool (killed worker) is discarded
     # and the call retried once on a fresh one.
+    # Each column ships as one pickle, so its cells' shared context stays
+    # one object in the worker and the column's telemetry lands in one
+    # sink.  Singleton columns reproduce the historical per-cell dispatch.
+    work = [tuple(bound[i] for i in column) for column in columns]
     pool = _pool_for(workers, mp_context)
     try:
         # Executor.map preserves submission order.
-        outcomes = list(pool.map(_evaluate_cell_with_telemetry, bound))
+        outcomes = list(pool.map(_evaluate_column_with_telemetry, work))
     except BrokenProcessPool:
         _discard_pool(workers, mp_context)
         pool = _pool_for(workers, mp_context)
         try:
-            outcomes = list(pool.map(_evaluate_cell_with_telemetry, bound))
+            outcomes = list(pool.map(_evaluate_column_with_telemetry, work))
         except BrokenProcessPool:
             _discard_pool(workers, mp_context)
             raise
-    results: List[Tuple[AlgorithmResult, ...]] = []
-    for cell_results, telemetry in outcomes:
+    results: List[Optional[Tuple[AlgorithmResult, ...]]] = [None] * len(bound)
+    for column, (column_results, telemetry) in zip(columns, outcomes):
         # Fold each worker's solve/cache counters back into the caller's
         # sink, so --stats covers parallel runs.
         ambient.telemetry.merge(telemetry)
-        results.append(cell_results)
-    return results
+        for index, cell_results in zip(column, column_results):
+            results[index] = cell_results
+    return results  # type: ignore[return-value]

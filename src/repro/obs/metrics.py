@@ -62,8 +62,11 @@ ITERATION_BOUNDS: Tuple[float, ...] = (
 DEFAULT_BOUNDS: Tuple[float, ...] = _log_grid(range(0, 7), (1.0,))
 
 #: Metric names with buckets that the suffix rules would get wrong.
+#: ``lp.batch_size`` (blocks per mega-solve) shares the iteration grid:
+#: both are small counts where decade buckets would flatten the p50/p95.
 _NAMED_BOUNDS: Dict[str, Tuple[float, ...]] = {
     "lp.iterations": ITERATION_BOUNDS,
+    "lp.batch_size": ITERATION_BOUNDS,
 }
 
 

@@ -42,9 +42,9 @@ from repro.core.baselines import (
 from repro.core.costs import ClusterCosts, cluster_costs
 from repro.core.exact import branch_and_bound_hta
 from repro.core.game import best_response_offloading
-from repro.core.hta import lp_hta
+from repro.core.hta import lp_hta, lp_hta_batch
 from repro.core.task import Task
-from repro.dta.accounting import run_dta
+from repro.dta.accounting import evaluate_plans, prepare_dta, run_dta
 from repro.system.topology import MECSystem
 from repro.workload.generator import Scenario
 
@@ -67,6 +67,7 @@ __all__ = [
     "register",
     "resolve_assignment",
     "run",
+    "run_batch",
 ]
 
 # Canonical display names — the only place these strings are spelled out.
@@ -104,6 +105,9 @@ class AlgorithmResult:
 
 
 EvaluateFn = Callable[[Scenario, RunContext], AlgorithmResult]
+EvaluateBatchFn = Callable[
+    [Sequence[Scenario], RunContext], Sequence[AlgorithmResult]
+]
 AssignFn = Callable[[MECSystem, Sequence[Task], RunContext], Assignment]
 
 
@@ -114,6 +118,10 @@ class Algorithm:
     :param name: canonical display name (figure legends, CLI choices).
     :param summary: one-line description for ``--help`` style listings.
     :param evaluate: scenario → Section V metrics under a context.
+    :param evaluate_batch: many scenarios → metrics in one call; present
+        only for algorithms whose LP work can pool into a block-diagonal
+        mega-solve (see :func:`repro.core.hta.lp_hta_batch`).  Must return
+        exactly what ``[evaluate(s, ctx) for s in scenarios]`` would.
     :param assign: (system, tasks) → raw assignment under a context;
         ``None`` for pipelines that have no single holistic assignment.
     :param holistic: consumes holistic (indivisible) task scenarios.
@@ -127,6 +135,7 @@ class Algorithm:
     name: str
     summary: str
     evaluate: EvaluateFn
+    evaluate_batch: Optional[EvaluateBatchFn] = None
     assign: Optional[AssignFn] = None
     holistic: bool = False
     divisible: bool = False
@@ -235,6 +244,36 @@ def run(
         return algorithm.evaluate(scenario, ctx)
 
 
+def run_batch(
+    name: str,
+    scenarios: Sequence[Scenario],
+    context: Optional[RunContext] = None,
+) -> List[AlgorithmResult]:
+    """Evaluate one algorithm on many scenarios, batching when possible.
+
+    When the algorithm has an ``evaluate_batch`` factory and the context
+    allows batching (``lp_batch`` on, not reference mode), all scenarios'
+    LP work pools into one block-diagonal mega-solve; otherwise this is
+    exactly ``[run(name, s, context) for s in scenarios]``.  Either way
+    the results are identical scenario for scenario.
+
+    :param name: display name or alias.
+    :param scenarios: the generated scenarios, evaluated in order.
+    :param context: run configuration; defaults to the active context.
+    """
+    algorithm = get(name)
+    ctx = context if context is not None else current_context()
+    with use_context(ctx):
+        if (
+            algorithm.evaluate_batch is not None
+            and len(scenarios) > 1
+            and ctx.lp_batch
+            and not ctx.reference
+        ):
+            return list(algorithm.evaluate_batch(scenarios, ctx))
+        return [algorithm.evaluate(scenario, ctx) for scenario in scenarios]
+
+
 def resolve_assignment(
     name: str,
     system: MECSystem,
@@ -292,6 +331,16 @@ def _assign_lp_hta(
     system: MECSystem, tasks: Sequence[Task], context: RunContext
 ) -> Assignment:
     return lp_hta(system, list(tasks), context=context).assignment
+
+
+def _evaluate_lp_hta_batch(
+    scenarios: Sequence[Scenario], context: RunContext
+) -> List[AlgorithmResult]:
+    """Batch form of LP-HTA evaluation: one mega-solve across scenarios."""
+    reports = lp_hta_batch(
+        [(s.system, list(s.tasks)) for s in scenarios], context=context
+    )
+    return [_from_assignment(LP_HTA, report.assignment) for report in reports]
 
 
 def _assign_hgos(
@@ -373,6 +422,18 @@ def _assign_bnb_exact(
     return Assignment(costs, decisions)
 
 
+def _dta_result(name: str, outcome: "object") -> AlgorithmResult:
+    stats = outcome.assignment.stats()  # type: ignore[attr-defined]
+    return AlgorithmResult(
+        name=name,
+        total_energy_j=outcome.total_energy_j,  # type: ignore[attr-defined]
+        mean_latency_s=stats.mean_latency_s,
+        unsatisfied_rate=stats.unsatisfied_rate,
+        processing_time_s=outcome.processing_time_s,  # type: ignore[attr-defined]
+        involved_devices=outcome.involved_devices,  # type: ignore[attr-defined]
+    )
+
+
 def _evaluate_dta(name: str, objective: str) -> EvaluateFn:
     def evaluate(scenario: Scenario, context: RunContext) -> AlgorithmResult:
         if scenario.catalog is None or scenario.ownership is None:
@@ -385,17 +446,35 @@ def _evaluate_dta(name: str, objective: str) -> EvaluateFn:
             objective=objective,  # type: ignore[arg-type]
             context=context,
         )
-        stats = outcome.assignment.stats()
-        return AlgorithmResult(
-            name=name,
-            total_energy_j=outcome.total_energy_j,
-            mean_latency_s=stats.mean_latency_s,
-            unsatisfied_rate=stats.unsatisfied_rate,
-            processing_time_s=outcome.processing_time_s,
-            involved_devices=outcome.involved_devices,
-        )
+        return _dta_result(name, outcome)
 
     return evaluate
+
+
+def _evaluate_dta_batch(name: str, objective: str) -> EvaluateBatchFn:
+    """Batch form of DTA evaluation: prepare every plan combinatorially,
+    then clear all sub-task schedules in one LP-HTA mega-solve."""
+
+    def evaluate_batch(
+        scenarios: Sequence[Scenario], context: RunContext
+    ) -> List[AlgorithmResult]:
+        jobs = []
+        for scenario in scenarios:
+            if scenario.catalog is None or scenario.ownership is None:
+                raise ValueError(
+                    "DTA needs a divisible scenario (catalog + ownership)"
+                )
+            plan = prepare_dta(
+                list(scenario.tasks),
+                scenario.ownership,
+                scenario.catalog,
+                objective=objective,  # type: ignore[arg-type]
+            )
+            jobs.append((scenario.system, plan, scenario.catalog))
+        outcomes = evaluate_plans(jobs, context=context)
+        return [_dta_result(name, outcome) for outcome in outcomes]
+
+    return evaluate_batch
 
 
 #: Maps each DTA display name to its ``run_dta`` objective keyword.
@@ -409,6 +488,7 @@ register(
         name=LP_HTA,
         summary="the paper's LP relax-round-repair approximation (Sec. III)",
         evaluate=_evaluate_via_assign(LP_HTA, _assign_lp_hta),
+        evaluate_batch=_evaluate_lp_hta_batch,
         assign=_assign_lp_hta,
         holistic=True,
         in_figures=True,
@@ -453,6 +533,9 @@ register(
         name=DTA_WORKLOAD,
         summary="divisible tasks, workload-balancing data division (Sec. IV-A)",
         evaluate=_evaluate_dta(DTA_WORKLOAD, DTA_OBJECTIVES[DTA_WORKLOAD]),
+        evaluate_batch=_evaluate_dta_batch(
+            DTA_WORKLOAD, DTA_OBJECTIVES[DTA_WORKLOAD]
+        ),
         divisible=True,
         in_figures=True,
         aliases=("workload",),
@@ -463,6 +546,7 @@ register(
         name=DTA_NUMBER,
         summary="divisible tasks, device-minimising data division (Sec. IV-B)",
         evaluate=_evaluate_dta(DTA_NUMBER, DTA_OBJECTIVES[DTA_NUMBER]),
+        evaluate_batch=_evaluate_dta_batch(DTA_NUMBER, DTA_OBJECTIVES[DTA_NUMBER]),
         divisible=True,
         in_figures=True,
         aliases=("number",),

@@ -10,7 +10,10 @@ output (not merely approximately equal):
   ``build_p2`` and its standard form, and identical ``lp_hta`` assignments
   on the Table I profile;
 - the per-worker scenario memo — hit/miss telemetry and the reference-mode
-  bypass that keeps benchmark baselines honest.
+  bypass that keeps benchmark baselines honest;
+- the batched block-diagonal mega-solve path vs both the sequential
+  optimised path and the full seed-era reference, over a miniature
+  figure-style sweep (identical per-cell results, not just close).
 """
 
 import numpy as np
@@ -31,6 +34,7 @@ from repro.dta.coverage import (
     dta_workload_naive,
 )
 from repro.experiments import parallel
+from repro.experiments.parallel import SweepCell, dta_spec, holistic_spec, run_cells
 from repro.perf import perf_config
 from repro.workload.generator import generate_scenario
 from repro.workload.profiles import PAPER_DEFAULTS
@@ -223,3 +227,55 @@ class TestScenarioMemo:
         stats_memo = [t.owner_device_id for t in memoised.tasks]
         stats_fresh = [t.owner_device_id for t in fresh.tasks]
         assert stats_memo == stats_fresh
+
+
+def _mini_figure(context):
+    """A two-point, two-seed figure-style sweep (LP-HTA + DTA columns).
+
+    Each profile's cells form one sweep column, so with ``lp_batch`` on the
+    holistic and DTA evaluators both route through their mega-solve entry
+    points — the same shape ``bench_perf.py`` measures, small enough for CI.
+    """
+    specs = (holistic_spec("LP-HTA"), dta_spec("workload"))
+    profiles = [
+        PAPER_DEFAULTS.with_updates(
+            num_tasks=n, num_devices=8, num_stations=2,
+            divisible=True, num_data_items=40,
+        )
+        for n in (8, 12)
+    ]
+    cells = [
+        SweepCell(
+            index=i, profile=profile, seed=seed,
+            evaluators=specs, context=context,
+        )
+        for i, (profile, seed) in enumerate(
+            (profile, seed) for profile in profiles for seed in (0, 1)
+        )
+    ]
+    return run_cells(cells, jobs=1)
+
+
+class TestBatchedSweepMatchesReference:
+    """The mega-solve sweep path is a pure perf change: identical figures."""
+
+    def setup_method(self):
+        parallel._SCENARIO_MEMO.clear()
+
+    def test_figure_diff_batched_vs_sequential_vs_reference(self):
+        batched_ctx = RunContext(lp_batch=True)
+        sequential_ctx = RunContext(lp_batch=False)
+        reference_ctx = RunContext(
+            reference=True, vectorized_costs=False, cached_costs=False,
+            lp_batch=False,
+        )
+        batched = _mini_figure(batched_ctx)
+        sequential = _mini_figure(sequential_ctx)
+        reference = _mini_figure(reference_ctx)
+        # The batched path actually engaged, and neither control did.
+        assert batched_ctx.telemetry.batch_solves > 0
+        assert sequential_ctx.telemetry.batch_solves == 0
+        assert reference_ctx.telemetry.batch_solves == 0
+        # Cell-for-cell identical AlgorithmResults across all three modes.
+        assert batched == sequential
+        assert batched == reference
