@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench figures experiments clean
+.PHONY: install test bench bench-micro bench-scale figures experiments clean
 
 install:
 	pip install -e .[dev]
@@ -8,8 +8,19 @@ install:
 test:
 	pytest tests/
 
+# Pipeline benchmark: seed-equivalent reference vs optimised path,
+# writes BENCH_sweep.json at the repo root.
 bench:
+	PYTHONPATH=src python scripts/bench_perf.py
+
+# Microbenchmarks (pytest-benchmark suite).
+bench-micro:
 	pytest benchmarks/ --benchmark-only
+
+# City-scale streaming benchmark: shard count vs wall clock and peak
+# memory, writes BENCH_scale.json at the repo root.
+bench-scale:
+	PYTHONPATH=src python scripts/bench_scale.py
 
 figures:
 	python -m repro all-figures --seeds 0

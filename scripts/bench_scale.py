@@ -1,0 +1,140 @@
+"""Benchmark city-scale streaming: shard count vs wall clock and memory.
+
+Holds the per-shard size fixed and grows the city by adding shards, so the
+curve answers the scaling question directly: is wall clock near-linear in
+shard count, and does peak memory stay bounded by one shard instead of the
+whole city?  Each point streams its scenario one
+:class:`~repro.workload.ScenarioTile` at a time through
+:func:`~repro.experiments.parallel.run_tiles` — generate a tile, LP-HTA
+it, keep only the aggregates — so the global system and cost tensor are
+never materialised.
+
+Peak memory is read from ``ru_maxrss``, the process high-water mark.  It
+is monotone, so the honest signal is the *flatness* of the column across
+ascending sizes: a streaming pipeline shows roughly the same peak at 10⁵
+devices as at 10⁴, a dense one grows linearly.  Points run smallest to
+largest to make that legible.
+
+Writes ``BENCH_scale.json`` at the repo root.  Usage::
+
+    PYTHONPATH=src python scripts/bench_scale.py           # up to 10^5 devices
+    PYTHONPATH=src python scripts/bench_scale.py --quick   # CI smoke mode
+    PYTHONPATH=src python scripts/bench_scale.py --jobs 4  # pooled workers
+"""
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+from repro.context import RunContext, use_context
+from repro.experiments.parallel import TileCell, run_tiles
+from repro.system.sharding import ShardSpec
+from repro.workload.profiles import PAPER_DEFAULTS
+
+#: Fixed per-shard size: 6250 devices over 625 stations (the paper's 10
+#: devices/station density), 2 tasks per device.  16 shards = 10⁵ devices.
+FULL = {"devices": 6250, "stations": 625, "tasks_per_device": 2,
+        "shard_counts": (1, 2, 4, 8, 16)}
+#: CI smoke mode: same shape, two orders of magnitude smaller.
+QUICK = {"devices": 400, "stations": 40, "tasks_per_device": 2,
+         "shard_counts": (1, 2)}
+
+
+def _maxrss_mb() -> float:
+    """Process peak RSS in MiB (ru_maxrss is KiB on Linux, bytes on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+def _run_point(shape, num_shards: int, seed: int, jobs: int):
+    """Stream one city size (``num_shards`` × the fixed shard) end to end."""
+    profile = PAPER_DEFAULTS.with_updates(
+        num_devices=shape["devices"] * num_shards,
+        num_stations=shape["stations"] * num_shards,
+        num_tasks=shape["devices"] * num_shards * shape["tasks_per_device"],
+    )
+    spec = ShardSpec.balanced(range(profile.num_stations), num_shards)
+    context = RunContext()
+    with use_context(context):
+        cells = [
+            TileCell(profile=profile, spec=spec, shard_id=shard_id, seed=seed)
+            for shard_id in range(num_shards)
+        ]
+        start = time.perf_counter()
+        results = run_tiles(cells, jobs=jobs)
+        wall_s = time.perf_counter() - start
+    assert sum(r.num_devices for r in results) == profile.num_devices
+    assert sum(r.num_tasks for r in results) == profile.num_tasks
+    return {
+        "shards": num_shards,
+        "devices": profile.num_devices,
+        "stations": profile.num_stations,
+        "tasks": profile.num_tasks,
+        "wall_s": round(wall_s, 3),
+        "wall_s_per_shard": round(wall_s / num_shards, 3),
+        "peak_rss_mb": round(_maxrss_mb(), 1),
+        "total_energy_j": round(sum(r.total_energy_j for r in results), 1),
+        "lp_objective_j": round(sum(r.lp_objective_j for r in results), 1),
+        "cancelled": sum(r.cancelled for r in results),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="two small points only (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the tile fan-out (1 = stream in-process, "
+        "which is what bounds peak memory to one shard)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).parent.parent / "BENCH_scale.json",
+    )
+    args = parser.parse_args()
+
+    shape = QUICK if args.quick else FULL
+    report = {
+        "config": {
+            "per_shard_devices": shape["devices"],
+            "per_shard_stations": shape["stations"],
+            "tasks_per_device": shape["tasks_per_device"],
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "note": (
+                "peak_rss_mb is the process high-water mark (monotone); "
+                "points run smallest to largest, so a flat column means "
+                "streaming bounds memory by one shard, not the city"
+            ),
+        },
+        "points": [],
+    }
+    for num_shards in shape["shard_counts"]:
+        point = _run_point(shape, num_shards, args.seed, args.jobs)
+        report["points"].append(point)
+        print(
+            f"shards {point['shards']:>3}  devices {point['devices']:>7}  "
+            f"tasks {point['tasks']:>7}  wall {point['wall_s']:>8.2f}s  "
+            f"({point['wall_s_per_shard']:.2f}s/shard)  "
+            f"peak rss {point['peak_rss_mb']:>7.1f} MiB",
+            flush=True,
+        )
+
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

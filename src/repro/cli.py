@@ -94,6 +94,29 @@ def _add_batch(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _shards(value: str) -> int:
+    """Argparse type for ``--shards``: non-negative int (0 = monolithic)."""
+    try:
+        shards = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shards must be an integer, got {value!r}"
+        )
+    if shards < 0:
+        raise argparse.ArgumentTypeError(f"shards must be >= 0, got {shards}")
+    return shards
+
+
+def _add_shards(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=_shards, default=0,
+        help="partition each system into this many station shards and "
+        "route LP-HTA through the per-shard solver (0 = monolithic; "
+        "output is bit-identical for any shard count; --reference "
+        "ignores sharding)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mecrepro",
@@ -118,6 +141,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_reference(figure)
     _add_batch(figure)
+    _add_shards(figure)
     _add_jobs_and_stats(figure, "sweep")
     _add_start_method(figure)
     _add_obs(figure)
@@ -129,6 +153,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_reference(all_figures)
     _add_batch(all_figures)
+    _add_shards(all_figures)
     _add_jobs_and_stats(all_figures, "sweeps")
     _add_start_method(all_figures)
     _add_obs(all_figures)
@@ -156,6 +181,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="scenario seeds to average over",
     )
     _add_batch(report)
+    _add_shards(report)
     _add_jobs_and_stats(report, "sweep")
     _add_start_method(report)
     _add_obs(report)
@@ -274,13 +300,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     if getattr(args, "reference", False):
         # Reference runs are the differential-testing baseline: no
-        # batching, whatever --batch says.
+        # batching, no sharding, whatever --batch/--shards say.
         context = RunContext(
             reference=True, vectorized_costs=False, cached_costs=False,
             trace=trace, lp_batch=False,
         )
     else:
-        context = RunContext(trace=trace, lp_batch=getattr(args, "batch", True))
+        context = RunContext(
+            trace=trace, lp_batch=getattr(args, "batch", True),
+            shards=getattr(args, "shards", 0),
+        )
     with use_context(context):
         _dispatch(args)
     if getattr(args, "stats", False):

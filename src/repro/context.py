@@ -76,6 +76,9 @@ class Telemetry:
         "warm_start_reuses",
         "scenario_memo_hits",
         "scenario_memo_misses",
+        "shard_solves",
+        "coordinator_iterations",
+        "coordinator_gap_j",
         "faults_detected",
         "retries",
         "degradations",
@@ -111,6 +114,9 @@ class Telemetry:
         self.warm_start_reuses = 0
         self.scenario_memo_hits = 0
         self.scenario_memo_misses = 0
+        self.shard_solves = 0
+        self.coordinator_iterations = 0
+        self.coordinator_gap_j = 0.0
         self.faults_detected = 0
         self.retries = 0
         self.degradations = 0
@@ -248,6 +254,9 @@ class Telemetry:
             "warm_start_reuses": self.warm_start_reuses,
             "scenario_memo_hits": self.scenario_memo_hits,
             "scenario_memo_misses": self.scenario_memo_misses,
+            "shard_solves": self.shard_solves,
+            "coordinator_iterations": self.coordinator_iterations,
+            "coordinator_gap_j": self.coordinator_gap_j,
             "faults_detected": self.faults_detected,
             "retries": self.retries,
             "degradations": self.degradations,
@@ -299,6 +308,13 @@ class Telemetry:
             )
         elif self.solves:
             lines.append("scenario memo      not used")
+        if self.shard_solves:
+            lines.append(f"shard solves       {self.shard_solves}")
+        if self.coordinator_iterations or self.shard_solves:
+            lines.append(
+                f"coordinator        {self.coordinator_iterations} outer "
+                f"iterations, duality gap {self.coordinator_gap_j:.6g} J"
+            )
         if self.faults_detected:
             lines.append(f"faults detected    {self.faults_detected}")
             lines.append(
@@ -353,6 +369,13 @@ class RunContext:
         selects the sequential per-cluster path, which is retained as the
         differential-testing reference; reference mode never batches.
     :param seed: RNG seed handed to randomized algorithm variants.
+    :param shards: route LP-HTA through the sharded solver
+        (:func:`repro.core.sharded.lp_hta_sharded`) with this many
+        balanced station shards.  ``0`` (the default) keeps the monolithic
+        path.  With the paper's uncapped cloud the sharded output is
+        bit-identical for any shard count, so this is purely an execution
+        strategy; reference mode ignores it (the seed-era path is the
+        differential baseline).
     :param trace: record nested spans (:mod:`repro.obs.tracer`) into the
         telemetry sink.  Off by default: the disabled path is a shared
         no-op context manager with near-zero overhead.  Cells pickle their
@@ -371,6 +394,7 @@ class RunContext:
     lp_sparse: bool = True
     lp_batch: bool = True
     seed: int = 0
+    shards: int = 0
     trace: bool = False
     telemetry: Telemetry = field(
         default_factory=Telemetry, compare=False, repr=False

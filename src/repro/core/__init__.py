@@ -12,24 +12,37 @@ from repro.core.costs import ClusterCosts, TaskCosts, cluster_costs, task_costs
 from repro.core.exact import branch_and_bound_hta, brute_force_hta
 from repro.core.game import GameOptions, GameResult, best_response_offloading
 from repro.core.hta import HTAReport, LPHTAOptions, lp_hta
-from repro.core.lagrangian import LagrangianOptions, LagrangianReport, lagrangian_hta
+from repro.core.lagrangian import (
+    CoordinatorOptions,
+    CoordinatorOutcome,
+    LagrangianOptions,
+    LagrangianReport,
+    coordinate_shared_capacity,
+    lagrangian_hta,
+)
+from repro.core.sharded import ShardedHTAReport, lp_hta_sharded
 from repro.core.task import Task
 
 __all__ = [
     "Assignment",
     "AssignmentStats",
     "ClusterCosts",
+    "CoordinatorOptions",
+    "CoordinatorOutcome",
     "GameOptions",
     "GameResult",
     "HTAReport",
     "LPHTAOptions",
     "LagrangianOptions",
     "LagrangianReport",
+    "ShardedHTAReport",
     "Subsystem",
     "Task",
     "TaskCosts",
     "best_response_offloading",
+    "coordinate_shared_capacity",
     "lagrangian_hta",
+    "lp_hta_sharded",
     "all_offload",
     "all_to_cloud",
     "branch_and_bound_hta",

@@ -28,7 +28,7 @@ occupation), so the result is always feasible and directly comparable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,9 +37,34 @@ from repro.core.costs import ClusterCosts, cluster_costs
 from repro.core.task import Task
 from repro.system.topology import MECSystem
 
-__all__ = ["LagrangianOptions", "LagrangianReport", "lagrangian_hta"]
+__all__ = [
+    "CoordinatorOptions",
+    "CoordinatorOutcome",
+    "LagrangianOptions",
+    "LagrangianReport",
+    "coordinate_shared_capacity",
+    "guarded_relative_gap",
+    "lagrangian_hta",
+]
 
 _DEVICE, _STATION, _CLOUD = 0, 1, 2
+
+
+def guarded_relative_gap(gap_j: float, dual_j: float, tolerance: float = 1e-12) -> float:
+    """``gap / dual`` with the degenerate non-positive dual guarded.
+
+    A degenerate instance — every task local or cancelled, or no tasks at
+    all — has a zero (or, numerically, slightly negative) dual bound.  If
+    the gap itself is zero too, the solve is *exact* and the relative gap
+    is 0, not the ``inf`` a bare division guard would report; ``inf`` is
+    reserved for a genuinely unbounded ratio (positive gap over a
+    non-positive bound).
+    """
+    if dual_j > 0:
+        return gap_j / dual_j
+    if abs(gap_j) <= tolerance:
+        return 0.0
+    return float("inf")
 
 
 @dataclass(frozen=True)
@@ -93,10 +118,129 @@ class LagrangianReport:
 
     @property
     def relative_gap(self) -> float:
-        """Duality gap relative to the dual bound."""
-        if self.best_dual_j <= 0:
-            return float("inf")
-        return self.duality_gap_j / self.best_dual_j
+        """Duality gap relative to the dual bound.
+
+        Guarded for the degenerate all-local / no-task case (zero dual
+        bound with zero gap): see :func:`guarded_relative_gap`.
+        """
+        return guarded_relative_gap(self.duality_gap_j, self.best_dual_j)
+
+
+@dataclass(frozen=True)
+class CoordinatorOptions:
+    """Tunables of the shared-capacity coordinator.
+
+    :param iterations: maximum outer subgradient steps.
+    :param initial_step: step-size numerator; the schedule is
+        ``initial_step / (sqrt(t) · |subgradient|)`` — the same Polyak-style
+        divergent-series rule :class:`LagrangianOptions` uses, scaled to a
+        single multiplier.
+    :param tolerance: relative slack (w.r.t. the capacity) below which the
+        shared constraint counts as tight and the ascent stops.
+    """
+
+    iterations: int = 25
+    initial_step: float = 50.0
+    tolerance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if self.initial_step <= 0:
+            raise ValueError("initial_step must be positive")
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+
+
+@dataclass(frozen=True)
+class CoordinatorOutcome:
+    """Result of one :func:`coordinate_shared_capacity` run.
+
+    :param multiplier: final price ν of the shared resource.
+    :param best_dual_j: largest dual value seen — a valid lower bound on
+        the capacity-constrained optimum for every ν ≥ 0 (weak duality;
+        the inner solves are relaxations of the priced subproblems).
+    :param iterations_run: outer iterations actually executed.
+    :param dual_history: dual value per outer iteration.
+    :param best_key: ordering key of the kept primal candidate.
+    :param best_payload: caller-defined payload of the kept candidate.
+    """
+
+    multiplier: float
+    best_dual_j: float
+    iterations_run: int
+    dual_history: Tuple[float, ...]
+    best_key: Tuple[Any, ...]
+    best_payload: Any
+
+
+def coordinate_shared_capacity(
+    solve_priced: Callable[[float], Tuple[float, float, Tuple[Any, ...], Any]],
+    capacity: float,
+    options: Optional[CoordinatorOptions] = None,
+) -> CoordinatorOutcome:
+    """Projected subgradient ascent on one shared capacity budget.
+
+    The sharded solver decomposes per shard once the single *shared*
+    resource (the cloud budget) is priced: for a price ν ≥ 0,
+
+    .. math::
+
+       d(\\nu) = \\sum_{\\text{shards}} \\min_x
+           \\big(E + \\nu\\,C_{\\text{cloud}}\\big)\\,x \\;-\\; \\nu\\,cap
+
+    is a valid lower bound on the capacity-constrained optimum, and its
+    supergradient at the priced solution is ``shared_load − capacity``.
+    This helper owns the ascent; the caller owns the (parallelisable)
+    priced solves and the primal recovery.
+
+    :param solve_priced: callback mapping ν to
+        ``(priced_objective, shared_load, primal_key, payload)`` —
+        the summed priced relaxation optima, the fractional load the
+        priced solution puts on the shared resource, an orderable
+        candidate key (smaller = better, e.g. ``(cancelled, energy)``)
+        for the recovered feasible primal, and an arbitrary payload
+        (the decisions) kept for the best key.
+    :param capacity: the shared budget (must be finite — an infinite
+        budget never binds, so there is nothing to coordinate).
+    :param options: ascent tunables.
+    :returns: the best dual bound, the best primal payload, and the
+        iteration history.
+    """
+    if not np.isfinite(capacity):
+        raise ValueError("coordinate_shared_capacity needs a finite capacity")
+    if options is None:
+        options = CoordinatorOptions()
+    scale = capacity if capacity > 0 else 1.0
+    nu = 0.0
+    best_dual = -float("inf")
+    best_key: Optional[Tuple[Any, ...]] = None
+    best_payload: Any = None
+    history: List[float] = []
+    for t in range(1, options.iterations + 1):
+        objective, load, key, payload = solve_priced(nu)
+        dual = objective - nu * capacity
+        history.append(dual)
+        best_dual = max(best_dual, dual)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_payload = payload
+        gradient = load - capacity
+        if abs(gradient) <= options.tolerance * scale:
+            break  # the priced solution meets the budget exactly: ν is optimal
+        if gradient < 0 and nu <= 0:
+            break  # budget slack at zero price: the constraint never binds
+        step = options.initial_step / (np.sqrt(t) * abs(gradient))
+        nu = max(0.0, nu + step * gradient)
+    assert best_key is not None
+    return CoordinatorOutcome(
+        multiplier=nu,
+        best_dual_j=best_dual,
+        iterations_run=len(history),
+        dual_history=tuple(history),
+        best_key=best_key,
+        best_payload=best_payload,
+    )
 
 
 def _price_and_choose(

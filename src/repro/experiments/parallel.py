@@ -69,17 +69,22 @@ from repro.experiments.runner import (
     evaluate_dta,
     evaluate_holistic,
 )
+from repro.system.sharding import ShardSpec
 from repro.workload.generator import Scenario, generate_scenario
 from repro.workload.profiles import WorkloadProfile
+from repro.workload.streaming import generate_tile
 
 __all__ = [
     "EvaluatorSpec",
     "SweepCell",
+    "TileCell",
+    "TileResult",
     "as_spec",
     "dta_spec",
     "holistic_spec",
     "resolve_jobs",
     "run_cells",
+    "run_tiles",
 ]
 
 
@@ -463,3 +468,176 @@ def run_cells(
         for index, cell_results in zip(column, column_results):
             results[index] = cell_results
     return results  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class TileCell:
+    """One shard's unit of streamed work: generate a tile, solve it.
+
+    The city-scale counterpart of :class:`SweepCell` — the dispatch unit
+    is a *shard*, not a (profile × seed) cell.  A cell carries only the
+    (frozen) global profile, the shard spec, the shard id, the stream seed
+    and an explicit context, so it pickles cheaply and the worker rebuilds
+    its tile from scratch: no global scenario, no global cost tensor, no
+    inherited process state.  Fork- and spawn-started workers therefore
+    produce bit-identical results.
+
+    :param profile: the global workload profile being streamed.
+    :param spec: contiguous station partition covering the profile.
+    :param shard_id: which shard this cell generates and solves.
+    :param seed: the global stream seed.
+    :param context: run configuration; ``None`` means "stamped by
+        :func:`run_tiles` from its caller's ambient context".
+    """
+
+    profile: WorkloadProfile
+    spec: ShardSpec
+    shard_id: int
+    seed: int
+    context: Optional[RunContext] = None
+
+
+@dataclass(frozen=True)
+class TileResult:
+    """Picklable summary of one solved tile.
+
+    Carries aggregates only — never the tile's system, tasks or cost
+    table — so results from 10⁵-device streams stay a few hundred bytes
+    per shard.
+
+    :param shard_id: which shard produced this result.
+    :param num_devices: devices in the tile.
+    :param num_stations: stations in the tile.
+    :param num_tasks: tasks in the tile.
+    :param cancelled: tasks LP-HTA cancelled in the tile.
+    :param total_energy_j: final assignment energy over the tile.
+    :param lp_objective_j: the tile's Step-1 relaxation optimum.
+    """
+
+    shard_id: int
+    num_devices: int
+    num_stations: int
+    num_tasks: int
+    cancelled: int
+    total_energy_j: float
+    lp_objective_j: float
+
+
+def _evaluate_tile(cell: TileCell) -> TileResult:
+    """Worker entry point: generate the cell's tile and LP-HTA it.
+
+    Tile generation is a pure function of (profile, spec, shard_id, seed)
+    and LP-HTA is deterministic, so the result does not depend on which
+    process runs the cell or in what order.
+    """
+    from repro.core.assignment import Subsystem
+    from repro.core.hta import lp_hta
+
+    context = cell.context if cell.context is not None else current_context()
+    with use_context(context):
+        tile = generate_tile(cell.profile, cell.spec, cell.shard_id, cell.seed)
+        if tile.num_tasks == 0:
+            return TileResult(
+                shard_id=cell.shard_id,
+                num_devices=tile.num_devices,
+                num_stations=tile.system.num_stations,
+                num_tasks=0,
+                cancelled=0,
+                total_energy_j=0.0,
+                lp_objective_j=0.0,
+            )
+        report = lp_hta(tile.system, list(tile.tasks), context=context)
+        context.telemetry.shard_solves += 1
+        counts = report.assignment.subsystem_counts()
+        return TileResult(
+            shard_id=cell.shard_id,
+            num_devices=tile.num_devices,
+            num_stations=tile.system.num_stations,
+            num_tasks=tile.num_tasks,
+            cancelled=counts.get(Subsystem.CANCELLED, 0),
+            total_energy_j=report.assignment.total_energy_j(),
+            lp_objective_j=report.lp_objective_j,
+        )
+
+
+def _evaluate_tile_with_telemetry(cell: TileCell) -> Tuple[TileResult, Telemetry]:
+    """Pool entry point: the tile result plus the telemetry it generated."""
+    result = _evaluate_tile(cell)
+    context = cell.context if cell.context is not None else current_context()
+    return result, context.telemetry
+
+
+def _bind_tile_context(cell: TileCell, context: RunContext) -> TileCell:
+    """Stamp ``context`` onto a tile cell that does not carry one already."""
+    if cell.context is not None:
+        return cell
+    return dataclass_replace(cell, context=context)
+
+
+def run_tiles(
+    cells: Sequence[TileCell],
+    jobs: Optional[int] = 1,
+    start_method: Optional[str] = None,
+) -> List[TileResult]:
+    """Generate-and-solve every tile, in-process or across a worker pool.
+
+    The streamed analogue of :func:`run_cells`, with shards as the
+    dispatch unit: each worker holds at most one tile's system and cost
+    rows at a time, so peak memory is bounded by the largest *shard*, not
+    the city.  Same pool cache, broken-pool retry, order preservation and
+    telemetry merge-back as the cell path.
+
+    :param cells: one descriptor per shard to stream.
+    :param jobs: worker processes; ``1`` (default) runs in-process,
+        ``None`` or ``0`` use every CPU.
+    :param start_method: multiprocessing start method for ``jobs > 1``;
+        ``None`` prefers ``fork``.  Results are bit-identical either way
+        because cells carry their context and tiles are pure functions of
+        their cell.
+    :returns: per-cell tile results, in ``cells`` order.
+    """
+    jobs = resolve_jobs(jobs)
+    ambient = current_context()
+    bound = [_bind_tile_context(cell, ambient) for cell in cells]
+
+    # In-process: telemetry accrues directly in each cell's context (for
+    # stamped cells, the ambient one), exactly like run_cells.
+    if jobs == 1 or len(bound) <= 1:
+        return [_evaluate_tile(cell) for cell in bound]
+
+    try:
+        pickle.dumps(tuple(bound))
+    except Exception as exc:  # pickle raises a zoo of types
+        raise ValueError(
+            f"tile cells are not picklable (jobs={jobs}): {exc}"
+        ) from exc
+
+    workers = min(jobs, len(bound), os.cpu_count() or jobs)
+    if workers <= 1:
+        return [_evaluate_tile(cell) for cell in bound]
+
+    if start_method is not None:
+        mp_context = multiprocessing.get_context(start_method)
+    else:
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            mp_context = multiprocessing.get_context()
+
+    pool = _pool_for(workers, mp_context)
+    try:
+        # Executor.map preserves submission order.
+        outcomes = list(pool.map(_evaluate_tile_with_telemetry, bound))
+    except BrokenProcessPool:
+        _discard_pool(workers, mp_context)
+        pool = _pool_for(workers, mp_context)
+        try:
+            outcomes = list(pool.map(_evaluate_tile_with_telemetry, bound))
+        except BrokenProcessPool:
+            _discard_pool(workers, mp_context)
+            raise
+    results = []
+    for result, telemetry in outcomes:
+        ambient.telemetry.merge(telemetry)
+        results.append(result)
+    return results

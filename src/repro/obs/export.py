@@ -247,6 +247,19 @@ def stage_report(telemetry: "Telemetry") -> str:
             f"{telemetry.cache_hits / lookups:.3f} "
             f"({telemetry.cache_hits}/{lookups})"
         )
+
+    # Sharded LP-HTA coordination: how many shard solves ran, how many
+    # outer subgradient iterations, and the summed duality gap (0 when no
+    # shared-capacity coupling binds — the shards are then exact).
+    if telemetry.shard_solves or telemetry.coordinator_iterations:
+        lines.append("")
+        lines.append(f"{'shard.solves':<26} {telemetry.shard_solves}")
+        lines.append(
+            f"{'shard.outer_iterations':<26} {telemetry.coordinator_iterations}"
+        )
+        lines.append(
+            f"{'shard.duality_gap_j':<26} {telemetry.coordinator_gap_j:.6g}"
+        )
     return "\n".join(lines)
 
 

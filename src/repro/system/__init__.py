@@ -17,7 +17,8 @@ from repro.system.radio import (
     WirelessProfile,
     shannon_rate_bps,
 )
-from repro.system.topology import MECSystem, SystemParameters
+from repro.system.sharding import ShardManifest, ShardSpec, ShardView, ShardedSystem
+from repro.system.topology import MECSystem, SystemParameters, nearest_station_attachment
 
 __all__ = [
     "BackhaulLink",
@@ -34,10 +35,15 @@ __all__ = [
     "MobileDevice",
     "ResultSizeModel",
     "ShannonChannel",
+    "ShardManifest",
+    "ShardSpec",
+    "ShardView",
+    "ShardedSystem",
     "SystemParameters",
     "WIFI",
     "WirelessProfile",
     "compute_energy_j",
     "compute_time_s",
+    "nearest_station_attachment",
     "shannon_rate_bps",
 ]

@@ -25,7 +25,46 @@ from repro.system.links import (
     BackhaulLink,
 )
 
-__all__ = ["MECSystem", "SystemParameters"]
+__all__ = ["MECSystem", "SystemParameters", "nearest_station_attachment"]
+
+
+def nearest_station_attachment(
+    devices: Iterable[MobileDevice],
+    stations: Iterable[BaseStation],
+) -> Dict[int, int]:
+    """Attach every device to its nearest base station (Euclidean).
+
+    Distance ties — a device exactly equidistant from two stations — break
+    deterministically to the lowest station id, so the resulting clusters
+    are reproducible regardless of input ordering.
+
+    :param devices: devices with positions.
+    :param stations: candidate stations with positions.
+    :raises ValueError: if any device or station has no position, or no
+        stations are given.
+    :returns: ``device_id -> station_id``.
+    """
+    placed = sorted(stations, key=lambda s: s.station_id)
+    if not placed:
+        raise ValueError("nearest_station_attachment needs at least one station")
+    for station in placed:
+        if station.position is None:
+            raise ValueError(f"station {station.station_id} has no position")
+    attachment: Dict[int, int] = {}
+    for device in devices:
+        if device.position is None:
+            raise ValueError(f"device {device.device_id} has no position")
+        dx, dy = device.position
+        best_id = -1
+        best_sq = float("inf")
+        for station in placed:  # ascending ids: first win = lowest id on ties
+            sx, sy = station.position
+            dist_sq = (dx - sx) ** 2 + (dy - sy) ** 2
+            if dist_sq < best_sq:
+                best_sq = dist_sq
+                best_id = station.station_id
+        attachment[device.device_id] = best_id
+    return attachment
 
 
 @dataclass(frozen=True)
@@ -154,6 +193,40 @@ class MECSystem:
     def same_cluster(self, device_a: int, device_b: int) -> bool:
         """Whether two devices share a base station (Section II-B cases)."""
         return self._attachment[device_a] == self._attachment[device_b]
+
+    def without_devices(self, device_ids: Iterable[int]) -> "MECSystem":
+        """A copy of the system with the given devices departed.
+
+        Stations are retained even when their whole cluster leaves, so a
+        departure can produce an *empty* cluster — exactly the state a
+        quasi-static snapshot sees after users roam away mid-epoch.
+
+        :param device_ids: devices to remove.
+        :raises KeyError: if any id is not a device of this system.
+        :raises ValueError: if removing them would leave no devices at all.
+        """
+        departed = set(device_ids)
+        for device_id in departed:
+            if device_id not in self._devices:
+                raise KeyError(f"unknown device {device_id}")
+        remaining = [
+            device
+            for device_id, device in self._devices.items()
+            if device_id not in departed
+        ]
+        return MECSystem(
+            devices=remaining,
+            stations=self._stations.values(),
+            attachment={
+                device_id: station_id
+                for device_id, station_id in self._attachment.items()
+                if device_id not in departed
+            },
+            cloud=self.cloud,
+            bs_bs_link=self.bs_bs_link,
+            bs_cloud_link=self.bs_cloud_link,
+            parameters=self.parameters,
+        )
 
     # ------------------------------------------------------------------
     # Views

@@ -7,12 +7,22 @@ from repro.workload.generator import (
     generate_system,
     generate_tasks,
 )
+from repro.workload.streaming import (
+    ScenarioTile,
+    generate_tile,
+    materialize_tiles,
+    stream_scenario_tiles,
+)
 
 __all__ = [
     "PAPER_DEFAULTS",
     "Scenario",
+    "ScenarioTile",
     "WorkloadProfile",
     "generate_scenario",
     "generate_system",
     "generate_tasks",
+    "generate_tile",
+    "materialize_tiles",
+    "stream_scenario_tiles",
 ]

@@ -99,3 +99,29 @@ class TestDeterminism:
         again = lagrangian_hta(scenario.system, list(scenario.tasks))
         assert again.assignment.decisions == report.assignment.decisions
         assert again.best_dual_j == pytest.approx(report.best_dual_j)
+
+
+class TestGuardedRelativeGap:
+    def test_degenerate_all_local_case_is_exact(self, scenario):
+        # No tasks → zero primal, zero dual: the old primal/dual ratio
+        # divided by zero; the guard reports the gap as exactly closed.
+        report = lagrangian_hta(scenario.system, [])
+        assert report.best_dual_j == 0.0
+        assert report.relative_gap == 0.0
+
+    def test_positive_gap_over_zero_bound_is_infinite(self):
+        from repro.core.lagrangian import guarded_relative_gap
+
+        assert guarded_relative_gap(5.0, 0.0) == float("inf")
+        assert guarded_relative_gap(5.0, -1.0) == float("inf")
+
+    def test_zero_gap_tolerance(self):
+        from repro.core.lagrangian import guarded_relative_gap
+
+        assert guarded_relative_gap(0.0, 0.0) == 0.0
+        assert guarded_relative_gap(1e-15, 0.0) == 0.0
+
+    def test_positive_bound_divides_normally(self):
+        from repro.core.lagrangian import guarded_relative_gap
+
+        assert guarded_relative_gap(1.0, 4.0) == 0.25

@@ -4,7 +4,7 @@ import pytest
 
 from repro.system.devices import BaseStation, MobileDevice
 from repro.system.radio import FOUR_G
-from repro.system.topology import MECSystem
+from repro.system.topology import MECSystem, nearest_station_attachment
 from repro.units import gigahertz
 
 
@@ -74,3 +74,78 @@ class TestNetworkxExport:
 
     def test_repr(self, two_cluster_system):
         assert "devices=4" in repr(two_cluster_system)
+
+
+def _placed_device(device_id: int, position) -> MobileDevice:
+    return MobileDevice(
+        device_id, gigahertz(1.0), FOUR_G, max_resource=1.0, position=position
+    )
+
+
+class TestNearestStationAttachment:
+    def test_single_station_takes_everyone(self):
+        attachment = nearest_station_attachment(
+            [_placed_device(0, (0.0, 0.0)), _placed_device(1, (900.0, 900.0))],
+            [BaseStation(0, position=(50.0, 50.0))],
+        )
+        assert attachment == {0: 0, 1: 0}
+
+    def test_equidistant_tie_breaks_to_lowest_id(self):
+        # Device 0 sits exactly halfway between stations 0 and 1 — and the
+        # station list is given in descending id order to prove the tie
+        # break depends on ids, not input ordering.
+        attachment = nearest_station_attachment(
+            [_placed_device(0, (50.0, 0.0))],
+            [
+                BaseStation(1, position=(100.0, 0.0)),
+                BaseStation(0, position=(0.0, 0.0)),
+            ],
+        )
+        assert attachment == {0: 0}
+
+    def test_nearest_wins(self):
+        attachment = nearest_station_attachment(
+            [_placed_device(0, (10.0, 0.0)), _placed_device(1, (90.0, 0.0))],
+            [
+                BaseStation(0, position=(0.0, 0.0)),
+                BaseStation(1, position=(100.0, 0.0)),
+            ],
+        )
+        assert attachment == {0: 0, 1: 1}
+
+    def test_missing_positions_rejected(self):
+        with pytest.raises(ValueError, match="has no position"):
+            nearest_station_attachment(
+                [_device(0)], [BaseStation(0, position=(0.0, 0.0))]
+            )
+        with pytest.raises(ValueError, match="has no position"):
+            nearest_station_attachment(
+                [_placed_device(0, (0.0, 0.0))], [BaseStation(0)]
+            )
+
+    def test_no_stations_rejected(self):
+        with pytest.raises(ValueError, match="at least one station"):
+            nearest_station_attachment([_placed_device(0, (0.0, 0.0))], [])
+
+
+class TestWithoutDevices:
+    def test_departure_can_empty_a_cluster(self, two_cluster_system):
+        # Cluster 1 loses both members; its station must survive, empty.
+        smaller = two_cluster_system.without_devices([2, 3])
+        assert smaller.num_devices == 2
+        assert smaller.num_stations == 2
+        assert smaller.cluster_members(1) == ()
+        assert smaller.cluster_sizes() == {0: 2, 1: 0}
+
+    def test_unknown_device_rejected(self, two_cluster_system):
+        with pytest.raises(KeyError, match="unknown device"):
+            two_cluster_system.without_devices([99])
+
+    def test_removing_every_device_rejected(self, two_cluster_system):
+        with pytest.raises(ValueError):
+            two_cluster_system.without_devices([0, 1, 2, 3])
+
+    def test_survivors_keep_their_attachment(self, two_cluster_system):
+        smaller = two_cluster_system.without_devices([1])
+        assert smaller.cluster_of(0) == two_cluster_system.cluster_of(0)
+        assert smaller.cluster_of(2) == two_cluster_system.cluster_of(2)
