@@ -16,6 +16,11 @@ warm-start reuse) collected on the active
 PATH`` enable span tracing and export it (Chrome ``trace_event`` JSON /
 JSONL); ``report`` runs one figure and prints the per-stage latency
 breakdown (see :mod:`repro.obs`).
+
+Sweeps are crash-safe: ``--journal PATH`` checkpoints every completed
+cell and ``--resume`` replays them byte-identically after a crash or
+kill; ``--cell-timeout`` / ``--max-attempts`` bound each cell's
+wall-clock and retries before quarantine (see :mod:`repro.runtime`).
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from typing import List, Optional
 
 from repro.context import RunContext, current_context, use_context
 from repro.experiments.figures import ALL_FIGURES, DEFAULT_SEEDS, run_figure
+from repro.experiments.parallel import pool_scope
 from repro.experiments.tables import table1_text
 from repro.faults import RECOVERY_POLICIES
 from repro.online.scheduler import POLICIES
@@ -117,6 +123,56 @@ def _add_shards(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _positive_attempts(value: str) -> int:
+    """Argparse type for ``--max-attempts``: positive int."""
+    try:
+        attempts = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"max-attempts must be an integer, got {value!r}"
+        )
+    if attempts < 1:
+        raise argparse.ArgumentTypeError(f"max-attempts must be >= 1, got {attempts}")
+    return attempts
+
+
+def _timeout(value: str) -> float:
+    """Argparse type for ``--cell-timeout``: non-negative seconds."""
+    try:
+        seconds = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"cell-timeout must be a number of seconds, got {value!r}"
+        )
+    if seconds < 0:
+        raise argparse.ArgumentTypeError(f"cell-timeout must be >= 0, got {seconds}")
+    return seconds
+
+
+def _add_runtime(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="checkpoint completed sweep cells to this append-only "
+        "journal; a later run with --resume replays them byte-identically "
+        "instead of recomputing",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay cells already recorded in --journal and compute "
+        "only the rest (requires --journal)",
+    )
+    parser.add_argument(
+        "--cell-timeout", type=_timeout, default=0.0, metavar="SECONDS",
+        help="wall-clock budget per sweep cell when --jobs > 1 "
+        "(0 = no timeout); a timed-out cell is retried, then quarantined",
+    )
+    parser.add_argument(
+        "--max-attempts", type=_positive_attempts, default=2, metavar="N",
+        help="attempts per sweep cell before it is quarantined "
+        "(recorded with its traceback and skipped, not fatal)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mecrepro",
@@ -144,6 +200,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_shards(figure)
     _add_jobs_and_stats(figure, "sweep")
     _add_start_method(figure)
+    _add_runtime(figure)
     _add_obs(figure)
 
     all_figures = sub.add_parser("all-figures", help="regenerate every figure")
@@ -156,6 +213,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_shards(all_figures)
     _add_jobs_and_stats(all_figures, "sweeps")
     _add_start_method(all_figures)
+    _add_runtime(all_figures)
     _add_obs(all_figures)
 
     demo = sub.add_parser("demo", help="run every figure algorithm on one scenario")
@@ -184,6 +242,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_shards(report)
     _add_jobs_and_stats(report, "sweep")
     _add_start_method(report)
+    _add_runtime(report)
     _add_obs(report)
 
     ratio = sub.add_parser(
@@ -292,25 +351,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     :param argv: arguments (defaults to ``sys.argv[1:]``).
     :returns: process exit code.
     """
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and not getattr(args, "journal", None):
+        parser.error("--resume requires --journal PATH")
     # One fresh context per invocation: telemetry counts exactly this run.
     # Tracing turns on only when an exporter will consume the spans.
     trace = bool(
         getattr(args, "trace", None) or getattr(args, "log_json", None)
+    )
+    runtime = dict(
+        max_attempts=getattr(args, "max_attempts", 2),
+        cell_timeout_s=getattr(args, "cell_timeout", 0.0),
+        journal_path=getattr(args, "journal", None),
+        resume=getattr(args, "resume", False),
     )
     if getattr(args, "reference", False):
         # Reference runs are the differential-testing baseline: no
         # batching, no sharding, whatever --batch/--shards say.
         context = RunContext(
             reference=True, vectorized_costs=False, cached_costs=False,
-            trace=trace, lp_batch=False,
+            trace=trace, lp_batch=False, **runtime,
         )
     else:
         context = RunContext(
             trace=trace, lp_batch=getattr(args, "batch", True),
-            shards=getattr(args, "shards", 0),
+            shards=getattr(args, "shards", 0), **runtime,
         )
-    with use_context(context):
+    with use_context(context), pool_scope():
         _dispatch(args)
     if getattr(args, "stats", False):
         print()

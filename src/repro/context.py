@@ -85,6 +85,12 @@ class Telemetry:
         "reassignments",
         "tasks_dropped",
         "tasks_recovered",
+        "cell_retries",
+        "cell_timeouts",
+        "cells_quarantined",
+        "lp_fallbacks",
+        "journal_replays",
+        "quarantines",
         "metrics",
         "spans",
     )
@@ -123,6 +129,12 @@ class Telemetry:
         self.reassignments = 0
         self.tasks_dropped = 0
         self.tasks_recovered = 0
+        self.cell_retries = 0
+        self.cell_timeouts = 0
+        self.cells_quarantined = 0
+        self.lp_fallbacks = 0
+        self.journal_replays = 0
+        self.quarantines = []
 
     def record_solve(
         self,
@@ -229,6 +241,41 @@ class Telemetry:
         if recovered:
             self.tasks_recovered += 1
 
+    def record_retry(self, *, timeout: bool = False) -> None:
+        """Count one supervised cell retry (see :mod:`repro.runtime`).
+
+        :param timeout: the retry was triggered by a per-cell wall-clock
+            timeout rather than a crash or exception.
+        """
+        self.cell_retries += 1
+        self.metrics.incr("runtime.retries")
+        if timeout:
+            self.cell_timeouts += 1
+            self.metrics.incr("runtime.timeouts")
+
+    def record_quarantine(self, label: str, attempts: int, error: str) -> None:
+        """Record one poison cell skipped after exhausting its attempts.
+
+        :param label: where the cell lives (indices, shard, seed).
+        :param attempts: how many attempts it was charged.
+        :param error: the final failure, remote traceback included.
+        """
+        self.cells_quarantined += 1
+        self.metrics.incr("runtime.quarantines")
+        self.quarantines.append(
+            {"label": label, "attempts": attempts, "error": error}
+        )
+
+    def record_fallback(self, rung: str) -> None:
+        """Count one solver fallback-ladder descent onto ``rung``."""
+        self.lp_fallbacks += 1
+        self.metrics.incr(f"lp.fallback.{rung}")
+
+    def record_journal_replay(self, count: int = 1) -> None:
+        """Count cells replayed from the checkpoint journal (``--resume``)."""
+        self.journal_replays += count
+        self.metrics.incr("journal.replays", float(count))
+
     def merge(self, other: "Telemetry") -> None:
         """Fold another sink into this one (worker hand-back).
 
@@ -263,6 +310,11 @@ class Telemetry:
             "reassignments": self.reassignments,
             "tasks_dropped": self.tasks_dropped,
             "tasks_recovered": self.tasks_recovered,
+            "cell_retries": self.cell_retries,
+            "cell_timeouts": self.cell_timeouts,
+            "cells_quarantined": self.cells_quarantined,
+            "lp_fallbacks": self.lp_fallbacks,
+            "journal_replays": self.journal_replays,
         }
 
     def summary(self) -> str:
@@ -324,6 +376,28 @@ class Telemetry:
                 f"{self.tasks_dropped} drops"
             )
             lines.append(f"tasks recovered    {self.tasks_recovered}")
+        if self.cell_retries or self.cells_quarantined:
+            lines.append(
+                f"cell retries       {self.cell_retries} "
+                f"({self.cell_timeouts} from timeouts)"
+            )
+        if self.cells_quarantined:
+            lines.append(f"cells quarantined  {self.cells_quarantined}")
+            for entry in self.quarantines:
+                first = str(entry["error"]).splitlines()[0]
+                lines.append(
+                    f"  {entry['label']}: {first} "
+                    f"({entry['attempts']} attempts)"
+                )
+        if self.lp_fallbacks:
+            rungs = ", ".join(
+                f"{name.split('lp.fallback.', 1)[1]} x{int(count)}"
+                for name, count in sorted(self.metrics.counters.items())
+                if name.startswith("lp.fallback.")
+            )
+            lines.append(f"LP fallbacks       {self.lp_fallbacks} ({rungs})")
+        if self.journal_replays:
+            lines.append(f"journal replays    {self.journal_replays}")
         return "\n".join(lines)
 
     def __getstate__(self) -> Dict[str, Any]:
@@ -382,13 +456,31 @@ class RunContext:
         context, so enabling tracing on a sweep traces its worker
         processes too, and the workers' span logs merge back like every
         other counter.
+    :param max_attempts: supervised attempts per sweep cell before it is
+        quarantined (``1`` disables retries; see :mod:`repro.runtime`).
+    :param cell_timeout_s: per-cell wall-clock budget for pooled sweeps;
+        ``0`` disables timeouts.
+    :param retry_backoff_s: base of the decorrelated-jitter backoff slept
+        between supervised retry rounds.
+    :param quarantine: skip-and-record cells that exhaust their attempts;
+        ``False`` makes an exhausted cell fatal
+        (:class:`~repro.runtime.errors.CellFailedError`).
+    :param journal_path: checkpoint every completed sweep cell/tile to
+        this append-only journal; ``None`` disables journaling.
+    :param resume: replay journal entries recorded by an earlier
+        (interrupted) run instead of recomputing them.  Requires
+        ``journal_path``.
+
+    The six runtime knobs above change how a sweep *executes* — never
+    what it computes — so they are excluded from the journal's content
+    fingerprint (:data:`repro.runtime.journal._RESULT_FIELDS`).
     """
 
     reference: bool = False
     vectorized_costs: bool = True
     cached_costs: bool = True
     lp_backend: str = "structured"
-    lp_fallback_backends: Tuple[str, ...] = ("interior-point", "scipy")
+    lp_fallback_backends: Tuple[str, ...] = ("interior-point", "simplex", "scipy")
     lp_warm_start: bool = True
     lp_cache_capacity: int = 256
     lp_sparse: bool = True
@@ -396,6 +488,12 @@ class RunContext:
     seed: int = 0
     shards: int = 0
     trace: bool = False
+    max_attempts: int = 2
+    cell_timeout_s: float = 0.0
+    retry_backoff_s: float = 0.05
+    quarantine: bool = True
+    journal_path: Optional[str] = None
+    resume: bool = False
     telemetry: Telemetry = field(
         default_factory=Telemetry, compare=False, repr=False
     )

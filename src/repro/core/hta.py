@@ -26,7 +26,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.context import RunContext, current_context
+from repro.context import RunContext, current_context, use_context
 from repro.core.assignment import Assignment, Subsystem
 from repro.core.costs import NUM_SUBSYSTEMS, ClusterCosts, cluster_costs
 from repro.core.lp_builder import (
@@ -39,7 +39,7 @@ from repro.lp.structured import solve_structured, solve_structured_batch
 from repro.core.task import Task
 from repro.lp.backends import solve as lp_solve
 from repro.lp.interior_point import solve_interior_point_batch
-from repro.lp.result import LPResult
+from repro.lp.result import LPResult, LPStatus
 from repro.obs.tracer import span
 from repro.system.topology import MECSystem
 
@@ -67,7 +67,9 @@ class LPHTAOptions:
         dense Mehrotra solver, ``"simplex"`` / ``"scipy"`` are for ablations
         and cross-checks.
     :param fallback_backends: tried in order if the primary backend fails
-        numerically.
+        numerically (the solver fallback ladder; a sparse interior-point
+        rung gets an extra dense retry, and a greedy one-hot assignment
+        is the always-feasible bottom rung).
     :param rounding: ``"argmax"`` (Step 3 as written) or ``"randomized"``
         (sample the subsystem from the fractional row — ablation only).
     :param repair_order: ``"largest-first"`` (greedy by resource occupation,
@@ -76,7 +78,7 @@ class LPHTAOptions:
     """
 
     backend: str = "structured"
-    fallback_backends: Tuple[str, ...] = ("interior-point", "scipy")
+    fallback_backends: Tuple[str, ...] = ("interior-point", "simplex", "scipy")
     rounding: str = "argmax"
     repair_order: str = "largest-first"
     seed: int = 0
@@ -167,6 +169,64 @@ def _options_from_context(context: RunContext) -> LPHTAOptions:
     )
 
 
+def _greedy_p2(
+    costs: ClusterCosts, last: Optional[LPResult] = None
+) -> LPResult:
+    """The fallback ladder's bottom rung: greedy one-hot HTA.
+
+    Assigns every task to its cheapest deadline-feasible subsystem (or its
+    cheapest subsystem outright when none meets the deadline — Step 4 then
+    migrates or cancels the row), ignoring the capacity rows, which
+    Steps 5–6 repair exactly as they repair rounding overflows.  Always
+    succeeds, so a cluster whose relaxation defeats every LP backend still
+    produces an assignment instead of aborting the sweep.
+
+    The returned objective is the energy of the one-hot assignment — an
+    *upper* bound, NOT the LP lower bound the Theorem 2 ratio needs; the
+    ``"greedy"`` backend tag marks the result so consumers (the sharded
+    coordinator's duality gap, reports) can treat its bound as vacuous.
+    """
+    n = costs.num_tasks
+    x = np.zeros(NUM_SUBSYSTEMS * n)
+    total = 0.0
+    for row in range(n):
+        candidates = costs.feasible_subsystems(row) or tuple(
+            range(NUM_SUBSYSTEMS)
+        )
+        best = min(candidates, key=lambda l: costs.energy_j[row, l])
+        x[NUM_SUBSYSTEMS * row + best] = 1.0
+        total += float(costs.energy_j[row, best])
+    message = "greedy one-hot fallback; objective is not an LP lower bound"
+    if last is not None:
+        message += (
+            f" (last LP attempt: {last.backend} -> {last.status.name})"
+        )
+    return LPResult(
+        status=LPStatus.OPTIMAL,
+        x=x,
+        objective=total,
+        iterations=0,
+        backend="greedy",
+        message=message,
+    )
+
+
+def _record_rung(
+    context: RunContext, options: LPHTAOptions, backend: str, dense: bool
+) -> None:
+    """Count a solve served by a ladder rung below the configured primary.
+
+    The relaxed-bounds retry is *not* a rung: dropping the A1 bounds is
+    the documented infeasibility workaround and happens on healthy runs,
+    so only a backend change (or the dense interior-point retry) counts
+    as a fallback.
+    """
+    if backend != options.backend or dense:
+        context.telemetry.record_fallback(
+            f"{backend}-dense" if dense else backend
+        )
+
+
 def _solve_p2(
     costs: ClusterCosts,
     device_caps: Mapping[int, float],
@@ -174,7 +234,7 @@ def _solve_p2(
     options: LPHTAOptions,
     context: RunContext,
 ) -> LPResult:
-    """Step 1: solve P2 with backend fallback and a relaxation fallback.
+    """Step 1: solve P2 down the solver fallback ladder.
 
     When the resource rows (C2/C3) and the deadline bounds (A1) clash, P2 as
     written can be infeasible — e.g. a large task whose cloud path misses
@@ -183,11 +243,27 @@ def _solve_p2(
     the cloud column is uncapped) and let Step 4 enforce deadlines by
     migration or cancellation.  The relaxed optimum is a weaker lower bound,
     so the reported Theorem 2 ratio stays a valid (conservative) bound.
+
+    Within each relaxation level the configured backend and its fallbacks
+    are tried in order; a sparse interior-point rung that fails gets a
+    dense rebuild-and-retry (sparse factorisation is the usual numerical
+    culprit).  A result from any rung below the primary is counted in the
+    telemetry (``lp.fallback.<rung>`` and the ``--stats`` fallback line)
+    and tagged with the backend that produced it.  When every backend
+    fails at both relaxation levels, the ladder bottoms out at
+    :func:`_greedy_p2` instead of raising, so one pathological cluster
+    cannot abort a whole sweep.
     """
     last: Optional[LPResult] = None
     for relax in (False, True):
         generic_build = None
+        rungs: List[Tuple[str, bool]] = []
         for backend in (options.backend, *options.fallback_backends):
+            rungs.append((backend, False))
+            if backend == "interior-point" and context.lp_sparse:
+                # Dense retry right below the sparse IPM rung.
+                rungs.append((backend, True))
+        for backend, dense in rungs:
             if backend == "structured":
                 grouped = build_p2_structured(
                     costs, device_caps, station_cap,
@@ -214,6 +290,7 @@ def _solve_p2(
                                 iterations=0,
                                 cache_hit=True,
                             )
+                            _record_rung(context, options, backend, dense)
                             return hit
                     result = solve_structured(grouped)
                     if cache is not None and key is not None and result.status.ok:
@@ -222,6 +299,16 @@ def _solve_p2(
                         wall_time_s=time.perf_counter() - start,
                         iterations=result.iterations,
                     )
+            elif dense:
+                # Rebuild the relaxation with dense assembly: the sparse
+                # factorisation is the usual numerical culprit, and the
+                # dense Mehrotra path is the slower, steadier reference.
+                with use_context(context.replace(lp_sparse=False)):
+                    dense_build = build_p2(
+                        costs, device_caps, station_cap,
+                        relax_deadline_bounds=relax,
+                    )
+                result = lp_solve(dense_build.lp, backend, context=context)
             else:
                 if generic_build is None:
                     generic_build = build_p2(
@@ -230,9 +317,12 @@ def _solve_p2(
                     )
                 result = lp_solve(generic_build.lp, backend, context=context)
             if result.status.ok:
+                _record_rung(context, options, backend, dense)
                 return result
             last = result
-    raise RuntimeError(f"all LP backends failed for P2: last result {last}")
+    # Bottom rung: never abort the sweep over one pathological cluster.
+    context.telemetry.record_fallback("greedy")
+    return _greedy_p2(costs, last=last)
 
 
 #: Backends whose Step-1 solve has a block-diagonal batched path.
@@ -376,6 +466,10 @@ def _solve_p2_batch(
             # batch was empty).  Re-run the full sequential ladder, which
             # also covers the relaxed-bounds retry.
             costs, caps, cap = job
+            if result is not None:
+                # A block the batched solver actually failed on (not a
+                # mere cache miss) is a ladder descent worth counting.
+                context.telemetry.record_fallback("batch-to-sequential")
             result = _solve_p2(costs, caps, cap, options, context)
         out.append(result)
     return out

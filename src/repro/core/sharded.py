@@ -307,7 +307,12 @@ def lp_hta_sharded(
         fractional_load = 0.0
         decisions: List[Subsystem] = [Subsystem.CANCELLED] * len(tasks)
         clusters: List[ClusterReport] = []
+        greedy_rung = False
         for (view, cluster_slice, priced), result in zip(meta, results):
+            # A block that fell all the way to the greedy rung carries a
+            # one-hot objective, not an LP lower bound: poison the whole
+            # iteration's dual value so weak duality stays honest.
+            greedy_rung = greedy_rung or result.backend == "greedy"
             objective += float(result.objective)
             x_fractional = reshape_solution(result.require_ok(), priced.num_tasks)
             fractional_load += float(
@@ -342,6 +347,8 @@ def lp_hta_sharded(
         cancelled = sum(
             1 for decision in decisions if decision is Subsystem.CANCELLED
         )
+        if greedy_rung:
+            objective = float("-inf")
         return objective, fractional_load, (cancelled, energy), decisions
 
     outcome = coordinate_shared_capacity(solve_priced, cloud_capacity, coordinator)

@@ -126,8 +126,14 @@ def _sweep(
     for point_idx in range(len(profiles)):
         rows = per_cell[point_idx * n_seeds : (point_idx + 1) * n_seeds]
         for spec_idx, spec in enumerate(specs):
-            values = [getattr(row[spec_idx], metric) for row in rows]
-            series[spec.name].append(float(np.mean(values)))
+            # Quarantined cells come back as None; average over the seeds
+            # that survived, NaN when every seed at this point was lost.
+            values = [
+                getattr(row[spec_idx], metric) for row in rows if row is not None
+            ]
+            series[spec.name].append(
+                float(np.mean(values)) if values else float("nan")
+            )
     return SeriesData(
         figure_id=figure_id,
         title=title,

@@ -121,9 +121,15 @@ def run_grid(
     for point_idx, point in enumerate(points):
         rows = per_cell[point_idx * n_seeds : (point_idx + 1) * n_seeds]
         for spec_idx, spec in enumerate(specs):
-            results = [row[spec_idx] for row in rows]
+            # Quarantined cells come back as None; average over the seeds
+            # that survived, NaN when every seed at this point was lost.
+            results = [row[spec_idx] for row in rows if row is not None]
             metrics = {
-                field: float(np.mean([getattr(r, field) for r in results]))
+                field: (
+                    float(np.mean([getattr(r, field) for r in results]))
+                    if results
+                    else float("nan")
+                )
                 for field in _METRIC_FIELDS
             }
             cells.append(

@@ -45,7 +45,20 @@ context's sink, so ``--stats`` summaries cover parallel runs too.
 
 Pools persist between :func:`run_cells` calls (keyed by worker count and
 start method, torn down at interpreter exit): repeated sweeps skip pool
-start-up and keep each worker's scenario memo warm.
+start-up and keep each worker's scenario memo warm.  Long-lived callers
+(the CLI) wrap their dispatch in :func:`pool_scope`, which reaps the
+cached pools deterministically on the way out — including the
+``KeyboardInterrupt`` path — instead of leaning on the :mod:`atexit`
+hook alone.
+
+Dispatch itself runs under the crash-safe runtime (:mod:`repro.runtime`):
+every unit of work is supervised (per-cell timeouts, bounded retries
+with backoff, poison-cell quarantine — a cell that keeps failing is
+recorded and skipped, its result slot left ``None``), worker failures
+travel back as :class:`~repro.runtime.errors.RemoteCellError` with the
+remote traceback attached, and when the active context carries a
+``journal_path`` every completed cell is checkpointed so ``--resume``
+replays finished work instead of recomputing it.
 """
 
 from __future__ import annotations
@@ -55,9 +68,18 @@ import os
 import pickle
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, replace as dataclass_replace
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import multiprocessing
 
@@ -68,6 +90,15 @@ from repro.experiments.runner import (
     AlgorithmResult,
     evaluate_dta,
     evaluate_holistic,
+)
+from repro.runtime import (
+    PoolHandle,
+    RemoteCellError,
+    RetryPolicy,
+    Supervisor,
+    context_fingerprint,
+    fingerprint,
+    journal_for,
 )
 from repro.system.sharding import ShardSpec
 from repro.workload.generator import Scenario, generate_scenario
@@ -82,9 +113,11 @@ __all__ = [
     "as_spec",
     "dta_spec",
     "holistic_spec",
+    "pool_scope",
     "resolve_jobs",
     "run_cells",
     "run_tiles",
+    "shutdown_pools",
 ]
 
 
@@ -310,11 +343,32 @@ def _evaluate_column(cells: Sequence[SweepCell]) -> List[Tuple[AlgorithmResult, 
         return [tuple(results) for results in per_cell]
 
 
+def _column_label(cells: Sequence[SweepCell]) -> str:
+    """Where a column lives, for remote-error messages and quarantine."""
+    if len(cells) == 1:
+        cell = cells[0]
+        return f"cell {cell.index} (seed {cell.seed})"
+    indices = [cell.index for cell in cells]
+    seeds = sorted({cell.seed for cell in cells})
+    return f"cells {indices} (seeds {seeds})"
+
+
 def _evaluate_column_with_telemetry(
     cells: Sequence[SweepCell],
 ) -> Tuple[List[Tuple[AlgorithmResult, ...]], Telemetry]:
-    """Pool entry point for a whole column (cells share one context pickle)."""
-    results = _evaluate_column(cells)
+    """Pool entry point for a whole column (cells share one context pickle).
+
+    Evaluation failures are re-raised as
+    :class:`~repro.runtime.errors.RemoteCellError` so the formatted remote
+    stack and the cell coordinates survive the pickle boundary back to the
+    supervisor.
+    """
+    try:
+        results = _evaluate_column(cells)
+    except RemoteCellError:
+        raise
+    except Exception as exc:
+        raise RemoteCellError.wrap(exc, _column_label(cells)) from None
     context = cells[0].context if cells[0].context is not None else current_context()
     return results, context.telemetry
 
@@ -355,6 +409,31 @@ def _shutdown_pools() -> None:
 atexit.register(_shutdown_pools)
 
 
+def shutdown_pools() -> None:
+    """Tear down every cached worker pool now.
+
+    Safe to call at any time; the next :func:`run_cells` simply starts
+    fresh pools.  Normally invoked through :func:`pool_scope`.
+    """
+    _shutdown_pools()
+
+
+@contextmanager
+def pool_scope() -> Iterator[None]:
+    """Scope the cached worker pools to a ``with`` block.
+
+    Pools still persist *between* sweeps inside the block (warm workers,
+    warm scenario memos); on exit — normal return, exception or
+    ``KeyboardInterrupt`` — every cached pool is shut down with its
+    futures cancelled, so workers are reaped deterministically instead of
+    at interpreter exit.  The CLI wraps each command dispatch in this.
+    """
+    try:
+        yield
+    finally:
+        _shutdown_pools()
+
+
 def _pool_for(workers: int, mp_context: "multiprocessing.context.BaseContext") -> ProcessPoolExecutor:
     """A cached executor for (workers, start method), created on demand."""
     key = (workers, mp_context.get_start_method())
@@ -373,12 +452,66 @@ def _discard_pool(workers: int, mp_context: "multiprocessing.context.BaseContext
         pool.shutdown(wait=False, cancel_futures=True)
 
 
+def _cell_key(cell: SweepCell) -> Optional[str]:
+    """The cell's journal key, or ``None`` when it cannot be fingerprinted.
+
+    Callable evaluators have no stable identity the journal could trust
+    across runs, so cells carrying one always run live.  Everything else
+    in the key — profile, seed, evaluator descriptors, the
+    result-determining context fields — is a frozen value with a
+    deterministic ``repr``.
+    """
+    if any(spec.kind == "callable" for spec in cell.evaluators):
+        return None
+    specs = tuple(
+        (
+            spec.name,
+            spec.kind,
+            spec.target,
+            None if spec.context is None else context_fingerprint(spec.context),
+        )
+        for spec in cell.evaluators
+    )
+    return fingerprint(
+        "sweep-cell",
+        cell.profile,
+        cell.seed,
+        specs,
+        context_fingerprint(cell.context),
+    )
+
+
+def _mp_context(
+    start_method: Optional[str],
+) -> "multiprocessing.context.BaseContext":
+    """The multiprocessing context for a requested start method.
+
+    ``None`` prefers ``fork`` (cheap start-up, no re-import of
+    numpy/scipy) and falls back to the platform default where fork is
+    unavailable.
+    """
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
 def run_cells(
     cells: Sequence[SweepCell],
     jobs: Optional[int] = 1,
     start_method: Optional[str] = None,
-) -> List[Tuple[AlgorithmResult, ...]]:
-    """Evaluate every cell, in-process or across a worker pool.
+) -> List[Optional[Tuple[AlgorithmResult, ...]]]:
+    """Evaluate every cell, in-process or across a worker pool, supervised.
+
+    Execution runs under the crash-safe runtime: failed cells are retried
+    per the active context's :class:`~repro.runtime.supervisor.RetryPolicy`
+    and quarantined (result slot ``None``) when they keep failing; when
+    the context names a ``journal_path`` every completed cell is
+    checkpointed, and with ``resume`` set journalled cells are replayed
+    instead of recomputed — bit-identically, because every cell is a pure
+    function of its fingerprinted inputs.
 
     :param cells: the work descriptors.
     :param jobs: worker processes; ``1`` (default) runs in-process,
@@ -389,7 +522,8 @@ def run_cells(
         back to the platform default.  Results are identical either way
         because cells carry their :class:`~repro.context.RunContext`
         explicitly.
-    :returns: per-cell evaluator results, in ``cells`` order.
+    :returns: per-cell evaluator results, in ``cells`` order; ``None``
+        marks a quarantined cell.
     :raises ValueError: when ``jobs > 1`` and a cell does not pickle
         (e.g. a lambda evaluator was wrapped via :func:`as_spec`).
     """
@@ -400,16 +534,62 @@ def run_cells(
     # batched mega-solves are identical in-process and across any pool.
     columns = _group_columns(bound)
 
-    def in_process() -> List[Tuple[AlgorithmResult, ...]]:
-        results: List[Optional[Tuple[AlgorithmResult, ...]]] = [None] * len(bound)
-        for column in columns:
-            column_results = _evaluate_column([bound[i] for i in column])
-            for index, cell_results in zip(column, column_results):
-                results[index] = cell_results
-        return results  # type: ignore[return-value]
+    results: List[Optional[Tuple[AlgorithmResult, ...]]] = [None] * len(bound)
+    journal = journal_for(ambient.journal_path, ambient.resume)
+    keys: List[Optional[str]] = (
+        [_cell_key(cell) for cell in bound]
+        if journal is not None
+        else [None] * len(bound)
+    )
+    replayed: set = set()
+    if journal is not None and ambient.resume:
+        for index, key in enumerate(keys):
+            if key is None:
+                continue
+            value = journal.get(key)
+            if value is not None:
+                results[index] = value
+                replayed.add(index)
+        if replayed:
+            ambient.telemetry.record_journal_replay(len(replayed))
 
-    if jobs == 1 or len(bound) <= 1:
-        return in_process()
+    groups = [
+        tuple(i for i in column if i not in replayed) for column in columns
+    ]
+    groups = [group for group in groups if group]
+    if not groups:
+        return results
+
+    def describe(ids: Tuple[int, ...]) -> str:
+        return _column_label([bound[i] for i in ids])
+
+    def checkpoint(index: int, value: Tuple[AlgorithmResult, ...]) -> None:
+        # Fires per completed cell so a crash mid-sweep keeps everything
+        # finished so far, not just what a completed run would have saved.
+        if journal is not None and keys[index] is not None:
+            journal.record(keys[index], value)
+
+    supervisor = Supervisor(
+        RetryPolicy.from_context(ambient), ambient, describe=describe,
+        on_result=checkpoint,
+    )
+
+    def finish(
+        result_map: Dict[int, Tuple[AlgorithmResult, ...]],
+    ) -> List[Optional[Tuple[AlgorithmResult, ...]]]:
+        for index, value in result_map.items():
+            results[index] = value
+        return results
+
+    def run_local() -> List[Optional[Tuple[AlgorithmResult, ...]]]:
+        result_map, _ = supervisor.run_local(
+            groups, lambda ids: _evaluate_column([bound[i] for i in ids])
+        )
+        return finish(result_map)
+
+    remaining = sum(len(group) for group in groups)
+    if jobs == 1 or remaining <= 1:
+        return run_local()
 
     # Validated for every jobs > 1 request — even ones that end up running
     # in-process below — so picklability problems surface on every machine,
@@ -426,48 +606,33 @@ def run_cells(
     # Never run more workers than work items, and never oversubscribe the
     # machine: extra processes on a smaller box only add scheduler churn.
     # A one-worker pool would serialise anyway, so skip the pool entirely.
-    workers = min(jobs, len(columns), os.cpu_count() or jobs)
+    workers = min(jobs, len(groups), os.cpu_count() or jobs)
     if workers <= 1:
-        return in_process()
+        return run_local()
 
-    if start_method is not None:
-        mp_context = multiprocessing.get_context(start_method)
-    else:
-        # fork keeps worker start-up cheap (no re-import of numpy/scipy);
-        # fall back to the platform default where fork is unavailable.
-        try:
-            mp_context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            mp_context = multiprocessing.get_context()
+    mp_context = _mp_context(start_method)
 
     # The pool is cached and reused by later run_cells calls: repeated
     # sweeps skip process start-up, and each worker keeps its scenario
-    # memo warm across calls.  A broken pool (killed worker) is discarded
-    # and the call retried once on a fresh one.
+    # memo warm across calls.  Crash/timeout handling — pool discarding,
+    # retries, quarantine — lives in the supervisor.
     # Each column ships as one pickle, so its cells' shared context stays
     # one object in the worker and the column's telemetry lands in one
     # sink.  Singleton columns reproduce the historical per-cell dispatch.
-    work = [tuple(bound[i] for i in column) for column in columns]
-    pool = _pool_for(workers, mp_context)
-    try:
-        # Executor.map preserves submission order.
-        outcomes = list(pool.map(_evaluate_column_with_telemetry, work))
-    except BrokenProcessPool:
-        _discard_pool(workers, mp_context)
-        pool = _pool_for(workers, mp_context)
-        try:
-            outcomes = list(pool.map(_evaluate_column_with_telemetry, work))
-        except BrokenProcessPool:
-            _discard_pool(workers, mp_context)
-            raise
-    results: List[Optional[Tuple[AlgorithmResult, ...]]] = [None] * len(bound)
-    for column, (column_results, telemetry) in zip(columns, outcomes):
+    pool = PoolHandle(
+        acquire=lambda: _pool_for(workers, mp_context),
+        discard=lambda: _discard_pool(workers, mp_context),
+    )
+    result_map, _ = supervisor.run_pooled(
+        groups,
+        _evaluate_column_with_telemetry,
+        lambda ids: tuple(bound[i] for i in ids),
+        pool,
         # Fold each worker's solve/cache counters back into the caller's
         # sink, so --stats covers parallel runs.
-        ambient.telemetry.merge(telemetry)
-        for index, cell_results in zip(column, column_results):
-            results[index] = cell_results
-    return results  # type: ignore[return-value]
+        ambient.telemetry.merge,
+    )
+    return finish(result_map)
 
 
 @dataclass(frozen=True)
@@ -560,11 +725,45 @@ def _evaluate_tile(cell: TileCell) -> TileResult:
         )
 
 
-def _evaluate_tile_with_telemetry(cell: TileCell) -> Tuple[TileResult, Telemetry]:
-    """Pool entry point: the tile result plus the telemetry it generated."""
-    result = _evaluate_tile(cell)
-    context = cell.context if cell.context is not None else current_context()
-    return result, context.telemetry
+def _tile_label(cells: Sequence[TileCell]) -> str:
+    """Where a tile unit lives, for remote errors and quarantine records."""
+    if len(cells) == 1:
+        cell = cells[0]
+        return f"tile shard {cell.shard_id} (seed {cell.seed})"
+    shards = [cell.shard_id for cell in cells]
+    return f"tile shards {shards} (seed {cells[0].seed})"
+
+
+def _evaluate_tiles_with_telemetry(
+    cells: Sequence[TileCell],
+) -> Tuple[List[TileResult], Telemetry]:
+    """Pool entry point: per-cell tile results plus their telemetry.
+
+    Takes a unit of (usually one) tile cells so the supervised dispatch
+    has one uniform worker contract; failures come back as
+    :class:`~repro.runtime.errors.RemoteCellError` with the shard id and
+    remote stack attached.
+    """
+    try:
+        results = [_evaluate_tile(cell) for cell in cells]
+    except RemoteCellError:
+        raise
+    except Exception as exc:
+        raise RemoteCellError.wrap(exc, _tile_label(cells)) from None
+    context = cells[0].context if cells[0].context is not None else current_context()
+    return results, context.telemetry
+
+
+def _tile_key(cell: TileCell) -> str:
+    """The tile cell's journal key (tiles always fingerprint)."""
+    return fingerprint(
+        "tile-cell",
+        cell.profile,
+        cell.spec,
+        cell.shard_id,
+        cell.seed,
+        context_fingerprint(cell.context),
+    )
 
 
 def _bind_tile_context(cell: TileCell, context: RunContext) -> TileCell:
@@ -578,14 +777,15 @@ def run_tiles(
     cells: Sequence[TileCell],
     jobs: Optional[int] = 1,
     start_method: Optional[str] = None,
-) -> List[TileResult]:
+) -> List[Optional[TileResult]]:
     """Generate-and-solve every tile, in-process or across a worker pool.
 
     The streamed analogue of :func:`run_cells`, with shards as the
     dispatch unit: each worker holds at most one tile's system and cost
     rows at a time, so peak memory is bounded by the largest *shard*, not
-    the city.  Same pool cache, broken-pool retry, order preservation and
-    telemetry merge-back as the cell path.
+    the city.  Same pool cache, supervised retry/quarantine, journalled
+    checkpoints, order preservation and telemetry merge-back as the cell
+    path.
 
     :param cells: one descriptor per shard to stream.
     :param jobs: worker processes; ``1`` (default) runs in-process,
@@ -594,16 +794,64 @@ def run_tiles(
         ``None`` prefers ``fork``.  Results are bit-identical either way
         because cells carry their context and tiles are pure functions of
         their cell.
-    :returns: per-cell tile results, in ``cells`` order.
+    :returns: per-cell tile results, in ``cells`` order; ``None`` marks a
+        quarantined tile.
     """
     jobs = resolve_jobs(jobs)
     ambient = current_context()
     bound = [_bind_tile_context(cell, ambient) for cell in cells]
 
+    results: List[Optional[TileResult]] = [None] * len(bound)
+    journal = journal_for(ambient.journal_path, ambient.resume)
+    keys: List[Optional[str]] = (
+        [_tile_key(cell) for cell in bound]
+        if journal is not None
+        else [None] * len(bound)
+    )
+    replayed: set = set()
+    if journal is not None and ambient.resume:
+        for index, key in enumerate(keys):
+            value = journal.get(key) if key is not None else None
+            if value is not None:
+                results[index] = value
+                replayed.add(index)
+        if replayed:
+            ambient.telemetry.record_journal_replay(len(replayed))
+
+    # Tiles are already the dispatch granularity: one singleton unit each.
+    groups = [(i,) for i in range(len(bound)) if i not in replayed]
+    if not groups:
+        return results
+
+    def describe(ids: Tuple[int, ...]) -> str:
+        return _tile_label([bound[i] for i in ids])
+
+    def checkpoint(index: int, value: TileResult) -> None:
+        # Per-tile checkpoint, same rationale as run_cells: a crash keeps
+        # every tile completed so far.
+        if journal is not None and keys[index] is not None:
+            journal.record(keys[index], value)
+
+    supervisor = Supervisor(
+        RetryPolicy.from_context(ambient), ambient, describe=describe,
+        on_result=checkpoint,
+    )
+
+    def finish(result_map: Dict[int, TileResult]) -> List[Optional[TileResult]]:
+        for index, value in result_map.items():
+            results[index] = value
+        return results
+
+    def run_local() -> List[Optional[TileResult]]:
+        result_map, _ = supervisor.run_local(
+            groups, lambda ids: [_evaluate_tile(bound[i]) for i in ids]
+        )
+        return finish(result_map)
+
     # In-process: telemetry accrues directly in each cell's context (for
     # stamped cells, the ambient one), exactly like run_cells.
-    if jobs == 1 or len(bound) <= 1:
-        return [_evaluate_tile(cell) for cell in bound]
+    if jobs == 1 or len(groups) <= 1:
+        return run_local()
 
     try:
         pickle.dumps(tuple(bound))
@@ -612,32 +860,20 @@ def run_tiles(
             f"tile cells are not picklable (jobs={jobs}): {exc}"
         ) from exc
 
-    workers = min(jobs, len(bound), os.cpu_count() or jobs)
+    workers = min(jobs, len(groups), os.cpu_count() or jobs)
     if workers <= 1:
-        return [_evaluate_tile(cell) for cell in bound]
+        return run_local()
 
-    if start_method is not None:
-        mp_context = multiprocessing.get_context(start_method)
-    else:
-        try:
-            mp_context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            mp_context = multiprocessing.get_context()
-
-    pool = _pool_for(workers, mp_context)
-    try:
-        # Executor.map preserves submission order.
-        outcomes = list(pool.map(_evaluate_tile_with_telemetry, bound))
-    except BrokenProcessPool:
-        _discard_pool(workers, mp_context)
-        pool = _pool_for(workers, mp_context)
-        try:
-            outcomes = list(pool.map(_evaluate_tile_with_telemetry, bound))
-        except BrokenProcessPool:
-            _discard_pool(workers, mp_context)
-            raise
-    results = []
-    for result, telemetry in outcomes:
-        ambient.telemetry.merge(telemetry)
-        results.append(result)
-    return results
+    mp_context = _mp_context(start_method)
+    pool = PoolHandle(
+        acquire=lambda: _pool_for(workers, mp_context),
+        discard=lambda: _discard_pool(workers, mp_context),
+    )
+    result_map, _ = supervisor.run_pooled(
+        groups,
+        _evaluate_tiles_with_telemetry,
+        lambda ids: tuple(bound[i] for i in ids),
+        pool,
+        ambient.telemetry.merge,
+    )
+    return finish(result_map)

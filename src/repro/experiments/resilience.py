@@ -212,8 +212,10 @@ class ResilienceStudy:
             values = [
                 getattr(self.results[(intensity, policy, seed)], metric)
                 for seed in self.seeds
+                if (intensity, policy, seed) in self.results
             ]
-            out.append(sum(values) / len(values))
+            # Quarantined cells leave no entry; NaN when every seed is gone.
+            out.append(sum(values) / len(values) if values else float("nan"))
         return tuple(out)
 
     def energy_series(self) -> SeriesData:
@@ -342,6 +344,8 @@ def resilience_sweep(
     outcomes = run_cells(cells, jobs=jobs, start_method=start_method)
     results: Dict[Tuple[float, str, int], ResilienceResult] = {}
     for (intensity, seed), cell_results in zip(keys, outcomes):
+        if cell_results is None:  # quarantined cell: drop its point
+            continue
         for recovery, result in zip(policies, cell_results):
             results[(intensity, recovery, seed)] = result
     return ResilienceStudy(

@@ -19,7 +19,12 @@ from repro.lp.simplex import SimplexOptions, solve_simplex
 from repro.lp.warmstart import IPMIterate, SimplexBasis
 from repro.obs.tracer import span
 
-__all__ = ["available_backends", "solve"]
+__all__ = ["FALLBACK_LADDER", "available_backends", "solve", "solve_with_fallback"]
+
+#: Default degradation order for :func:`solve_with_fallback`: our IPM
+#: first, the from-scratch simplex as the numerically independent retry,
+#: scipy/HiGHS as the external last resort.
+FALLBACK_LADDER: Tuple[str, ...] = ("interior-point", "simplex", "scipy")
 
 
 def _solve_scipy(problem: LinearProgram) -> LPResult:
@@ -146,3 +151,42 @@ def solve(
             warm_start=warm_start is not None,
         )
         return result
+
+
+def solve_with_fallback(
+    problem: LinearProgram,
+    methods: Optional[Tuple[str, ...]] = None,
+    warm_start: Optional[object] = None,
+    context: Optional[RunContext] = None,
+) -> LPResult:
+    """Solve ``problem``, degrading through a ladder of backends.
+
+    Each method is tried in order until one returns an ``OPTIMAL`` result;
+    a success on any rung below the first is counted in the context's
+    telemetry (``lp.fallback.<backend>``, the ``--stats`` fallback line).
+    When every rung fails the *last* result is returned — status intact,
+    never raised — so callers decide whether a non-optimal status is fatal
+    for them.
+
+    :param methods: the ladder, first entry primary; defaults to
+        :data:`FALLBACK_LADDER`.
+    :param warm_start: threaded through to each rung (backends ignore
+        states that do not fit them).
+    :param context: run configuration and telemetry sink; defaults to the
+        active :func:`~repro.context.current_context`.
+    :raises ValueError: when ``methods`` is empty or names an unknown
+        backend.
+    """
+    ladder = FALLBACK_LADDER if methods is None else methods
+    if not ladder:
+        raise ValueError("solve_with_fallback needs at least one backend")
+    ctx = context if context is not None else current_context()
+    result: Optional[LPResult] = None
+    for rung, method in enumerate(ladder):
+        result = solve(problem, method, warm_start=warm_start, context=ctx)
+        if result.status.ok:
+            if rung > 0:
+                ctx.telemetry.record_fallback(method)
+            return result
+    assert result is not None
+    return result

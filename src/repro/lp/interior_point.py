@@ -17,6 +17,7 @@ The solver works on :class:`~repro.lp.problem.StandardFormLP`
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -59,6 +60,20 @@ class IPMOptions:
         tolerance when the numerics break down before the strict target is
         met (near-degenerate vertices can push μ below machine precision
         between two iterations that each miss one criterion).
+    :param stall_iterations: give up (``ITERATION_LIMIT``, with best-iterate
+        salvage) when this many consecutive iterations fail to improve the
+        best error seen — a divergent or cycling block then stops burning
+        iterations long before ``max_iterations``.  Healthy Mehrotra runs
+        improve almost every iteration, so the default is far outside their
+        envelope.  ``0`` disables the guard.  Applied identically by the
+        sequential and batched loops, preserving their bit-identity.
+    :param max_wall_clock_s: wall-clock budget for one batched mega-solve;
+        when exhausted every still-active block is parked with
+        ``ITERATION_LIMIT`` (best-iterate salvage applies) so one
+        pathological block cannot stall the whole batch.  ``inf`` (default)
+        disables the budget; the sequential solver ignores it (wall-clock
+        cutoffs are not deterministic, so the default ladder never uses
+        one — it exists for explicitly budgeted callers).
     """
 
     tolerance: float = 1e-9
@@ -66,6 +81,8 @@ class IPMOptions:
     step_fraction: float = 0.9995
     divergence_threshold: float = 1e14
     fallback_tolerance: float = 1e-6
+    stall_iterations: int = 60
+    max_wall_clock_s: float = float("inf")
 
 
 def _initial_point(
@@ -194,6 +211,7 @@ def _solve_standard_form(
 
     best_err = float("inf")
     best: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+    last_improve = 0
 
     def salvage(failure: LPResult) -> LPResult:
         """Return the best iterate when it already met the loose target.
@@ -228,6 +246,7 @@ def _solve_standard_form(
         if err < best_err:
             best_err = err
             best = (x.copy(), y.copy(), s.copy())
+            last_improve = iteration
         if err < options.tolerance:
             return LPResult(
                 status=LPStatus.OPTIMAL,
@@ -249,6 +268,21 @@ def _solve_standard_form(
                 iterations=iteration,
                 backend=_BACKEND_NAME,
                 message="iterates diverged (problem may be infeasible or unbounded)",
+            ))
+        if (
+            options.stall_iterations > 0
+            and iteration - last_improve >= options.stall_iterations
+        ):
+            return salvage(LPResult(
+                status=LPStatus.ITERATION_LIMIT,
+                x=None,
+                objective=float("nan"),
+                iterations=iteration,
+                backend=_BACKEND_NAME,
+                message=(
+                    f"stalled: no progress in {options.stall_iterations}"
+                    " iterations"
+                ),
             ))
 
         # Diagonal of X S^{-1}, clipped: near a vertex some s_i underflows
@@ -391,7 +425,8 @@ class _IPMBlock:
 
     __slots__ = (
         "idx", "a", "b", "c", "n", "m", "ns", "ms", "sparse",
-        "norm_b", "norm_c", "best_err", "best", "solve_normal",
+        "norm_b", "norm_c", "best_err", "best", "last_improve",
+        "solve_normal",
     )
 
 
@@ -457,6 +492,7 @@ def _solve_standard_form_batch(
         blk.norm_c = 1.0 + float(np.linalg.norm(c))
         blk.best_err = float("inf")
         blk.best = None
+        blk.last_improve = 0
         blk.solve_normal = None
         info.append(blk)
 
@@ -542,8 +578,34 @@ def _solve_standard_form_batch(
             message=message,
         )
 
+    deadline = (
+        time.perf_counter() + options.max_wall_clock_s
+        if np.isfinite(options.max_wall_clock_s)
+        else None
+    )
+
     for iteration in range(1, options.max_iterations + 1):
         if not active:
+            break
+        if deadline is not None and time.perf_counter() > deadline:
+            # Budget exhausted: park every straggler with its best iterate
+            # rather than letting one pathological block hold the batch.
+            for blk in active:
+                freeze(
+                    blk,
+                    salvage(
+                        blk,
+                        LPResult(
+                            status=LPStatus.ITERATION_LIMIT,
+                            x=None,
+                            objective=float("nan"),
+                            iterations=iteration - 1,
+                            backend=_BACKEND_NAME,
+                            message="wall-clock budget exhausted",
+                        ),
+                    ),
+                )
+            active = []
             break
         for blk in active:
             ax[blk.ms] = blk.a @ x[blk.ns]
@@ -566,6 +628,7 @@ def _solve_standard_form_batch(
             if err < blk.best_err:
                 blk.best_err = err
                 blk.best = (xb.copy(), yb.copy(), sb.copy())
+                blk.last_improve = iteration
             if err < options.tolerance:
                 solution = xb.copy()
                 freeze(
@@ -594,6 +657,30 @@ def _solve_standard_form_batch(
                             "iterates diverged (problem may be infeasible"
                             " or unbounded)",
                             iteration,
+                        ),
+                    ),
+                )
+            elif (
+                options.stall_iterations > 0
+                and iteration - blk.last_improve >= options.stall_iterations
+            ):
+                # Same guard (and salvage) as the sequential loop: a block
+                # making no progress is parked so it cannot pin the batch
+                # to the full iteration cap.
+                freeze(
+                    blk,
+                    salvage(
+                        blk,
+                        LPResult(
+                            status=LPStatus.ITERATION_LIMIT,
+                            x=None,
+                            objective=float("nan"),
+                            iterations=iteration,
+                            backend=_BACKEND_NAME,
+                            message=(
+                                "stalled: no progress in"
+                                f" {options.stall_iterations} iterations"
+                            ),
                         ),
                     ),
                 )

@@ -260,6 +260,18 @@ def stage_report(telemetry: "Telemetry") -> str:
         lines.append(
             f"{'shard.duality_gap_j':<26} {telemetry.coordinator_gap_j:.6g}"
         )
+
+    # Execution-layer robustness.  The scalar counters (runtime.retries,
+    # runtime.quarantines, journal.replays, lp.fallback.<rung>) surface
+    # through the generic counter block above; here we add only the
+    # per-quarantine detail so a degraded run names its poison cells.
+    if telemetry.quarantines:
+        lines.append("")
+        for entry in telemetry.quarantines:
+            lines.append(
+                f"quarantined {entry['label']} after "
+                f"{entry['attempts']} attempt(s): {entry['error']}"
+            )
     return "\n".join(lines)
 
 

@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.task import Task
-from repro.lp.backends import solve as lp_solve
+from repro.lp.backends import solve_with_fallback
 from repro.lp.problem import LinearProgram
 from repro.system.topology import MECSystem
 
@@ -340,12 +340,10 @@ def partial_offloading(
         coefficients = [_TaskCoefficients(system, t) for t in cluster_tasks]
         lp = _cluster_lp(system, cluster_tasks, coefficients)
 
-        result = None
-        for backend in (options.backend, *options.fallback_backends):
-            result = lp_solve(lp, backend)
-            if result.status.ok:
-                break
-        if result is None or not result.status.ok:
+        result = solve_with_fallback(
+            lp, methods=(options.backend, *options.fallback_backends)
+        )
+        if not result.status.ok:
             raise RuntimeError(
                 f"partial-offloading LP failed for cluster {station_id}: {result}"
             )

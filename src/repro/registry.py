@@ -23,6 +23,14 @@ Configuration travels alongside as an explicit
 :class:`~repro.context.RunContext` — never via process-global flags — so a
 registry call behaves identically in-process, in fork workers and in spawn
 workers.
+
+Evaluators signal *configuration* errors (an unknown algorithm name, a
+profile an algorithm cannot consume) by raising ``ValueError`` /
+``TypeError``.  The crash-safe sweep runtime (:mod:`repro.runtime`)
+relies on that convention: those two types are classified as config
+errors and re-raised immediately — never retried or quarantined —
+because retrying a deterministic misconfiguration only wastes the retry
+budget and hides the real message.
 """
 
 from __future__ import annotations
