@@ -53,11 +53,19 @@ def _time_figure(figure_id: str, seeds, jobs: int):
 
 
 def _hotspot_rows(stats: "pstats.Stats", sort: str, top: int):
-    stats.sort_stats(sort)
+    # pstats' sort_stats leaves equal-time entries in hash order, which
+    # makes --profile output churn run to run; sort on (-time, rendered
+    # name) instead so ties land deterministically.
+    column = 2 if sort == "tottime" else 3
+    ranked = sorted(
+        stats.stats.items(),
+        key=lambda item: (
+            -item[1][column],
+            f"{item[0][0]}:{item[0][1]}({item[0][2]})",
+        ),
+    )
     rows = []
-    for func in stats.fcn_list[:top]:  # (file, line, name), sorted
-        cc, nc, tottime, cumtime, _callers = stats.stats[func]
-        filename, line, name = func
+    for (filename, line, name), (cc, nc, tottime, cumtime, _callers) in ranked[:top]:
         rows.append(
             {
                 "function": f"{filename}:{line}({name})",
@@ -91,6 +99,86 @@ def _profile_figure(figure_id: str, seeds, jobs: int, top: int = 20):
         "cumulative": _hotspot_rows(stats, "cumulative", top),
         "self": _hotspot_rows(stats, "tottime", top),
     }
+
+
+#: Scenario size for the kernel microbenchmarks below.
+_KERNEL_PROFILE_KW = dict(num_devices=100, num_stations=10, num_tasks=2000)
+
+
+def _kernel_bench(repeat: int):
+    """Microbenchmark the compiled kernels against their object references.
+
+    The figure sweeps never replay assignments, so the DES engine's win is
+    invisible in the per-figure timings; and generation is a small slice of
+    a sweep dominated by solves.  This section times both kernels directly
+    on one mid-size scenario: assignment replay (dedicated and contended)
+    through the array engine vs the closure-chain simulator, and scenario
+    generation + cost-table build through the array generator vs the object
+    paths.  Every pairing is bit-identical (the differential tests assert
+    it); only wall-clock differs.
+    """
+    from repro.core.costs import cluster_costs
+    from repro.core.hta import lp_hta
+    from repro.des import HAVE_NUMBA
+    from repro.des.replay import replay_assignment
+    from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+    profile = PAPER_DEFAULTS.with_updates(**_KERNEL_PROFILE_KW)
+
+    def best(fn):
+        fastest = float("inf")
+        for _ in range(max(1, repeat)):
+            start = time.perf_counter()
+            fn()
+            fastest = min(fastest, time.perf_counter() - start)
+        return fastest
+
+    with use_context(RunContext()):
+        scenario = generate_scenario(profile, seed=0)
+        tasks = list(scenario.tasks)
+        assignment = lp_hta(scenario.system, tasks).assignment
+
+    section = {"numba": HAVE_NUMBA, "tasks": profile.num_tasks, "replay": {}}
+    for label, contention in (("dedicated", False), ("contended", True)):
+        def replay():
+            replay_assignment(
+                scenario.system, tasks, assignment, contention=contention
+            )
+
+        with use_context(RunContext()):
+            engine_s = best(replay)
+        with use_context(RunContext(des_vectorized=False)):
+            object_s = best(replay)
+        section["replay"][label] = {
+            "object_s": round(object_s, 4),
+            "engine_s": round(engine_s, 4),
+            "speedup": round(object_s / engine_s, 2),
+        }
+
+    # Each call generates a fresh system, so the cost-table memo never
+    # hits and the timing covers the full generate→costs chain.
+    def generate_and_price():
+        fresh = generate_scenario(profile, seed=0)
+        cluster_costs(fresh.system, fresh.tasks)
+
+    timings = {}
+    for label, context in (
+        ("array", RunContext()),
+        ("pool", RunContext(vectorized_generator=False)),
+        ("reference", RunContext(reference=True)),
+    ):
+        with use_context(context):
+            timings[label] = best(generate_and_price)
+    section["generate"] = {
+        "array_s": round(timings["array"], 4),
+        "pool_s": round(timings["pool"], 4),
+        "reference_s": round(timings["reference"], 4),
+        "speedup_vs_pool": round(timings["pool"] / timings["array"], 2),
+        "speedup_vs_reference": round(
+            timings["reference"] / timings["array"], 2
+        ),
+    }
+    return section
 
 
 def _batch_stats(telemetry):
@@ -229,6 +317,15 @@ def main() -> None:
             flush=True,
         )
 
+    report["kernels"] = kernels = _kernel_bench(args.repeat)
+    print(
+        "kernels: replay "
+        f"{kernels['replay']['dedicated']['speedup']:.2f}x dedicated / "
+        f"{kernels['replay']['contended']['speedup']:.2f}x contended, "
+        f"generate {kernels['generate']['speedup_vs_pool']:.2f}x "
+        f"(numba={'yes' if kernels['numba'] else 'no'})",
+        flush=True,
+    )
     report["total"] = {
         "reference_s": round(total_ref, 3),
         "optimized_s": round(total_opt, 3),

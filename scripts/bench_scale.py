@@ -32,6 +32,7 @@ from pathlib import Path
 
 from repro.context import RunContext, use_context
 from repro.experiments.parallel import TileCell, run_tiles
+from repro.obs.export import stage_breakdown
 from repro.system.sharding import ShardSpec
 from repro.workload.profiles import PAPER_DEFAULTS
 
@@ -82,6 +83,10 @@ def _run_point(shape, num_shards: int, seed: int, jobs: int):
         "total_energy_j": round(sum(r.total_energy_j for r in results), 1),
         "lp_objective_j": round(sum(r.lp_objective_j for r in results), 1),
         "cancelled": sum(r.cancelled for r in results),
+        # Where the wall clock goes, stage by stage (generate/solve/...);
+        # in-process runs see every stage, pooled workers only the
+        # submitting side's.
+        "stages": stage_breakdown(context.telemetry),
     }
 
 

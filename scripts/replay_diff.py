@@ -1,0 +1,106 @@
+"""Canonical kernel output for byte-diffing across interpreters.
+
+Prints one JSON document covering both compiled kernels on a fixed
+scenario: the generated tasks (every float of the array generator's
+draws) and the replayed :class:`RealizedMetrics` of an LP-HTA assignment
+under four replay modes (dedicated, contended, each with outages).
+``json`` renders floats with ``repr`` — shortest round-trip — so two
+documents are byte-identical iff every float is bit-identical.
+
+CI runs this tool without numba, with numba, with ``REPRO_NO_NUMBA=1``
+masking an installed numba, and in ``--reference`` mode (the object
+engines), and diffs the four outputs::
+
+    python scripts/replay_diff.py --assert-numba no  > plain.json
+    pip install -e .[perf]
+    python scripts/replay_diff.py --assert-numba yes > jit.json
+    diff plain.json jit.json
+"""
+
+import argparse
+import json
+
+from repro.context import RunContext, use_context
+from repro.core.hta import lp_hta
+from repro.des import HAVE_NUMBA
+from repro.des.replay import replay_assignment
+from repro.workload import PAPER_DEFAULTS, generate_scenario
+
+REPLAY_MODES = {
+    "dedicated": dict(contention=False),
+    "contended": dict(contention=True),
+    "dedicated_outages": dict(
+        contention=False,
+        backhaul_outages=((0.1, 0.4),),
+        wan_outages=((0.3, 0.8),),
+    ),
+    "contended_outages": dict(
+        contention=True,
+        backhaul_outages=((0.2, 0.5), (0.7, 0.9)),
+        wan_outages=((0.4, 0.9),),
+    ),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--assert-numba", choices=("yes", "no"), default=None,
+        help="fail unless the jit backend is (yes) / is not (no) active",
+    )
+    parser.add_argument(
+        "--reference", action="store_true",
+        help="run the object engines instead of the compiled kernels",
+    )
+    parser.add_argument(
+        "--tasks", type=int, default=400,
+        help="scenario size (devices scale along with it)",
+    )
+    args = parser.parse_args()
+
+    if args.assert_numba == "yes" and not HAVE_NUMBA:
+        raise SystemExit("expected the numba backend to be active, it is not")
+    if args.assert_numba == "no" and HAVE_NUMBA:
+        raise SystemExit("expected no numba backend, but one is active")
+
+    profile = PAPER_DEFAULTS.with_updates(
+        num_tasks=args.tasks,
+        num_devices=max(2, args.tasks // 10),
+        num_stations=4,
+    )
+    context = RunContext(reference=True) if args.reference else RunContext()
+    with use_context(context):
+        scenario = generate_scenario(profile, seed=0)
+        tasks = list(scenario.tasks)
+        assignment = lp_hta(scenario.system, tasks).assignment
+        document = {
+            "tasks": [
+                [
+                    task.owner_device_id,
+                    task.index,
+                    task.local_bytes,
+                    task.external_bytes,
+                    task.external_source,
+                    task.resource_demand,
+                    task.deadline_s,
+                ]
+                for task in tasks
+            ],
+            "replay": {},
+        }
+        for label, kwargs in REPLAY_MODES.items():
+            metrics = replay_assignment(
+                scenario.system, tasks, assignment, **kwargs
+            )
+            document["replay"][label] = {
+                "latencies_s": list(metrics.latencies_s),
+                "makespan_s": metrics.makespan_s,
+                "total_energy_j": metrics.total_energy_j,
+                "events_processed": metrics.events_processed,
+                "mean_queueing_delay_s": metrics.mean_queueing_delay_s,
+            }
+    print(json.dumps(document, sort_keys=True, indent=1))
+
+
+if __name__ == "__main__":
+    main()

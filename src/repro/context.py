@@ -442,6 +442,19 @@ class RunContext:
         convergence masking, instead of a Python loop of solves.  ``False``
         selects the sequential per-cluster path, which is retained as the
         differential-testing reference; reference mode never batches.
+    :param des_vectorized: replay assignments through the compiled
+        struct-of-arrays event engine (:mod:`repro.des.engine` — closed
+        form in dedicated mode, index event loop under contention/outages,
+        ``numba.njit`` when installed).  ``False`` selects the
+        closure-chained object replay, which is retained as the reference;
+        reference mode always uses the object path.  Bit-identical
+        ``RealizedMetrics`` either way.
+    :param vectorized_generator: draw scenarios through the array-native
+        generator (:mod:`repro.workload.array_gen` — batched RNG decode,
+        deferred dataclass materialisation, fused cost-table hints).
+        ``False`` selects the object-at-a-time generator; reference mode
+        and divisible-task profiles always use the object path.
+        Bit-identical ``Scenario`` data either way.
     :param seed: RNG seed handed to randomized algorithm variants.
     :param shards: route LP-HTA through the sharded solver
         (:func:`repro.core.sharded.lp_hta_sharded`) with this many
@@ -485,6 +498,8 @@ class RunContext:
     lp_cache_capacity: int = 256
     lp_sparse: bool = True
     lp_batch: bool = True
+    des_vectorized: bool = True
+    vectorized_generator: bool = True
     seed: int = 0
     shards: int = 0
     trace: bool = False

@@ -230,6 +230,40 @@ _TABLE_CACHE: "WeakKeyDictionary[MECSystem, Dict[tuple, ClusterCosts]]" = (
 #: Retained tables per system; old entries are evicted FIFO beyond this.
 _TABLE_CACHE_PER_SYSTEM = 64
 
+#: Generator-supplied task arrays, keyed weakly by system.  The array-native
+#: generator already holds every task field as a flat array; registering them
+#: here lets :func:`_cluster_costs_vectorized` skip its per-task gather loop
+#: (the generate→costs fusion).  One entry per system: ``(tasks, arrays)``.
+_TASK_ARRAY_HINTS: "WeakKeyDictionary[MECSystem, tuple]" = WeakKeyDictionary()
+
+
+def register_task_arrays(system: MECSystem, tasks, arrays: dict) -> None:
+    """Register the flat arrays a task list was materialised from.
+
+    Called by :mod:`repro.workload.array_gen` after building a scenario's
+    tasks.  ``arrays`` must hold ``owner``/``source`` (int64, source -1 for
+    None), ``alpha``/``beta``/``resource``/``deadline`` (float64) and
+    ``has_ext`` (bool), all parallel to ``tasks``.  The hint is advisory:
+    the cost builder uses it only when the task tuple it is pricing is the
+    *same objects* in the same order, and falls back to the loop otherwise.
+    """
+    _TASK_ARRAY_HINTS[system] = (tuple(tasks), arrays)
+
+
+def _task_array_hint(system: MECSystem, tasks: Tuple[Task, ...]) -> Optional[dict]:
+    """The registered arrays for exactly this task tuple, if any."""
+    entry = _TASK_ARRAY_HINTS.get(system)
+    if entry is None:
+        return None
+    stored, arrays = entry
+    if stored is not tasks:
+        if len(stored) != len(tasks):
+            return None
+        for stored_task, task in zip(stored, tasks):
+            if stored_task is not task:
+                return None
+    return arrays
+
 
 @contextmanager
 def costs_config(
@@ -310,42 +344,77 @@ def _cluster_costs_vectorized(
             system.cluster_of(device_id),
         )
 
-    alpha = np.empty(n)
-    beta = np.empty(n)
-    resource = np.empty(n)
-    deadline = np.empty(n)
-    own_up_rate = np.empty(n)
-    own_down_rate = np.empty(n)
-    own_tx = np.empty(n)
-    own_rx = np.empty(n)
-    own_freq = np.empty(n)
-    station_freq = np.empty(n)
-    src_up_rate = np.ones(n)
-    src_tx = np.zeros(n)
-    has_ext = np.zeros(n, dtype=bool)
-    cross = np.zeros(n, dtype=bool)
+    hint = _task_array_hint(system, tasks)
+    if hint is not None and list(system.devices) != list(range(len(device_info))):
+        # Positional gather below needs device ids 0..n-1 in order.
+        hint = None
+    if hint is not None:
+        # Generate→costs fusion: the array generator already produced every
+        # task field as a flat array, so the gather is pure fancy indexing
+        # over a per-device attribute table.  Values are the same float64
+        # objects the loop below would copy element by element, so the
+        # resulting table is bit-identical.
+        device_rows = [device_info[d] for d in system.devices]
+        dev_up = np.array([r[0] for r in device_rows])
+        dev_down = np.array([r[1] for r in device_rows])
+        dev_tx = np.array([r[2] for r in device_rows])
+        dev_rx = np.array([r[3] for r in device_rows])
+        dev_freq = np.array([r[4] for r in device_rows])
+        dev_sfreq = np.array([r[5] for r in device_rows])
+        dev_cluster = np.array([r[6] for r in device_rows], dtype=np.int64)
+        owner = hint["owner"]
+        alpha = hint["alpha"]
+        beta = hint["beta"]
+        resource = hint["resource"].copy()
+        deadline = hint["deadline"].copy()
+        own_up_rate = dev_up[owner]
+        own_down_rate = dev_down[owner]
+        own_tx = dev_tx[owner]
+        own_rx = dev_rx[owner]
+        own_freq = dev_freq[owner]
+        station_freq = dev_sfreq[owner]
+        has_ext = hint["has_ext"]
+        src_idx = np.where(has_ext, hint["source"], 0)
+        src_up_rate = np.where(has_ext, dev_up[src_idx], 1.0)
+        src_tx = np.where(has_ext, dev_tx[src_idx], 0.0)
+        cross = has_ext & (dev_cluster[src_idx] != dev_cluster[owner])
+    else:
+        alpha = np.empty(n)
+        beta = np.empty(n)
+        resource = np.empty(n)
+        deadline = np.empty(n)
+        own_up_rate = np.empty(n)
+        own_down_rate = np.empty(n)
+        own_tx = np.empty(n)
+        own_rx = np.empty(n)
+        own_freq = np.empty(n)
+        station_freq = np.empty(n)
+        src_up_rate = np.ones(n)
+        src_tx = np.zeros(n)
+        has_ext = np.zeros(n, dtype=bool)
+        cross = np.zeros(n, dtype=bool)
 
-    for row, task in enumerate(tasks):
-        info = device_info[task.owner_device_id]
-        alpha[row] = task.local_bytes
-        beta[row] = task.external_bytes
-        resource[row] = task.resource_demand
-        deadline[row] = task.deadline_s
-        (
-            own_up_rate[row],
-            own_down_rate[row],
-            own_tx[row],
-            own_rx[row],
-            own_freq[row],
-            station_freq[row],
-            owner_cluster,
-        ) = info
-        if task.has_external_data:
-            source = device_info[task.external_source]
-            has_ext[row] = True
-            src_up_rate[row] = source[0]
-            src_tx[row] = source[2]
-            cross[row] = source[6] != owner_cluster
+        for row, task in enumerate(tasks):
+            info = device_info[task.owner_device_id]
+            alpha[row] = task.local_bytes
+            beta[row] = task.external_bytes
+            resource[row] = task.resource_demand
+            deadline[row] = task.deadline_s
+            (
+                own_up_rate[row],
+                own_down_rate[row],
+                own_tx[row],
+                own_rx[row],
+                own_freq[row],
+                station_freq[row],
+                owner_cluster,
+            ) = info
+            if task.has_external_data:
+                source = device_info[task.external_source]
+                has_ext[row] = True
+                src_up_rate[row] = source[0]
+                src_tx[row] = source[2]
+                cross[row] = source[6] != owner_cluster
 
     total = alpha + beta
     result_model = params.result_size

@@ -9,6 +9,7 @@ plus a size; set algebra runs on the ids and sizing questions go through the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Dict, FrozenSet, Iterable, Mapping
 
 __all__ = ["DataCatalog", "DataItem"]
@@ -67,6 +68,10 @@ class DataCatalog:
         :raises KeyError: for ids not in the catalog.
         """
         return self._sizes[item_id]
+
+    def sizes(self) -> Mapping[int, float]:
+        """Read-only id → size view, for hot loops that price many sets."""
+        return MappingProxyType(self._sizes)
 
     def total_bytes(self, item_ids: Iterable[int]) -> float:
         """Summed size of a set of items.

@@ -10,10 +10,23 @@ formulas can be *checked* rather than trusted:
 - with contention (FIFO sharing of device radios and station CPUs), the
   replay shows the queueing the analytic model abstracts away — an
   extension the ablation benches exercise.
+
+Two engines execute the replay: the closure-chained object simulator in
+:mod:`repro.des.replay` (the reference) and the compiled struct-of-arrays
+engine in :mod:`repro.des.engine` (the default; optionally numba-jitted —
+``HAVE_NUMBA`` reports whether the jit backend is active).  They are
+differentially tested to produce bit-identical :class:`RealizedMetrics`.
 """
 
+from repro.des.engine import HAVE_NUMBA
 from repro.des.kernel import EventSimulator
 from repro.des.resources import FIFOResource
 from repro.des.replay import RealizedMetrics, replay_assignment
 
-__all__ = ["EventSimulator", "FIFOResource", "RealizedMetrics", "replay_assignment"]
+__all__ = [
+    "EventSimulator",
+    "FIFOResource",
+    "HAVE_NUMBA",
+    "RealizedMetrics",
+    "replay_assignment",
+]

@@ -1,0 +1,868 @@
+"""Array-native DES replay engine (the compiled hot path of ``des/replay``).
+
+The closure-chained :class:`~repro.des.replay._Replay` builds, per task, a
+small graph of Python callbacks and pushes them through a heapq-backed
+event kernel.  That is the right *reference* semantics, but at sweep scale
+the interpreter cost dominates: every stage is two heap operations, two
+closure allocations and a bound-method dispatch.  This module compiles an
+assignment into a struct-of-arrays *replay program* — parallel NumPy arrays
+of stage resource ids, service times, chain successors and join targets —
+and executes it with one of three interchangeable backends:
+
+- **closed form** — dedicated mode with no outage windows has no shared
+  state at all, so each task's event chain collapses into a per-stage
+  recurrence ``(value, now) -> (finish, heap_time)`` that vectorises across
+  tasks with masked NumPy slot updates (4 external-chain slots, 1 local
+  slot, 3 tail slots).  This is the sweep hot path.
+- **index event loop** — contention or outages couple tasks through FIFO
+  resources, so events must pop in global ``(time, counter)`` order.  The
+  loop replays the kernel exactly: a manual binary heap over preallocated
+  event slots (the slot id *is* the scheduling counter), FIFO ``next_free``
+  state per resource id, and outage-window deferral scans.
+- **numba** — the same event loop ``numba.njit``-compiled when numba is
+  importable (``pip install .[perf]``).  Auto-detected at import; setting
+  ``REPRO_NO_NUMBA=1`` forces the pure-Python loop even when numba is
+  installed.
+
+All three backends reproduce the closure engine *bit for bit* — every
+float operation (the ``now + max(t - now, 0.0)`` clamp, the FIFO
+``max(arrival, next_free)``, the join ``max(latest, finish)``) is written
+in the reference's exact order and associativity, never simplified
+algebraically.  ``tests/test_differential_perf.py`` asserts equality of
+whole :class:`~repro.des.replay.RealizedMetrics` against the object path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.assignment import Assignment, Subsystem
+from repro.core.task import Task
+from repro.des.kernel import clamp_to_now
+from repro.des.resources import normalise_windows, windows_as_arrays
+from repro.system.topology import MECSystem
+
+__all__ = ["HAVE_NUMBA", "compile_rows", "replay_with_engine"]
+
+# Event kinds of the index-based loop, mirroring the closure roles one for
+# one: a stage's ``fire`` callback, the ``then(finish)`` continuation it
+# schedules, the trailing empty-``_chain`` hop that finally calls ``done``
+# (every chain ends with one — it is a real kernel event and counts), and
+# an empty branch's immediate ``done``.
+_FIRE = 0
+_COMPLETE = 1
+_END = 2
+_EMPTY_END = 3
+
+# Chain-end actions.
+_END_RECORD = 0
+_END_JOIN = 1
+
+
+class _RowProgram:
+    """One launched task row, flattened to ``(resource id, service)`` stages.
+
+    ``chain_a`` is the external-data branch (for joins) or the whole serial
+    chain (device execution); ``chain_b`` is the owner's local uplink (only
+    for station/cloud joins); ``tail`` runs after the join.
+    """
+
+    __slots__ = ("row", "start", "chain_a", "has_join", "chain_b", "tail")
+
+    def __init__(
+        self,
+        row: int,
+        start: float,
+        chain_a: List[Tuple[int, float]],
+        has_join: bool,
+        chain_b: Optional[Tuple[int, float]],
+        tail: List[Tuple[int, float]],
+    ) -> None:
+        self.row = row
+        self.start = start
+        self.chain_a = chain_a
+        self.has_join = has_join
+        self.chain_b = chain_b
+        self.tail = tail
+
+    def event_count(self) -> int:
+        """Kernel events this row generates.
+
+        A ``k``-stage chain is ``2k + 1`` events (fire + continuation per
+        stage, plus the trailing empty-``_chain`` done hop); an empty
+        branch is one immediate done event.
+        """
+        if not self.has_join:
+            return 2 * len(self.chain_a) + 1
+        a = 2 * len(self.chain_a) + 1 if self.chain_a else 1
+        return a + 3 + 2 * len(self.tail) + 1
+
+
+def compile_rows(
+    system: MECSystem,
+    tasks: Sequence[Task],
+    assignment: Assignment,
+    start_times: Optional[Sequence[float]],
+) -> Tuple[List[_RowProgram], int, int, int]:
+    """Flatten every launched row into a :class:`_RowProgram`.
+
+    Resource ids follow ``_Replay.all_resources()`` order exactly —
+    uplinks, downlinks, device CPUs (device iteration order), station CPUs
+    (station iteration order), then backhaul, WAN, cloud CPU — so the
+    waiting-time statistics can be summed in the reference's order.
+
+    Validation (row correspondence, negative start times) raises the same
+    errors in the same row order as the object path's launch loop.
+
+    :returns: (programs, num resources, backhaul resource id, wan id).
+    """
+    dev_pos = {d: i for i, d in enumerate(system.devices)}
+    st_pos = {s: i for i, s in enumerate(system.stations)}
+    nd = len(dev_pos)
+    backhaul_id = 3 * nd + len(st_pos)
+    wan_id = backhaul_id + 1
+    cloud_id = backhaul_id + 2
+
+    params = system.parameters
+    cycles = params.cycles
+    result_bytes = params.result_size.result_bytes
+    bs_bs_time = system.bs_bs_link.transfer_time_s
+    bs_cloud_time = system.bs_cloud_link.transfer_time_s
+    cloud_freq = system.cloud.cpu_frequency_hz
+
+    # device id -> (uplink fn, download fn, cpu f, uplink res, downlink res,
+    #               cpu res, station cpu res, station f, cluster)
+    dev_cache: Dict[int, tuple] = {}
+
+    def device_entry(device_id: int) -> tuple:
+        entry = dev_cache.get(device_id)
+        if entry is None:
+            device = system.device(device_id)
+            station = system.station_of(device_id)
+            pos = dev_pos[device_id]
+            entry = (
+                device.wireless.upload_time_s,
+                device.wireless.download_time_s,
+                device.cpu_frequency_hz,
+                pos,
+                nd + pos,
+                2 * nd + pos,
+                3 * nd + st_pos[station.station_id],
+                station.cpu_frequency_hz,
+                system.cluster_of(device_id),
+            )
+            dev_cache[device_id] = entry
+        return entry
+
+    programs: List[_RowProgram] = []
+    for row, task in enumerate(tasks):
+        decision = assignment.decisions[row]
+        if decision is Subsystem.CANCELLED:
+            continue
+        start = float(start_times[row]) if start_times is not None else 0.0
+        if start < 0:
+            raise ValueError("start_times must be non-negative")
+
+        (up_t, down_t, dev_freq, up_res, down_res, cpu_res,
+         st_cpu_res, st_freq, owner_cluster) = device_entry(task.owner_device_id)
+        alpha, beta = task.local_bytes, task.external_bytes
+        total = task.input_bytes
+        result = result_bytes(total)
+
+        ext_stages: List[Tuple[int, float]] = []
+        cross = False
+        if task.has_external_data:
+            src = device_entry(task.external_source)
+            cross = src[8] != owner_cluster
+            ext_stages.append((src[3], src[0](beta)))
+
+        if decision is Subsystem.DEVICE:
+            chain = list(ext_stages)
+            if task.has_external_data:
+                if cross:
+                    chain.append((backhaul_id, bs_bs_time(beta)))
+                chain.append((down_res, down_t(beta)))
+            chain.append((cpu_res, cycles.cycles_on_device(total) / dev_freq))
+            programs.append(_RowProgram(row, start, chain, False, None, []))
+
+        elif decision is Subsystem.STATION:
+            ext_branch = list(ext_stages)
+            if task.has_external_data and cross:
+                ext_branch.append((backhaul_id, bs_bs_time(beta)))
+            tail = [
+                (st_cpu_res, cycles.cycles_on_station(total) / st_freq),
+                (down_res, down_t(result)),
+            ]
+            programs.append(
+                _RowProgram(row, start, ext_branch, True, (up_res, up_t(alpha)), tail)
+            )
+
+        elif decision is Subsystem.CLOUD:
+            tail = [
+                (wan_id, bs_cloud_time(total + result)),
+                (cloud_id, cycles.cycles_on_cloud(total) / cloud_freq),
+                (down_res, down_t(result)),
+            ]
+            programs.append(
+                _RowProgram(
+                    row, start, list(ext_stages), True, (up_res, up_t(alpha)), tail
+                )
+            )
+
+        else:  # pragma: no cover - assignments only carry the four decisions
+            raise ValueError(f"cannot replay decision {decision}")
+
+    return programs, backhaul_id + 3, backhaul_id, wan_id
+
+
+# ---------------------------------------------------------------------------
+# Closed form: dedicated resources, no outages.
+
+
+def _closed_form(
+    programs: Sequence[_RowProgram],
+) -> Tuple[Dict[int, float], float, int]:
+    """Per-row finish values, makespan and event count without a heap.
+
+    In dedicated mode with no outage windows every ``request`` returns
+    ``(arrival, arrival + service)`` — resources carry no state — so each
+    event chain reduces to the recurrence per stage::
+
+        fire   = now + max(value - now, 0.0)     # schedule_at clamp
+        finish = fire + service                  # dedicated request
+        now'   = fire + max(finish - fire, 0.0)  # the then(finish) event
+        value' = finish
+
+    closed by the trailing done hop every chain ends with::
+
+        end = now + max(value - now, 0.0)
+
+    applied over fixed stage slots with ``np.where`` masks (padding with
+    no-op stages would perturb the floats — the clamp is not algebraically
+    transparent: ``t + (v - t) != v`` in general).  The end transform also
+    covers empty branches exactly (``value = start``, ``now = 0``).  Joins
+    take the value-max of both branches and the heap-time max of their end
+    events for the tail's scheduling ``now``.
+    """
+    m = len(programs)
+    if m == 0:
+        return {}, 0.0, 0
+
+    start = np.empty(m)
+    count_a = np.zeros(m, dtype=np.int64)
+    svc_a = np.zeros((m, 4))
+    has_join = np.zeros(m, dtype=bool)
+    svc_b = np.zeros(m)
+    count_t = np.zeros(m, dtype=np.int64)
+    svc_t = np.zeros((m, 3))
+    events = 0
+    for i, prog in enumerate(programs):
+        start[i] = prog.start
+        count_a[i] = len(prog.chain_a)
+        for slot, (_, service) in enumerate(prog.chain_a):
+            svc_a[i, slot] = service
+        if prog.has_join:
+            has_join[i] = True
+            svc_b[i] = prog.chain_b[1]
+            count_t[i] = len(prog.tail)
+            for slot, (_, service) in enumerate(prog.tail):
+                svc_t[i, slot] = service
+        events += prog.event_count()
+
+    value = start.copy()
+    now = np.zeros(m)
+    for slot in range(4):
+        active = slot < count_a
+        if not active.any():
+            break
+        fire = now + np.maximum(value - now, 0.0)
+        finish = fire + svc_a[:, slot]
+        then = fire + np.maximum(finish - fire, 0.0)
+        value = np.where(active, finish, value)
+        now = np.where(active, then, now)
+    # The done hop that closes every chain (and IS the whole event for an
+    # empty branch, where value = start and now = 0 still hold).
+    end_a = now + np.maximum(value - now, 0.0)
+    final_value = value
+    final_now = end_a
+
+    if has_join.any():
+        fire_b = 0.0 + np.maximum(start - 0.0, 0.0)
+        finish_b = fire_b + svc_b
+        then_b = fire_b + np.maximum(finish_b - fire_b, 0.0)
+        end_b = then_b + np.maximum(finish_b - then_b, 0.0)
+        # The join completes at the later-popped branch end event; its
+        # value is the branch-finish max, its clock the end-time max.
+        value = np.maximum(final_value, finish_b)
+        now = np.maximum(end_a, end_b)
+        for slot in range(3):
+            active = slot < count_t
+            if not active.any():
+                break
+            fire = now + np.maximum(value - now, 0.0)
+            finish = fire + svc_t[:, slot]
+            then = fire + np.maximum(finish - fire, 0.0)
+            value = np.where(active, finish, value)
+            now = np.where(active, then, now)
+        end_t = now + np.maximum(value - now, 0.0)
+        final_value = np.where(has_join, value, final_value)
+        final_now = np.where(has_join, end_t, end_a)
+
+    finish_values = final_value.tolist()
+    finishes = {prog.row: finish_values[i] for i, prog in enumerate(programs)}
+    return finishes, float(final_now.max()), events
+
+
+# ---------------------------------------------------------------------------
+# Exact event loop: contention and/or outage windows.
+
+
+def _event_loop(
+    stage_res,
+    stage_service,
+    stage_next,
+    stage_end_kind,
+    stage_end_ref,
+    join_tail,
+    init_kind,
+    init_target,
+    init_value,
+    init_time,
+    res_shared,
+    out_lo,
+    out_hi,
+    out_start,
+    out_end,
+    n_tasks,
+    cap,
+):
+    """The kernel's event loop over preallocated arrays.
+
+    Event slots double as scheduling counters (slots are allocated in push
+    order, exactly like ``EventSimulator``'s ``itertools.count``), so the
+    heap orders by ``(time, slot)``.  Every float operation replicates the
+    closure engine's arithmetic literally.
+
+    Written in the numba-friendly subset (scalars, ndarray indexing, plain
+    loops); the module compiles it with ``numba.njit`` when available.
+    """
+    ev_time = np.empty(cap)
+    ev_kind = np.empty(cap, dtype=np.int64)
+    ev_target = np.empty(cap, dtype=np.int64)
+    ev_value = np.empty(cap)
+    heap = np.empty(cap, dtype=np.int64)
+    heap_n = 0
+    n_push = 0
+
+    next_free = np.zeros(res_shared.shape[0])
+    n_joins = join_tail.shape[0]
+    join_remaining = np.full(n_joins, 2, dtype=np.int64)
+    join_latest = np.zeros(n_joins)
+
+    task_finish = np.zeros(n_tasks)
+    task_done = np.zeros(n_tasks, dtype=np.bool_)
+    n_stages = stage_res.shape[0]
+    wait_res = np.empty(n_stages, dtype=np.int64)
+    wait_val = np.empty(n_stages)
+    n_wait = 0
+
+    # Seed the heap with the launch-time events, in launch order.
+    for i in range(init_kind.shape[0]):
+        slot = n_push
+        ev_time[slot] = init_time[i]
+        ev_kind[slot] = init_kind[i]
+        ev_target[slot] = init_target[i]
+        ev_value[slot] = init_value[i]
+        n_push += 1
+        pos = heap_n
+        heap[pos] = slot
+        heap_n += 1
+        while pos > 0:
+            parent = (pos - 1) // 2
+            a, b = heap[pos], heap[parent]
+            if ev_time[a] < ev_time[b] or (ev_time[a] == ev_time[b] and a < b):
+                heap[pos], heap[parent] = b, a
+                pos = parent
+            else:
+                break
+
+    now = 0.0
+    n_events = 0
+    while heap_n > 0:
+        slot = heap[0]
+        heap_n -= 1
+        heap[0] = heap[heap_n]
+        pos = 0
+        while True:
+            left = 2 * pos + 1
+            if left >= heap_n:
+                break
+            right = left + 1
+            best = left
+            if right < heap_n:
+                a, b = heap[right], heap[left]
+                if ev_time[a] < ev_time[b] or (
+                    ev_time[a] == ev_time[b] and a < b
+                ):
+                    best = right
+            a, b = heap[best], heap[pos]
+            if ev_time[a] < ev_time[b] or (ev_time[a] == ev_time[b] and a < b):
+                heap[pos], heap[best] = a, b
+                pos = best
+            else:
+                break
+
+        now = ev_time[slot]
+        n_events += 1
+        kind = ev_kind[slot]
+
+        push_time = -1.0
+        push_kind = -1
+        push_target = -1
+        push_value = 0.0
+
+        if kind == _FIRE:
+            stage = ev_target[slot]
+            res = stage_res[stage]
+            arrival = now
+            if res_shared[res]:
+                free = next_free[res]
+                begin = free if free > arrival else arrival
+            else:
+                begin = arrival
+            service = stage_service[stage]
+            for w in range(out_lo[res], out_hi[res]):
+                if begin < out_end[w] and begin + service > out_start[w]:
+                    begin = out_end[w]
+            finish = begin + service
+            if res_shared[res]:
+                next_free[res] = finish
+            wait_res[n_wait] = res
+            wait_val[n_wait] = begin - arrival
+            n_wait += 1
+            delay = finish - now
+            if 0.0 > delay:
+                delay = 0.0
+            push_time = now + delay
+            push_kind = _COMPLETE
+            push_target = stage
+            push_value = finish
+        elif kind == _COMPLETE:
+            # then(finish): schedule the next fire, or the done hop that
+            # closes the chain — both at now + clamp(finish - now).
+            stage = ev_target[slot]
+            value = ev_value[slot]
+            nxt = stage_next[stage]
+            delay = value - now
+            if 0.0 > delay:
+                delay = 0.0
+            push_time = now + delay
+            push_value = value
+            if nxt >= 0:
+                push_kind = _FIRE
+                push_target = nxt
+            else:
+                push_kind = _END
+                push_target = stage
+        else:
+            # _END / _EMPTY_END: done(value) — record a finish or feed the
+            # join, whose completion schedules the tail chain.
+            value = ev_value[slot]
+            join = -1
+            if kind == _END:
+                stage = ev_target[slot]
+                if stage_end_kind[stage] == _END_RECORD:
+                    task_finish[stage_end_ref[stage]] = value
+                    task_done[stage_end_ref[stage]] = True
+                else:
+                    join = stage_end_ref[stage]
+            else:
+                join = ev_target[slot]
+            if join >= 0:
+                if value > join_latest[join]:
+                    join_latest[join] = value
+                join_remaining[join] -= 1
+                if join_remaining[join] == 0:
+                    latest = join_latest[join]
+                    delay = latest - now
+                    if 0.0 > delay:
+                        delay = 0.0
+                    push_time = now + delay
+                    push_kind = _FIRE
+                    push_target = join_tail[join]
+                    push_value = latest
+
+        if push_kind >= 0:
+            slot = n_push
+            ev_time[slot] = push_time
+            ev_kind[slot] = push_kind
+            ev_target[slot] = push_target
+            ev_value[slot] = push_value
+            n_push += 1
+            pos = heap_n
+            heap[pos] = slot
+            heap_n += 1
+            while pos > 0:
+                parent = (pos - 1) // 2
+                a, b = heap[pos], heap[parent]
+                if ev_time[a] < ev_time[b] or (
+                    ev_time[a] == ev_time[b] and a < b
+                ):
+                    heap[pos], heap[parent] = b, a
+                    pos = parent
+                else:
+                    break
+
+    return task_finish, task_done, wait_res, wait_val, n_wait, now, n_events
+
+
+def _event_loop_py(
+    stage_res,
+    stage_service,
+    stage_next,
+    stage_end_kind,
+    stage_end_ref,
+    join_tail,
+    init_kind,
+    init_target,
+    init_value,
+    init_time,
+    res_shared,
+    out_lo,
+    out_hi,
+    out_start,
+    out_end,
+    n_tasks,
+):
+    """Interpreter-friendly twin of :func:`_event_loop` (lists + heapq).
+
+    Without numba, indexing ndarrays scalar-by-scalar is slower than the
+    closure engine it replaces, so the fallback runs over plain lists with
+    the C-implemented ``heapq`` keyed ``(time, counter)`` — the pop order
+    is identical to the manual ``(time, slot)`` heap because counters are
+    unique and assigned in the same push order.  The float arithmetic is
+    the same, statement for statement; the differential tests pin the two
+    loops against each other and against the object path.
+    """
+    heap = []
+    counter = 0
+    for i in range(len(init_kind)):
+        heap.append((init_time[i], counter, init_kind[i], init_target[i], init_value[i]))
+        counter += 1
+    heapq.heapify(heap)
+
+    next_free = [0.0] * len(res_shared)
+    join_remaining = [2] * len(join_tail)
+    join_latest = [0.0] * len(join_tail)
+    task_finish = [0.0] * n_tasks
+    task_done = [False] * n_tasks
+    wait_res: List[int] = []
+    wait_val: List[float] = []
+
+    now = 0.0
+    n_events = 0
+    heappop = heapq.heappop
+    heappush = heapq.heappush
+    while heap:
+        now, _, kind, target, value = heappop(heap)
+        n_events += 1
+
+        if kind == _FIRE:
+            res = stage_res[target]
+            if res_shared[res]:
+                free = next_free[res]
+                begin = free if free > now else now
+            else:
+                begin = now
+            service = stage_service[target]
+            for w in range(out_lo[res], out_hi[res]):
+                if begin < out_end[w] and begin + service > out_start[w]:
+                    begin = out_end[w]
+            finish = begin + service
+            if res_shared[res]:
+                next_free[res] = finish
+            wait_res.append(res)
+            wait_val.append(begin - now)
+            delay = finish - now
+            if 0.0 > delay:
+                delay = 0.0
+            heappush(heap, (now + delay, counter, _COMPLETE, target, finish))
+            counter += 1
+        elif kind == _COMPLETE:
+            nxt = stage_next[target]
+            delay = value - now
+            if 0.0 > delay:
+                delay = 0.0
+            if nxt >= 0:
+                heappush(heap, (now + delay, counter, _FIRE, nxt, value))
+            else:
+                heappush(heap, (now + delay, counter, _END, target, value))
+            counter += 1
+        else:
+            if kind == _END:
+                if stage_end_kind[target] == _END_RECORD:
+                    task_finish[stage_end_ref[target]] = value
+                    task_done[stage_end_ref[target]] = True
+                    continue
+                join = stage_end_ref[target]
+            else:
+                join = target
+            if value > join_latest[join]:
+                join_latest[join] = value
+            join_remaining[join] -= 1
+            if join_remaining[join] == 0:
+                latest = join_latest[join]
+                delay = latest - now
+                if 0.0 > delay:
+                    delay = 0.0
+                heappush(heap, (now + delay, counter, _FIRE, join_tail[join], latest))
+                counter += 1
+
+    return task_finish, task_done, wait_res, wait_val, now, n_events
+
+
+def _detect_numba():
+    """njit-compile the event loop if numba is importable (and not vetoed)."""
+    if os.environ.get("REPRO_NO_NUMBA"):
+        return None
+    try:
+        from numba import njit
+    except Exception:  # pragma: no cover - exercised by the no-numba CI leg
+        return None
+    return njit(cache=False)(_event_loop)
+
+
+_event_loop_jit = _detect_numba()
+
+#: Whether the njit backend is active (surfaced in benches and reports).
+HAVE_NUMBA = _event_loop_jit is not None
+
+
+def _build_event_arrays(
+    programs: Sequence[_RowProgram],
+    num_resources: int,
+    contention: bool,
+    backhaul_id: int,
+    wan_id: int,
+    backhaul_windows: Tuple[Tuple[float, float], ...],
+    wan_windows: Tuple[Tuple[float, float], ...],
+) -> dict:
+    """Struct-of-arrays form of the programs for :func:`_event_loop`."""
+    n_stages = sum(
+        len(p.chain_a) + (1 + len(p.tail) if p.has_join else 0) for p in programs
+    )
+    stage_res = np.empty(n_stages, dtype=np.int64)
+    stage_service = np.empty(n_stages)
+    stage_next = np.full(n_stages, -1, dtype=np.int64)
+    stage_end_kind = np.zeros(n_stages, dtype=np.int64)
+    stage_end_ref = np.zeros(n_stages, dtype=np.int64)
+    n_joins = sum(1 for p in programs if p.has_join)
+    join_tail = np.empty(n_joins, dtype=np.int64)
+
+    init_kind: List[int] = []
+    init_target: List[int] = []
+    init_value: List[float] = []
+    init_time: List[float] = []
+    cap = 0
+    sid = 0
+    jid = 0
+
+    def add_chain(stages: Sequence[Tuple[int, float]], end_kind: int, ref: int) -> int:
+        nonlocal sid
+        first = sid
+        for offset, (res, service) in enumerate(stages):
+            stage_res[sid] = res
+            stage_service[sid] = service
+            if offset + 1 < len(stages):
+                stage_next[sid] = sid + 1
+            else:
+                stage_end_kind[sid] = end_kind
+                stage_end_ref[sid] = ref
+            sid += 1
+        return first
+
+    for prog in programs:
+        t0 = 0.0 + clamp_to_now(0.0, prog.start)
+        cap += prog.event_count()
+        if not prog.has_join:
+            first = add_chain(prog.chain_a, _END_RECORD, prog.row)
+            init_kind.append(_FIRE)
+            init_target.append(first)
+            init_value.append(0.0)
+            init_time.append(t0)
+            continue
+        join = jid
+        jid += 1
+        # Branches launch in the reference's order: external first, local
+        # second (counters — and thus FIFO ties — depend on it).
+        if prog.chain_a:
+            first = add_chain(prog.chain_a, _END_JOIN, join)
+            init_kind.append(_FIRE)
+            init_target.append(first)
+            init_value.append(0.0)
+            init_time.append(t0)
+        else:
+            init_kind.append(_EMPTY_END)
+            init_target.append(join)
+            init_value.append(prog.start)
+            init_time.append(t0)
+        first_b = add_chain([prog.chain_b], _END_JOIN, join)
+        init_kind.append(_FIRE)
+        init_target.append(first_b)
+        init_value.append(0.0)
+        init_time.append(t0)
+        join_tail[join] = add_chain(prog.tail, _END_RECORD, prog.row)
+
+    res_shared = np.zeros(num_resources, dtype=np.bool_)
+    if contention:
+        res_shared[:backhaul_id] = True  # radios and CPUs; infra stays dedicated
+
+    out_lo = np.zeros(num_resources, dtype=np.int64)
+    out_hi = np.zeros(num_resources, dtype=np.int64)
+    bh_start, bh_end = windows_as_arrays(backhaul_windows)
+    wan_start, wan_end = windows_as_arrays(wan_windows)
+    out_start = np.concatenate([bh_start, wan_start])
+    out_end = np.concatenate([bh_end, wan_end])
+    out_lo[backhaul_id], out_hi[backhaul_id] = 0, len(bh_start)
+    out_lo[wan_id] = len(bh_start)
+    out_hi[wan_id] = len(bh_start) + len(wan_start)
+
+    return {
+        "stage_res": stage_res,
+        "stage_service": stage_service,
+        "stage_next": stage_next,
+        "stage_end_kind": stage_end_kind,
+        "stage_end_ref": stage_end_ref,
+        "join_tail": join_tail,
+        "init_kind": np.asarray(init_kind, dtype=np.int64),
+        "init_target": np.asarray(init_target, dtype=np.int64),
+        "init_value": np.asarray(init_value, dtype=np.float64),
+        "init_time": np.asarray(init_time, dtype=np.float64),
+        "res_shared": res_shared,
+        "out_lo": out_lo,
+        "out_hi": out_hi,
+        "out_start": out_start,
+        "out_end": out_end,
+        "cap": cap,
+    }
+
+
+def replay_with_engine(
+    system: MECSystem,
+    tasks: Sequence[Task],
+    assignment: Assignment,
+    contention: bool,
+    backhaul_outages: Sequence[Tuple[float, float]],
+    wan_outages: Sequence[Tuple[float, float]],
+    start_times: Optional[Sequence[float]],
+) -> Tuple[Tuple[Optional[float], ...], float, int, float]:
+    """Replay through the compiled engine.
+
+    :returns: ``(latencies, makespan, events_processed, mean_wait)`` with
+        the exact values the closure engine produces — the caller wraps
+        them in :class:`~repro.des.replay.RealizedMetrics`.
+    """
+    # Outage windows normalise before the launch loop, matching the
+    # FaultyResource construction order of the object path (bad windows
+    # raise before any start-time validation does).
+    backhaul_windows = normalise_windows(backhaul_outages) if backhaul_outages else ()
+    wan_windows = normalise_windows(wan_outages) if wan_outages else ()
+
+    programs, num_resources, backhaul_id, wan_id = compile_rows(
+        system, tasks, assignment, start_times
+    )
+    starts = {
+        prog.row: (float(start_times[prog.row]) if start_times is not None else 0.0)
+        for prog in programs
+    }
+
+    if not contention and not backhaul_windows and not wan_windows:
+        finishes, makespan, events = _closed_form(programs)
+        mean_wait = 0.0  # dedicated requests start at arrival: every wait is 0.0
+    else:
+        arrays = _build_event_arrays(
+            programs,
+            num_resources,
+            contention,
+            backhaul_id,
+            wan_id,
+            backhaul_windows,
+            wan_windows,
+        )
+        if _event_loop_jit is not None:
+            task_finish, task_done, wait_res, wait_val, n_wait, now, events = (
+                _event_loop_jit(
+                    arrays["stage_res"],
+                    arrays["stage_service"],
+                    arrays["stage_next"],
+                    arrays["stage_end_kind"],
+                    arrays["stage_end_ref"],
+                    arrays["join_tail"],
+                    arrays["init_kind"],
+                    arrays["init_target"],
+                    arrays["init_value"],
+                    arrays["init_time"],
+                    arrays["res_shared"],
+                    arrays["out_lo"],
+                    arrays["out_hi"],
+                    arrays["out_start"],
+                    arrays["out_end"],
+                    len(tasks),
+                    arrays["cap"],
+                )
+            )
+            finish_list = task_finish.tolist()
+            done_list = task_done.tolist()
+            n_wait = int(n_wait)
+            wait_res_list = wait_res[:n_wait].tolist()
+            wait_val_list = wait_val[:n_wait].tolist()
+        else:
+            finish_list, done_list, wait_res_list, wait_val_list, now, events = (
+                _event_loop_py(
+                    arrays["stage_res"].tolist(),
+                    arrays["stage_service"].tolist(),
+                    arrays["stage_next"].tolist(),
+                    arrays["stage_end_kind"].tolist(),
+                    arrays["stage_end_ref"].tolist(),
+                    arrays["join_tail"].tolist(),
+                    arrays["init_kind"].tolist(),
+                    arrays["init_target"].tolist(),
+                    arrays["init_value"].tolist(),
+                    arrays["init_time"].tolist(),
+                    arrays["res_shared"].tolist(),
+                    arrays["out_lo"].tolist(),
+                    arrays["out_hi"].tolist(),
+                    arrays["out_start"].tolist(),
+                    arrays["out_end"].tolist(),
+                    len(tasks),
+                )
+            )
+        makespan = float(now)
+        events = int(events)
+        finishes = {
+            row: finish_list[row] for row in range(len(tasks)) if done_list[row]
+        }
+        # The reference sums waits over all_resources() order (resource id
+        # ascending), each resource's log in request order — a stable sort
+        # by resource id reconstructs exactly that summation order.
+        if wait_val_list:
+            order = sorted(range(len(wait_res_list)), key=wait_res_list.__getitem__)
+            total = 0.0
+            for i in order:
+                total += wait_val_list[i]
+            mean_wait = total / len(wait_val_list)
+        else:
+            mean_wait = 0.0
+
+    latencies: List[Optional[float]] = []
+    for row in range(len(tasks)):
+        finish = finishes.get(row)
+        if finish is None:
+            latencies.append(None)
+        else:
+            latencies.append(finish - starts.get(row, 0.0))
+    return tuple(latencies), makespan, events, mean_wait

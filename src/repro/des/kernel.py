@@ -12,7 +12,18 @@ import heapq
 import itertools
 from typing import Callable, List, Optional, Tuple
 
-__all__ = ["EventSimulator"]
+__all__ = ["EventSimulator", "clamp_to_now"]
+
+
+def clamp_to_now(now: float, time: float) -> float:
+    """The delay :meth:`EventSimulator.schedule_at` derives from a target.
+
+    Kept as a shared function because the compiled engine in
+    :mod:`repro.des.engine` must replicate this arithmetic bit for bit —
+    ``now + max(time - now, 0.0)`` is *not* ``max(time, now)`` in floats,
+    and simplifying it would break the differential guarantees.
+    """
+    return max(time - now, 0.0)
 
 
 class EventSimulator:
@@ -59,7 +70,7 @@ class EventSimulator:
         of float additions legitimately produce finish times a few ulps in
         the past.
         """
-        self.schedule(max(time - self._now, 0.0), callback)
+        self.schedule(clamp_to_now(self._now, time), callback)
 
     def run(self, until: Optional[float] = None) -> float:
         """Process events in order until the queue drains (or ``until``).

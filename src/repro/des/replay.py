@@ -295,6 +295,29 @@ def replay_assignment(
         raise ValueError("tasks and assignment rows must correspond")
     if start_times is not None and len(start_times) != len(tasks):
         raise ValueError("start_times and tasks must correspond")
+
+    context = current_context()
+    if context.des_vectorized and not context.reference:
+        from repro.des.engine import replay_with_engine
+
+        latencies_t, makespan, events, mean_wait = replay_with_engine(
+            system,
+            tasks,
+            assignment,
+            contention,
+            backhaul_outages,
+            wan_outages,
+            start_times,
+        )
+        context.telemetry.metrics.incr("des.events", events)
+        return RealizedMetrics(
+            latencies_s=latencies_t,
+            makespan_s=makespan,
+            total_energy_j=assignment.total_energy_j(),
+            events_processed=events,
+            mean_queueing_delay_s=mean_wait,
+        )
+
     replay = _Replay(system, assignment, contention, backhaul_outages, wan_outages)
     for row, task in enumerate(tasks):
         decision = assignment.decisions[row]

@@ -39,6 +39,7 @@ from repro.data.ownership import OwnershipMap
 from repro.dta.coverage import Coverage, dta_number, dta_workload
 from repro.dta.rearrange import RearrangedPlan, rearrange_tasks
 from repro.system.topology import MECSystem
+from repro.units import BITS_PER_BYTE
 
 __all__ = [
     "DTAOutcome",
@@ -154,38 +155,58 @@ def _partial_result_costs(
 ) -> Tuple[float, float]:
     """(energy, max time) of collecting partial results at requesters.
 
-    Cluster co-residency is memoised per (executor, requester) pair — the
-    per-row radio costs depend on the varying partial size and stay as-is.
+    Cluster co-residency is memoised per (executor, requester) pair.  The
+    per-row radio costs are the radio/link formulas inlined — the same
+    divisions and products in the same order (time on air first, energy =
+    power × time), so every float matches the method chain bit for bit —
+    because three method hops per sub-task row dominate this accounting
+    pass on large plans.
     """
     result_model = system.parameters.result_size
     energy = 0.0
     max_time = 0.0
     same_cluster: Dict[Tuple[int, int], bool] = {}
+    cloud_link = system.bs_cloud_link
+    hop_link = system.bs_bs_link
+    # Per-executor (tx_power_w, upload_rate_bps), resolved once.
+    radio: Dict[int, Tuple[float, float]] = {}
     for row, (subtask, parent) in enumerate(zip(plan.subtasks, plan.parents)):
         decision = assignment.decisions[row]
         if decision is Subsystem.CANCELLED:
             continue
         partial = result_model.result_bytes(subtask.input_bytes)
-        executor = system.device(subtask.owner_device_id)
+        executor_id = subtask.owner_device_id
         energy_one = 0.0
         time_one = 0.0
         if decision is Subsystem.DEVICE:
             # Result sits on the executor; push it up to its station.
-            energy_one += executor.wireless.upload_energy_j(partial)
-            time_one += executor.wireless.upload_time_s(partial)
+            up = radio.get(executor_id)
+            if up is None:
+                wireless = system.device(executor_id).wireless
+                up = (wireless.tx_power_w, wireless.upload_rate_bps)
+                radio[executor_id] = up
+            air_s = 0.0 if partial == 0 else partial * BITS_PER_BYTE / up[1]
+            energy_one += up[0] * air_s
+            time_one += air_s
         elif decision is Subsystem.CLOUD:
             # Result sits on the cloud; pull it down to the edge.
-            energy_one += system.bs_cloud_link.transfer_energy_j(partial)
-            time_one += system.bs_cloud_link.transfer_time_s(partial)
+            energy_one += cloud_link.energy_per_byte_j * partial
+            if partial != 0:
+                time_one += cloud_link.latency_s + (
+                    partial * BITS_PER_BYTE / cloud_link.bandwidth_bps
+                )
         # (STATION: the partial already sits on the executor's station.)
-        pair = (subtask.owner_device_id, parent.owner_device_id)
+        pair = (executor_id, parent.owner_device_id)
         same = same_cluster.get(pair)
         if same is None:
             same = system.same_cluster(*pair)
             same_cluster[pair] = same
         if not same:
-            energy_one += system.bs_bs_link.transfer_energy_j(partial)
-            time_one += system.bs_bs_link.transfer_time_s(partial)
+            energy_one += hop_link.energy_per_byte_j * partial
+            if partial != 0:
+                time_one += hop_link.latency_s + (
+                    partial * BITS_PER_BYTE / hop_link.bandwidth_bps
+                )
         energy += energy_one
         max_time = max(max_time, time_one)
     return energy, max_time

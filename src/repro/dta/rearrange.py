@@ -103,10 +103,15 @@ def rearrange_tasks(
     :raises ValueError: if a task is not divisible, or requires items the
         coverage does not assign.
     """
+    if subtask_resource_demand < 0:
+        # The one Task invariant a caller could break from here; the
+        # fast constructor below skips per-subtask validation.
+        raise ValueError("resource_demand must be non-negative")
     indices: Dict[int, int] = {}  # next sub-task index per executor device
     subtasks: List[Task] = []
     parents: List[Task] = []
     coverage_sets = sorted(coverage.sets.items())  # hoisted: same per task
+    sizes = catalog.sizes()
 
     # Inverted item -> device index: coverage sets are disjoint by
     # Definition 1/2, so each required item names exactly one executor and
@@ -148,23 +153,28 @@ def rearrange_tasks(
             if not part:
                 continue
             part = frozenset(part)
-            part_bytes = catalog.total_bytes(part)
+            # Same order-sensitive float sum total_bytes computes (map
+            # iterates ``part`` exactly as the genexpr would), without a
+            # method call per sub-task.
+            part_bytes = sum(map(sizes.__getitem__, part))
             index = indices.get(device_id, 0)
             indices[device_id] = index + 1
-            subtasks.append(
-                Task(
-                    owner_device_id=device_id,
-                    index=index,
-                    local_bytes=part_bytes,
-                    external_bytes=0.0,
-                    external_source=None,
-                    resource_demand=subtask_resource_demand,
-                    deadline_s=task.deadline_s,
-                    divisible=True,
-                    required_items=part,
-                    operation=task.operation,
-                )
-            )
+            # Field-for-field the Task the dataclass constructor builds;
+            # __init__/__post_init__ are skipped because every validated
+            # invariant holds by construction (part_bytes >= 0, no
+            # external data, the parent's deadline is already positive).
+            subtask = object.__new__(Task)
+            object.__setattr__(subtask, "owner_device_id", device_id)
+            object.__setattr__(subtask, "index", index)
+            object.__setattr__(subtask, "local_bytes", part_bytes)
+            object.__setattr__(subtask, "external_bytes", 0.0)
+            object.__setattr__(subtask, "external_source", None)
+            object.__setattr__(subtask, "resource_demand", subtask_resource_demand)
+            object.__setattr__(subtask, "deadline_s", task.deadline_s)
+            object.__setattr__(subtask, "divisible", True)
+            object.__setattr__(subtask, "required_items", part)
+            object.__setattr__(subtask, "operation", task.operation)
+            subtasks.append(subtask)
             parents.append(task)
     return RearrangedPlan(
         coverage=coverage,

@@ -223,6 +223,15 @@ def stage_report(telemetry: "Telemetry") -> str:
         lines.append("")
         for metric in other:
             histogram = metrics.histograms[metric]
+            if histogram.count == 0:
+                # A histogram can exist with no samples (created by a run
+                # that recorded nothing, or restored from a journal); its
+                # quantiles are undefined, so print dashes instead of
+                # raising or emitting NaN.
+                lines.append(
+                    f"{metric:<26} count {0:>6}  p50 -  p95 -  p99 -"
+                )
+                continue
             scale = 1e3 if metric.endswith("_s") else 1.0
             unit = " ms" if metric.endswith("_s") else ""
             lines.append(

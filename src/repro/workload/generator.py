@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro import perf
+from repro.context import current_context
 from repro.core.task import Task
 from repro.obs.tracer import staged
 from repro.data.items import DataCatalog
@@ -94,8 +95,28 @@ def generate_system(
         devices' ``data_items``.
     :param area_side_m: side of the simulated square area.
     """
-    rng = np.random.default_rng(seed)
     station_positions = _station_positions(profile.num_stations, area_side_m)
+    result_size = (
+        ResultSizeModel.constant(profile.result_constant_bytes)
+        if profile.result_constant_bytes is not None
+        else ResultSizeModel.proportional(profile.result_ratio)
+    )
+
+    context = current_context()
+    if context.vectorized_generator and not context.reference:
+        from repro.workload.array_gen import generate_system_arrays
+
+        return generate_system_arrays(
+            profile,
+            seed,
+            ownership,
+            area_side_m,
+            station_positions,
+            result_size,
+            CyclesModel(),
+        )
+
+    rng = np.random.default_rng(seed)
     stations = [
         BaseStation(
             station_id=sid,
@@ -128,11 +149,6 @@ def generate_system(
         )
         attachment[device_id] = station_id
 
-    result_size = (
-        ResultSizeModel.constant(profile.result_constant_bytes)
-        if profile.result_constant_bytes is not None
-        else ResultSizeModel.proportional(profile.result_ratio)
-    )
     parameters = SystemParameters(cycles=CyclesModel(), result_size=result_size)
     return MECSystem(
         devices=devices,
@@ -329,6 +345,25 @@ def _holistic_task(
     )
 
 
+class _DivisibleUniverse:
+    """Per-scenario catalog/ownership memo for :func:`_divisible_task`.
+
+    The catalog and ownership map are immutable for the life of a
+    scenario, so the sorted item list and the per-item owner sets are
+    built once instead of per task.  ``all_items`` is the same sorted
+    sequence the per-task code sorts, so ``rng.choice`` draws the same
+    subsets; each holder's byte total accumulates in missing-item (outer
+    loop) order either way, so swapping ``owners_of`` for this index
+    cannot change any float.
+    """
+
+    def __init__(self, catalog: DataCatalog, ownership: OwnershipMap) -> None:
+        items = sorted(catalog.item_ids)
+        self.all_items = np.asarray(items)
+        self.sizes = {item: catalog.size_of(item) for item in items}
+        self.owners = {item: tuple(ownership.owners_of(item)) for item in items}
+
+
 def _divisible_task(
     system: MECSystem,
     profile: WorkloadProfile,
@@ -337,9 +372,13 @@ def _divisible_task(
     owner_id: int,
     index: int,
     rng: np.random.Generator,
+    universe: Optional[_DivisibleUniverse] = None,
 ) -> Task:
     """One divisible task over a random subset of the data universe."""
-    all_items = sorted(catalog.item_ids)
+    if universe is not None:
+        all_items = universe.all_items
+    else:
+        all_items = sorted(catalog.item_ids)
     count = int(rng.integers(_ITEMS_PER_TASK // 2, _ITEMS_PER_TASK * 3 // 2 + 1))
     count = min(count, len(all_items))
     required = frozenset(
@@ -354,9 +393,15 @@ def _divisible_task(
         # L_ij: the device holding the largest share of the missing data.
         holders = {}
         for item in missing:
-            for holder in ownership.owners_of(item):
+            if universe is not None:
+                owners = universe.owners[item]
+                size = universe.sizes[item]
+            else:
+                owners = ownership.owners_of(item)
+                size = catalog.size_of(item)
+            for holder in owners:
                 if holder != owner_id:
-                    holders[holder] = holders.get(holder, 0.0) + catalog.size_of(item)
+                    holders[holder] = holders.get(holder, 0.0) + size
         if holders:
             source = max(sorted(holders), key=lambda d: holders[d])
         else:
@@ -391,15 +436,31 @@ def generate_tasks(
     """
     if profile.divisible and (catalog is None or ownership is None):
         raise ValueError("divisible workloads need a catalog and ownership map")
+    counts = _tasks_per_device(profile.num_tasks, profile.num_devices)
+
+    context = current_context()
+    if context.vectorized_generator and not context.reference and not profile.divisible:
+        from repro.workload.array_gen import generate_holistic_tasks
+
+        tasks = generate_holistic_tasks(system, profile, seed, counts)
+        if tasks is not None:
+            return tasks
+        # Undecodable word stream (rare Lemire rejection or relabelled
+        # device ids): fall back to the object path below.
+        context.telemetry.metrics.incr("generate.array_bailout")
+
     rng = np.random.default_rng(seed + 1)
     tasks: List[Task] = []
-    counts = _tasks_per_device(profile.num_tasks, profile.num_devices)
     sources = None if perf.reference_mode() else _SourceCandidates(system)
+    universe = None
+    if profile.divisible and not perf.reference_mode():
+        universe = _DivisibleUniverse(catalog, ownership)
     for owner_id, count in enumerate(counts):
         for index in range(count):
             if profile.divisible:
                 task = _divisible_task(
-                    system, profile, catalog, ownership, owner_id, index, rng
+                    system, profile, catalog, ownership, owner_id, index, rng,
+                    universe,
                 )
             else:
                 task = _holistic_task(system, profile, owner_id, index, rng, sources)

@@ -279,3 +279,212 @@ class TestBatchedSweepMatchesReference:
         # Cell-for-cell identical AlgorithmResults across all three modes.
         assert batched == sequential
         assert batched == reference
+
+
+def _scenario_fingerprint(scenario):
+    """Every float and field of a scenario, for exact comparison."""
+    tasks = tuple(
+        (
+            t.owner_device_id, t.index, t.local_bytes, t.external_bytes,
+            t.external_source, t.resource_demand, t.deadline_s,
+            t.divisible, t.required_items, t.operation,
+        )
+        for t in scenario.tasks
+    )
+    devices = tuple(
+        (
+            d.device_id, d.cpu_frequency_hz, d.wireless, d.max_resource,
+            d.data_items, d.position,
+        )
+        for d in (scenario.system.device(i) for i in scenario.system.devices)
+    )
+    return tasks, devices
+
+
+class TestArrayGeneratorMatchesReference:
+    """The raw-word-stream generator is a pure perf change: identical draws."""
+
+    def test_scenarios_identical_across_all_three_paths(self):
+        profiles = [
+            PAPER_DEFAULTS.with_updates(num_tasks=60, num_devices=12, num_stations=3),
+            PAPER_DEFAULTS.with_updates(num_tasks=7, num_devices=1, num_stations=1),
+            PAPER_DEFAULTS.with_updates(
+                num_tasks=30, num_devices=6, num_stations=2,
+                external_ratio_range=(0.0, 0.0),
+            ),
+            PAPER_DEFAULTS.with_updates(
+                num_tasks=30, num_devices=6, num_stations=3,
+                external_cross_cluster_prob=1.0,
+            ),
+        ]
+        for profile in profiles:
+            for seed in (0, 5):
+                with use_context(RunContext()):
+                    array = _scenario_fingerprint(generate_scenario(profile, seed=seed))
+                with use_context(RunContext(vectorized_generator=False)):
+                    pooled = _scenario_fingerprint(generate_scenario(profile, seed=seed))
+                with use_context(RunContext(reference=True)):
+                    reference = _scenario_fingerprint(
+                        generate_scenario(profile, seed=seed)
+                    )
+                assert array == pooled == reference
+
+    def test_divisible_scenarios_identical_to_reference(self):
+        # Divisible generation stays on the object path but memoises the
+        # sorted catalog and the per-item owner index; draws and every
+        # byte total must stay bit-identical to the unmemoised code.
+        for num_tasks in (24, 120):
+            profile = PAPER_DEFAULTS.with_updates(
+                num_tasks=num_tasks, divisible=True
+            )
+            for seed in (0, 5):
+                with use_context(RunContext()):
+                    fast = _scenario_fingerprint(generate_scenario(profile, seed=seed))
+                with use_context(RunContext(reference=True)):
+                    reference = _scenario_fingerprint(
+                        generate_scenario(profile, seed=seed)
+                    )
+                assert fast == reference
+
+    def test_bailout_falls_back_to_object_path(self, monkeypatch):
+        from repro.workload import array_gen
+
+        profile = PAPER_DEFAULTS.with_updates(
+            num_tasks=20, num_devices=5, num_stations=2
+        )
+        with use_context(RunContext(vectorized_generator=False)):
+            expected = _scenario_fingerprint(generate_scenario(profile, seed=3))
+        monkeypatch.setattr(
+            array_gen, "generate_holistic_tasks", lambda *a, **k: None
+        )
+        context = RunContext()
+        with use_context(context):
+            bailed = _scenario_fingerprint(generate_scenario(profile, seed=3))
+        assert bailed == expected
+        assert context.telemetry.metrics.counters["generate.array_bailout"] > 0
+
+    def test_fused_cost_table_identical_to_gather_loop(self):
+        from repro.core import costs as costs_module
+
+        profile = PAPER_DEFAULTS.with_updates(
+            num_tasks=50, num_devices=10, num_stations=2
+        )
+        with use_context(RunContext()):
+            scenario = generate_scenario(profile, seed=4)
+            fused = cluster_costs(scenario.system, scenario.tasks)
+            # Drop the generator's array hint and the table memo: the same
+            # tasks now price through the per-task gather loop.
+            costs_module._TASK_ARRAY_HINTS.pop(scenario.system, None)
+            costs_module._TABLE_CACHE.pop(scenario.system, None)
+            looped = cluster_costs(scenario.system, scenario.tasks)
+        assert fused.time_s.tobytes() == looped.time_s.tobytes()
+        assert fused.energy_j.tobytes() == looped.energy_j.tobytes()
+        assert fused.resource.tobytes() == looped.resource.tobytes()
+        assert fused.deadline_s.tobytes() == looped.deadline_s.tobytes()
+
+
+class TestEngineReplayBitIdentity:
+    """Array-engine replay equals the closure engine, metric for metric.
+
+    Locally the engine runs its pure-Python event loop; on CI with the
+    ``[perf]`` extra installed the same tests compile through numba — both
+    interpreters must land on identical bits, and the jit/no-jit pair is
+    additionally pinned below.
+    """
+
+    def _replay_matrix(self, scenario, assignment):
+        from repro.des.replay import replay_assignment
+
+        tasks = list(scenario.tasks)
+        cases = [
+            dict(contention=False),
+            dict(contention=True),
+            dict(contention=True, backhaul_outages=((0.2, 0.5),)),
+            dict(
+                contention=False,
+                backhaul_outages=((0.1, 0.4),),
+                wan_outages=((0.3, 0.8),),
+            ),
+        ]
+        for kwargs in cases:
+            with use_context(RunContext()):
+                fast = replay_assignment(scenario.system, tasks, assignment, **kwargs)
+            with use_context(RunContext(des_vectorized=False)):
+                slow = replay_assignment(scenario.system, tasks, assignment, **kwargs)
+            with use_context(RunContext(reference=True)):
+                reference = replay_assignment(
+                    scenario.system, tasks, assignment, **kwargs
+                )
+            assert fast == slow == reference
+
+    def test_realized_metrics_bit_identical(self):
+        scenario = generate_scenario(
+            PAPER_DEFAULTS.with_updates(num_tasks=40, num_devices=8, num_stations=2),
+            seed=0,
+        )
+        assignment = lp_hta(scenario.system, list(scenario.tasks)).assignment
+        self._replay_matrix(scenario, assignment)
+
+    def test_jit_and_python_loops_agree(self, monkeypatch):
+        from repro.des import engine
+
+        if engine._event_loop_jit is None:
+            # No numba in this interpreter: the py loop *is* the engine,
+            # already pinned against the object path above.  CI's [perf]
+            # matrix leg runs the jit side of this test.
+            return
+        scenario = generate_scenario(
+            PAPER_DEFAULTS.with_updates(num_tasks=40, num_devices=8, num_stations=2),
+            seed=1,
+        )
+        tasks = list(scenario.tasks)
+        assignment = lp_hta(scenario.system, tasks).assignment
+        jitted = engine.replay_with_engine(
+            scenario.system, tasks, assignment, True, ((0.2, 0.5),), (), None
+        )
+        monkeypatch.setattr(engine, "_event_loop_jit", None)
+        interpreted = engine.replay_with_engine(
+            scenario.system, tasks, assignment, True, ((0.2, 0.5),), (), None
+        )
+        assert jitted == interpreted
+
+
+class TestVectorisedKernelsPreserveFigures:
+    """The kernel flags change nothing about a figure-style sweep's output."""
+
+    def setup_method(self):
+        parallel._SCENARIO_MEMO.clear()
+
+    def _holistic_mini_figure(self, context):
+        specs = (holistic_spec("LP-HTA"), holistic_spec("HGOS"))
+        cells = [
+            SweepCell(
+                index=i,
+                profile=PAPER_DEFAULTS.with_updates(
+                    num_tasks=n, num_devices=8, num_stations=2
+                ),
+                seed=seed,
+                evaluators=specs,
+                context=context,
+            )
+            for i, (n, seed) in enumerate(
+                (n, seed) for n in (8, 12) for seed in (0, 1)
+            )
+        ]
+        return run_cells(cells, jobs=1)
+
+    def test_generator_and_engine_flags_are_pure_perf(self):
+        default = self._holistic_mini_figure(RunContext())
+        parallel._SCENARIO_MEMO.clear()
+        no_kernels = self._holistic_mini_figure(
+            RunContext(vectorized_generator=False, des_vectorized=False)
+        )
+        parallel._SCENARIO_MEMO.clear()
+        reference = self._holistic_mini_figure(
+            RunContext(
+                reference=True, vectorized_costs=False, cached_costs=False,
+                lp_batch=False,
+            )
+        )
+        assert default == no_kernels
+        assert default == reference
